@@ -1,0 +1,69 @@
+//! Criterion bench: the delay-kernel hot path.
+//!
+//! Measures (a) nested-Horner evaluation of the deviation polynomial per
+//! order — the arithmetic the paper offloads to the GPU's FMA units — and
+//! (b) the full table lookup + evaluate step the engine performs per
+//! (gate, pin, polarity), which backs the paper's "no significant runtime
+//! impact even for higher degree polynomials" observation (A3).
+
+use avfs_delay::op::NormalizedPoint;
+use avfs_delay::{CoefficientTable, SurfacePolynomial};
+use avfs_netlist::library::{CellId, Polarity};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn coefficients(order: usize) -> Vec<f64> {
+    (0..(order + 1) * (order + 1))
+        .map(|k| 0.01 * (k as f64) - 0.07)
+        .collect()
+}
+
+fn bench_horner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("horner_eval");
+    for order in [1usize, 2, 3, 4, 5] {
+        let poly = SurfacePolynomial::new(order, coefficients(order)).expect("valid");
+        group.bench_with_input(BenchmarkId::from_parameter(order), &order, |b, _| {
+            b.iter(|| {
+                let p = NormalizedPoint {
+                    v: black_box(0.4545),
+                    c: black_box(0.625),
+                };
+                black_box(poly.eval(p))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_table_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_lookup_eval");
+    for order in [1usize, 3, 5] {
+        let mut table = CoefficientTable::new(8, order);
+        let surf = SurfacePolynomial::new(order, coefficients(order)).expect("valid");
+        for cell in 0..8 {
+            table
+                .insert(
+                    CellId::from_index(cell),
+                    &[
+                        [surf.clone(), surf.clone()],
+                        [surf.clone(), surf.clone()],
+                    ],
+                )
+                .expect("insert succeeds");
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(order), &order, |b, _| {
+            let p = NormalizedPoint { v: 0.3, c: 0.7 };
+            let mut cell = 0usize;
+            b.iter(|| {
+                cell = (cell + 1) % 8;
+                let d = table
+                    .deviation(CellId::from_index(cell), 1, Polarity::Fall, black_box(p))
+                    .expect("entry exists");
+                black_box(d)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_horner, bench_table_lookup);
+criterion_main!(benches);

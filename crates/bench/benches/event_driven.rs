@@ -1,0 +1,60 @@
+//! Criterion bench: the serial event-driven baseline.
+//!
+//! Same circuit and patterns as `engine.rs`, simulated by the
+//! conventional event-queue algorithm — the denominator of every speedup
+//! the paper reports. Compare `event_driven/baseline` against
+//! `engine_throughput/*` to reproduce the Table I shape.
+
+use avfs_atpg::PatternSet;
+use avfs_circuits::{random_netlist, GeneratorConfig};
+use avfs_core::{slots, EventDrivenSimulator};
+use avfs_delay::characterize::{characterize_library, CharacterizationConfig};
+use avfs_netlist::{CellLibrary, NodeKind};
+use avfs_spice::Technology;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::Arc;
+
+fn bench_event_driven(c: &mut Criterion) {
+    let library = CellLibrary::nangate15_like();
+    let config = GeneratorConfig {
+        nodes: 4000,
+        inputs: 64,
+        outputs: 64,
+        depth: 24,
+        two_input_fraction: 0.72,
+    };
+    let netlist = Arc::new(random_netlist("bench4k", &config, &library, 99).expect("generates"));
+    let used: Vec<_> = {
+        let mut set = std::collections::BTreeSet::new();
+        for (_, node) in netlist.iter() {
+            if let NodeKind::Gate(cell) = node.kind() {
+                set.insert(cell);
+            }
+        }
+        set.into_iter().collect()
+    };
+    let chars = characterize_library(
+        &library,
+        &Technology::nm15(),
+        &CharacterizationConfig::fast(),
+        Some(&used),
+    )
+    .expect("characterization succeeds");
+    let annotation = Arc::new(chars.annotate(&netlist).expect("annotation"));
+    let patterns = PatternSet::lfsr(netlist.inputs().len(), 16, 3);
+    let slot_list = slots::at_voltage(patterns.len(), 0.8);
+    let evals = (netlist.num_nodes() * slot_list.len()) as u64;
+
+    let simulator = EventDrivenSimulator::new(Arc::clone(&netlist), annotation)
+        .expect("positive delays");
+    let mut group = c.benchmark_group("event_driven");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(evals));
+    group.bench_function("baseline", |b| {
+        b.iter(|| simulator.run(&patterns, &slot_list, false).expect("runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_driven);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: regression fit time per polynomial order.
+//!
+//! The paper reports that "obtaining the coefficients β̂ by regression
+//! took between 1 and 40 milliseconds" per coefficient set (Sec. V.A,
+//! ablation A1). This bench fits the same-size problem: a densified
+//! 45 × 33 sample grid (12 × 9 sweep refined 4×).
+
+use avfs_regression::{fit_least_squares, DataGrid, PolyBasis};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A smooth synthetic deviation surface over the unit square, shaped like
+/// a real cell's (steeper at low voltage, mild in load).
+fn surface(v: f64, c: f64) -> f64 {
+    0.8 * (1.0 - v).powi(2) - 0.25 * v + 0.05 * c + 0.1 * (1.0 - v) * c
+}
+
+fn bench_fit(c: &mut Criterion) {
+    // 12 voltages × 9 loads, refined 4× per axis → 45 × 33 samples.
+    let xs: Vec<f64> = (0..12).map(|i| i as f64 / 11.0).collect();
+    let ys: Vec<f64> = (0..9).map(|j| j as f64 / 8.0).collect();
+    let grid = DataGrid::from_fn(xs, ys, surface).expect("valid grid");
+    let refined = grid.refine(4);
+    let samples: Vec<(f64, f64)> = refined.samples().map(|(v, c, _)| (v, c)).collect();
+    let targets: Vec<f64> = refined.samples().map(|(_, _, d)| d).collect();
+
+    let mut group = c.benchmark_group("ols_fit");
+    for order in [1usize, 2, 3, 4, 5] {
+        let basis = PolyBasis::new(order);
+        group.bench_with_input(BenchmarkId::from_parameter(order), &order, |b, _| {
+            b.iter(|| {
+                let beta = fit_least_squares(&basis, black_box(&samples), black_box(&targets))
+                    .expect("fit succeeds");
+                black_box(beta)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit);
+criterion_main!(benches);

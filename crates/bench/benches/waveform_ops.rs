@@ -1,0 +1,53 @@
+//! Criterion bench: waveform-algebra primitives.
+//!
+//! The waveform-processing loop dominates the engine's runtime ("the
+//! overall GPU-runtime is dominated by the memory overhead for storing
+//! the waveforms"); this bench isolates the per-gate evaluation cost for
+//! typical activity levels.
+
+use avfs_waveform::{evaluate_gate, PinDelays, Waveform};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn make_waveform(transitions: usize, stride: f64, offset: f64) -> Waveform {
+    let times: Vec<f64> = (0..transitions)
+        .map(|k| offset + stride * k as f64)
+        .collect();
+    Waveform::with_transitions(false, times).expect("strictly increasing")
+}
+
+fn bench_gate_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_eval_nand2");
+    for transitions in [1usize, 4, 16, 64] {
+        let a = make_waveform(transitions, 10.0, 0.0);
+        let b_wf = make_waveform(transitions, 13.0, 3.0);
+        let delays = [
+            PinDelays { rise: 8.0, fall: 9.0 },
+            PinDelays { rise: 7.5, fall: 8.5 },
+        ];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(transitions),
+            &transitions,
+            |bencher, _| {
+                bencher.iter(|| {
+                    let out = evaluate_gate(
+                        black_box(&[&a, &b_wf]),
+                        black_box(&delays),
+                        |v| !(v[0] && v[1]),
+                    );
+                    black_box(out)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pulse_filter(c: &mut Criterion) {
+    let wf = make_waveform(128, 3.0, 0.0);
+    c.bench_function("filter_pulses_128", |b| {
+        b.iter(|| black_box(wf.filter_pulses(black_box(4.0))))
+    });
+}
+
+criterion_group!(benches, bench_gate_eval, bench_pulse_filter);
+criterion_main!(benches);

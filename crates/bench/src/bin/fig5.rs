@@ -1,0 +1,100 @@
+//! Fig. 5 — polynomial approximation of the NOR2_X2 rising propagation
+//! delay versus the (interpolated) electrical reference.
+//!
+//! Fits the order-`2·N` surface with `N = 3` and prints (a) the average /
+//! maximum relative error over the 64 × 64 probe lattice — the paper
+//! reports ≈ 0.38 % average and 2.41 % maximum — and (b) a contour table
+//! of absolute delays for eyeballing the surface shape.
+//!
+//! ```text
+//! cargo run --release -p avfs-bench --bin fig5 [-- --order 3 --cell NOR2_X2]
+//! ```
+
+use avfs_bench::Args;
+use avfs_delay::characterize::{deviation_grid, fit_deviation_grid};
+use avfs_delay::op::NormalizedPoint;
+use avfs_delay::ParameterSpace;
+use avfs_netlist::library::Polarity;
+use avfs_netlist::CellLibrary;
+use avfs_spice::{sweep::sweep_pin, SweepConfig, Technology};
+
+fn main() {
+    let args = Args::capture();
+    if args.flag("--help") {
+        println!("fig5: NOR2_X2 rising-delay surface vs reference");
+        println!("  --cell <name>   cell type (default NOR2_X2)");
+        println!("  --order <N>     per-variable order (default 3)");
+        println!("  --probe <n>     probe lattice per axis (default 64)");
+        return;
+    }
+    let cell_name: String = args.value("--cell").unwrap_or_else(|| "NOR2_X2".to_owned());
+    let order: usize = args.value("--order").unwrap_or(3);
+    let probe: usize = args.value("--probe").unwrap_or(64);
+
+    let library = CellLibrary::nangate15_like();
+    let tech = Technology::nm15();
+    let sweep = SweepConfig::paper();
+    let space = ParameterSpace::paper();
+    let id = library.find(&cell_name).unwrap_or_else(|| {
+        eprintln!("unknown cell `{cell_name}`");
+        std::process::exit(2);
+    });
+    let cell = library.cell(id);
+
+    // Rising transition of pin 0, as in the figure.
+    let surface = sweep_pin(&tech, cell, 0, Polarity::Rise, &sweep).expect("sweep succeeds");
+    let grid = deviation_grid(&surface, &space).expect("grid is valid");
+    let fit = fit_deviation_grid(&grid, order, 4, probe).expect("fit succeeds");
+
+    println!("# Fig. 5 — {cell_name} rising delay d^r, polynomial order 2N with N={order}");
+    println!(
+        "# probe {probe}x{probe}: avg abs error {:.3}% (paper ~0.38%), max {:.3}% (paper 2.41%)",
+        100.0 * fit.stats.mean,
+        100.0 * fit.stats.max
+    );
+
+    // Contour table: absolute delays at a coarse lattice, polynomial vs
+    // reference, in ps. Reference = d_nom(c) · (1 + deviation).
+    let nom_idx = surface
+        .voltages
+        .iter()
+        .position(|&v| (v - space.nominal_vdd()).abs() < 1e-9)
+        .expect("nominal on grid");
+    println!("#\n# absolute rising delay [ps]: rows = V_DD, cols = C_load (poly / reference)");
+    print!("{:>7}", "V\\C");
+    let col_loads = [0.5, 2.0, 8.0, 32.0, 128.0];
+    for c in col_loads {
+        print!(" {c:>15.1}fF");
+    }
+    println!();
+    for &v in &[0.55, 0.65, 0.8, 0.95, 1.1] {
+        print!("{v:>6.2}V");
+        for &c in &col_loads {
+            let p = NormalizedPoint {
+                v: space.phi_v().apply(v),
+                c: space.phi_c().apply(c),
+            };
+            // Reference: bilinear on the deviation grid, scaled by the
+            // nominal curve at this load.
+            let d_nom = nominal_at(&surface, nom_idx, c);
+            let reference = d_nom * (1.0 + grid.sample(p.v, p.c));
+            let predicted = d_nom * (1.0 + fit.poly.eval(p));
+            print!(" {predicted:>8.2}/{reference:>8.2}");
+        }
+        println!();
+    }
+}
+
+/// Nominal-voltage delay at load `c` by log-linear interpolation along the
+/// sweep's load axis.
+fn nominal_at(surface: &avfs_spice::DelaySurface, nom_idx: usize, c: f64) -> f64 {
+    let loads = &surface.loads_ff;
+    let x = c.log2();
+    let mut i = 0;
+    while i + 2 < loads.len() && loads[i + 1].log2() < x {
+        i += 1;
+    }
+    let (x0, x1) = (loads[i].log2(), loads[i + 1].log2());
+    let t = ((x - x0) / (x1 - x0)).clamp(0.0, 1.0);
+    surface.at(nom_idx, i) + t * (surface.at(nom_idx, i + 1) - surface.at(nom_idx, i))
+}

@@ -1,0 +1,47 @@
+//! Benchmark circuits and the Table-I/II design profiles.
+//!
+//! The paper evaluates on ISCAS'89 / ITC'99 netlists and proprietary
+//! industrial designs (p35k … p1522k) prepared with a commercial synthesis
+//! flow — none of which are redistributable. This crate supplies
+//! structurally comparable stand-ins:
+//!
+//! * [`profiles`] — the exact circuit roster of Tables I/II (name, node
+//!   count, pattern-pair count, reported longest path) plus a seeded
+//!   synthesizer that reproduces each profile's *shape* (node count, I/O
+//!   width, depth, fan-in mix) at any scale factor,
+//! * [`generate`] — structured generators (ripple-carry adders, random
+//!   levelized DAGs) used by tests and examples,
+//! * the embedded ISCAS'85 [`C17_BENCH`](avfs_netlist::bench::C17_BENCH)
+//!   via [`c17`].
+
+pub mod generate;
+pub mod profiles;
+
+pub use generate::{array_multiplier, random_netlist, ripple_carry_adder, GeneratorConfig};
+pub use profiles::{CircuitProfile, PAPER_PROFILES};
+
+use avfs_netlist::bench::{parse_bench, BenchOptions, C17_BENCH};
+use avfs_netlist::{CellLibrary, Netlist, NetlistError};
+use std::sync::Arc;
+
+/// Parses the embedded ISCAS'85 c17 benchmark over `library`.
+///
+/// # Errors
+///
+/// Propagates parser errors (cannot occur for the embedded text with the
+/// full synthetic library).
+pub fn c17(library: &Arc<CellLibrary>) -> Result<Netlist, NetlistError> {
+    parse_bench("c17", C17_BENCH, library, &BenchOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c17_loads() {
+        let lib = CellLibrary::nangate15_like();
+        let n = c17(&lib).unwrap();
+        assert_eq!(n.num_nodes(), 13);
+    }
+}

@@ -1,0 +1,308 @@
+//! Voltage domains (voltage islands) for multi-rail AVFS systems.
+//!
+//! The paper's introduction describes AVFS systems that "actively control
+//! internal voltages" — in real SoCs those are multiple independently
+//! scaled supply rails. [`VoltageDomains`] partitions a netlist's nodes
+//! into such rails; [`Engine::run_domains`](crate::engine::Engine) then
+//! sweeps per-island voltage configurations exactly as slots sweep global
+//! supplies.
+
+use avfs_netlist::{Netlist, NodeId};
+
+/// A partition of a netlist's nodes into independently supplied domains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VoltageDomains {
+    domain_of: Vec<u16>,
+    count: usize,
+}
+
+impl VoltageDomains {
+    /// One domain covering the whole netlist (equivalent to a global
+    /// supply).
+    pub fn single(netlist: &Netlist) -> VoltageDomains {
+        VoltageDomains {
+            domain_of: vec![0; netlist.num_nodes()],
+            count: 1,
+        }
+    }
+
+    /// Builds a partition from an assignment function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function returns a domain index ≥ 65536.
+    pub fn from_fn(netlist: &Netlist, mut assign: impl FnMut(NodeId) -> usize) -> VoltageDomains {
+        let mut count = 0usize;
+        let domain_of: Vec<u16> = netlist
+            .iter()
+            .map(|(id, _)| {
+                let d = assign(id);
+                assert!(d < u16::MAX as usize, "domain index {d} out of range");
+                count = count.max(d + 1);
+                d as u16
+            })
+            .collect();
+        VoltageDomains {
+            domain_of,
+            count: count.max(1),
+        }
+    }
+
+    /// Splits the netlist into `count` domains by output-cone affinity:
+    /// every node joins the domain of the primary-output group it
+    /// (structurally) feeds first — a simple but realistic islanding
+    /// (logic clusters feeding the same interface share a rail).
+    pub fn by_output_cones(netlist: &Netlist, count: usize) -> VoltageDomains {
+        let count = count.clamp(1, netlist.outputs().len().max(1));
+        let mut domain_of = vec![u16::MAX; netlist.num_nodes()];
+        // Seed the domains at the outputs, round-robin.
+        let mut stack: Vec<(NodeId, u16)> = netlist
+            .outputs()
+            .iter()
+            .enumerate()
+            .map(|(k, &po)| (po, (k % count) as u16))
+            .collect();
+        // Reverse BFS: first domain to reach a node claims it.
+        while let Some((id, d)) = stack.pop() {
+            if domain_of[id.index()] != u16::MAX {
+                continue;
+            }
+            domain_of[id.index()] = d;
+            for &f in netlist.node(id).fanin() {
+                if domain_of[f.index()] == u16::MAX {
+                    stack.push((f, d));
+                }
+            }
+        }
+        // Nodes reaching no output (dead logic) fall into domain 0.
+        for d in &mut domain_of {
+            if *d == u16::MAX {
+                *d = 0;
+            }
+        }
+        VoltageDomains { domain_of, count }
+    }
+
+    /// Number of domains.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Number of covered nodes.
+    pub fn len(&self) -> usize {
+        self.domain_of.len()
+    }
+
+    /// `true` when the partition covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.domain_of.is_empty()
+    }
+
+    /// The domain of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn domain_of(&self, node: NodeId) -> usize {
+        self.domain_of[node.index()] as usize
+    }
+
+    /// The domain of a raw node index (hot-path form).
+    #[inline]
+    pub fn domain_of_index(&self, node: usize) -> usize {
+        self.domain_of[node] as usize
+    }
+
+    /// Nodes per domain (diagnostic).
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &d in &self.domain_of {
+            sizes[d as usize] += 1;
+        }
+        sizes
+    }
+}
+
+/// One voltage-island slot: a pattern replayed with one supply voltage
+/// per domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainSlotSpec {
+    /// Index into the pattern set.
+    pub pattern: usize,
+    /// Supply voltage per domain, `voltages.len() == domains.count()`.
+    pub voltages: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, SimOptions};
+    use crate::slots;
+    use avfs_atpg::PatternSet;
+    use avfs_delay::characterize::{characterize_library, CharacterizationConfig};
+    use avfs_netlist::{CellLibrary, NodeKind};
+    use avfs_spice::Technology;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Netlist>, Engine) {
+        let library = CellLibrary::nangate15_like();
+        let netlist =
+            Arc::new(avfs_circuits::ripple_carry_adder(8, &library).expect("adder builds"));
+        let used: Vec<_> = {
+            let mut set = std::collections::BTreeSet::new();
+            for (_, node) in netlist.iter() {
+                if let NodeKind::Gate(cell) = node.kind() {
+                    set.insert(cell);
+                }
+            }
+            set.into_iter().collect()
+        };
+        let chars = characterize_library(
+            &library,
+            &Technology::nm15(),
+            &CharacterizationConfig::fast(),
+            Some(&used),
+        )
+        .expect("characterizes");
+        let annotation = Arc::new(chars.annotate(&netlist).expect("annotates"));
+        let engine = Engine::new(
+            Arc::clone(&netlist),
+            annotation,
+            Arc::new(chars.model().clone()),
+        )
+        .expect("engine builds");
+        (netlist, engine)
+    }
+
+    #[test]
+    fn single_domain_matches_uniform_run() {
+        let (netlist, engine) = setup();
+        let domains = VoltageDomains::single(&netlist);
+        assert_eq!(domains.count(), 1);
+        let patterns = PatternSet::lfsr(netlist.inputs().len(), 6, 3);
+        let specs: Vec<DomainSlotSpec> = (0..patterns.len())
+            .map(|pattern| DomainSlotSpec {
+                pattern,
+                voltages: vec![0.7],
+            })
+            .collect();
+        let opts = SimOptions { threads: 1, ..SimOptions::default() };
+        let island_run = engine
+            .run_domains(&patterns, &domains, &specs, &opts)
+            .expect("runs");
+        let uniform_run = engine
+            .run(&patterns, &slots::at_voltage(patterns.len(), 0.7), &opts)
+            .expect("runs");
+        for (a, b) in island_run.slots.iter().zip(&uniform_run.slots) {
+            assert_eq!(a.responses, b.responses);
+            assert_eq!(a.latest_output_transition_ps, b.latest_output_transition_ps);
+            assert_eq!(a.activity, b.activity);
+        }
+    }
+
+    #[test]
+    fn cone_partition_covers_all_nodes() {
+        let (netlist, _) = setup();
+        let domains = VoltageDomains::by_output_cones(&netlist, 3);
+        assert_eq!(domains.count(), 3);
+        assert_eq!(domains.len(), netlist.num_nodes());
+        let sizes = domains.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), netlist.num_nodes());
+        assert!(sizes.iter().all(|&s| s > 0), "{sizes:?}");
+    }
+
+    #[test]
+    fn lowering_one_island_slows_only_its_cone() {
+        let (netlist, engine) = setup();
+        let domains = VoltageDomains::by_output_cones(&netlist, 2);
+        let patterns = PatternSet::lfsr(netlist.inputs().len(), 8, 9);
+        let opts = SimOptions { threads: 1, ..SimOptions::default() };
+
+        let run_at = |v0: f64, v1: f64| {
+            let specs: Vec<DomainSlotSpec> = (0..patterns.len())
+                .map(|pattern| DomainSlotSpec {
+                    pattern,
+                    voltages: vec![v0, v1],
+                })
+                .collect();
+            engine
+                .run_domains(
+                    &patterns,
+                    &domains,
+                    &specs,
+                    &SimOptions {
+                        keep_waveforms: true,
+                        ..opts.clone()
+                    },
+                )
+                .expect("runs")
+        };
+        let both_nominal = run_at(0.8, 0.8);
+        let one_low = run_at(0.8, 0.55);
+        let both_low = run_at(0.55, 0.55);
+
+        // Per-output arrivals: slowing island 1 must never speed an
+        // output up and must strictly slow at least one (the island's
+        // own cone); slowing both islands dominates slowing one.
+        let mut strictly_slower = false;
+        for ((a, b), c) in both_nominal
+            .slots
+            .iter()
+            .zip(&one_low.slots)
+            .zip(&both_low.slots)
+        {
+            let (wa, wb, wc) = (
+                a.waveforms.as_ref().expect("kept"),
+                b.waveforms.as_ref().expect("kept"),
+                c.waveforms.as_ref().expect("kept"),
+            );
+            for &po in netlist.outputs() {
+                let ta = wa[po.index()].last_transition();
+                let tb = wb[po.index()].last_transition();
+                let tc = wc[po.index()].last_transition();
+                if let (Some(ta), Some(tb), Some(tc)) = (ta, tb, tc) {
+                    assert!(tb >= ta - 1e-9, "island slow-down sped up an output");
+                    assert!(tc >= tb - 1e-9, "slowing both islands must dominate");
+                    if tb > ta + 1e-9 {
+                        strictly_slower = true;
+                    }
+                }
+            }
+            // Logic results are voltage-independent.
+            assert_eq!(a.responses, c.responses);
+        }
+        assert!(strictly_slower, "island 1's cone must slow down somewhere");
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let (netlist, engine) = setup();
+        let domains = VoltageDomains::by_output_cones(&netlist, 2);
+        let patterns = PatternSet::lfsr(netlist.inputs().len(), 2, 1);
+        let opts = SimOptions::default();
+        // Wrong voltage count.
+        let bad = vec![DomainSlotSpec {
+            pattern: 0,
+            voltages: vec![0.8],
+        }];
+        assert!(engine.run_domains(&patterns, &domains, &bad, &opts).is_err());
+        // Empty specs.
+        assert!(engine.run_domains(&patterns, &domains, &[], &opts).is_err());
+        // Bad pattern index.
+        let bad = vec![DomainSlotSpec {
+            pattern: 9,
+            voltages: vec![0.8, 0.8],
+        }];
+        assert!(engine.run_domains(&patterns, &domains, &bad, &opts).is_err());
+    }
+
+    #[test]
+    fn from_fn_assignment() {
+        let (netlist, _) = setup();
+        let domains = VoltageDomains::from_fn(&netlist, |id| id.index() % 4);
+        assert_eq!(domains.count(), 4);
+        for (id, _) in netlist.iter() {
+            assert_eq!(domains.domain_of(id), id.index() % 4);
+        }
+    }
+}

@@ -1,0 +1,838 @@
+//! The parallel thread-grid time simulator (paper Sec. IV, Fig. 3).
+//!
+//! A CPU realization of the GPU kernel organization: slots × gates of a
+//! level form the parallel work of one launch; a barrier separates
+//! levels. Waveforms live in one flat structure-of-arrays arena indexed
+//! `(slot, net)`, and slots are processed in batches sized by a memory
+//! budget — the direct analogue of launching as many slots as fit in GPU
+//! global memory.
+//!
+//! Every gate evaluation runs the paper's online delay calculation
+//! (Sec. IV.A): load the nominal pin delays from the annotation, read the
+//! slot's operating point, evaluate the delay kernel for each
+//! (pin, polarity), scale, then run the waveform-processing loop.
+
+use crate::results::{SimRun, SlotResult};
+use crate::slots::SlotSpec;
+use crate::SimError;
+use avfs_atpg::PatternSet;
+use avfs_delay::model::DelayModel;
+use avfs_delay::op::NormalizedPoint;
+use avfs_delay::TimingAnnotation;
+use avfs_netlist::{Levelization, Netlist, NodeId, NodeKind};
+use avfs_waveform::{evaluate_gate_scratch, GateScratch, PinDelays, SwitchingActivity, Waveform, WaveformStats};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Runtime options of one engine launch.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Worker threads (the SIMD lanes of the substitute device). Defaults
+    /// to the machine's available parallelism.
+    pub threads: usize,
+    /// Time at which pattern pairs launch their transition, ps.
+    pub launch_time_ps: f64,
+    /// Upper bound on `slots × nodes` waveforms resident at once; slots
+    /// are processed in batches respecting it (the global-memory budget).
+    pub waveform_budget: usize,
+    /// Retain full per-net waveforms in each [`SlotResult`] (small runs
+    /// and tests only).
+    pub keep_waveforms: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            launch_time_ps: 0.0,
+            waveform_budget: 16 << 20,
+            keep_waveforms: false,
+        }
+    }
+}
+
+/// The parallel time simulator bound to one netlist, annotation and delay
+/// model.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    netlist: Arc<Netlist>,
+    levels: Arc<Levelization>,
+    annotation: Arc<TimingAnnotation>,
+    model: Arc<dyn DelayModel>,
+    /// Pre-normalized `φ_C(load)` per node (clamped into the model's
+    /// characterized interval; dangling nets sit at the lower bound).
+    c_norm: Vec<f64>,
+}
+
+impl Engine {
+    /// Creates an engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::AnnotationMismatch`] if the annotation does not
+    /// cover the netlist.
+    pub fn new(
+        netlist: Arc<Netlist>,
+        annotation: Arc<TimingAnnotation>,
+        model: Arc<dyn DelayModel>,
+    ) -> Result<Engine, SimError> {
+        if !annotation.matches(&netlist) {
+            return Err(SimError::AnnotationMismatch);
+        }
+        let levels = Arc::new(Levelization::of(&netlist));
+        let space = model.space();
+        let c_norm = netlist
+            .iter()
+            .map(|(id, _)| {
+                space
+                    .normalize_clamped(avfs_delay::op::OperatingPoint::new(
+                        space.nominal_vdd(),
+                        annotation.load_ff(id),
+                    ))
+                    .c
+            })
+            .collect();
+        Ok(Engine {
+            netlist,
+            levels,
+            annotation,
+            model,
+            c_norm,
+        })
+    }
+
+    /// The bound netlist.
+    pub fn netlist(&self) -> &Arc<Netlist> {
+        &self.netlist
+    }
+
+    /// The bound levelization.
+    pub fn levels(&self) -> &Arc<Levelization> {
+        &self.levels
+    }
+
+    /// The bound annotation.
+    pub fn annotation(&self) -> &Arc<TimingAnnotation> {
+        &self.annotation
+    }
+
+    /// The bound delay model.
+    pub fn model(&self) -> &Arc<dyn DelayModel> {
+        &self.model
+    }
+
+    /// Simulates `slots` over `patterns`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::EmptySlots`] for an empty slot list,
+    /// * [`SimError::PatternWidth`] / [`SimError::BadPatternIndex`] for
+    ///   inconsistent stimuli,
+    /// * [`SimError::Model`] if the delay model rejects an operating point
+    ///   or lacks a kernel.
+    pub fn run(
+        &self,
+        patterns: &PatternSet,
+        slots: &[SlotSpec],
+        options: &SimOptions,
+    ) -> Result<SimRun, SimError> {
+        if slots.is_empty() {
+            return Err(SimError::EmptySlots);
+        }
+        let width = self.netlist.inputs().len();
+        for pair in patterns {
+            if pair.width() != width {
+                return Err(SimError::PatternWidth {
+                    expected: width,
+                    got: pair.width(),
+                });
+            }
+        }
+        for spec in slots {
+            if spec.pattern >= patterns.len() {
+                return Err(SimError::BadPatternIndex {
+                    index: spec.pattern,
+                    available: patterns.len(),
+                });
+            }
+        }
+
+        // Per-slot normalized voltage — computed once per slot, like the
+        // paper's parameter memory (clamped so a sweep endpoint such as
+        // exactly V_max stays valid under floating-point noise).
+        let space = self.model.space();
+        let work: Vec<SlotWork> = slots
+            .iter()
+            .map(|s| SlotWork {
+                pattern: s.pattern,
+                assign: VoltageAssign::Uniform(
+                    space
+                        .normalize_clamped(avfs_delay::op::OperatingPoint::new(
+                            s.voltage,
+                            space.load_range().0,
+                        ))
+                        .v,
+                ),
+                voltage: s.voltage,
+            })
+            .collect();
+        self.run_work(patterns, &work, options)
+    }
+
+    /// Simulates with per-node voltage *domains* (voltage islands): every
+    /// slot assigns one supply voltage to each domain of `domains`.
+    ///
+    /// This extends the paper's per-instance operating points to the
+    /// multi-rail AVFS systems its introduction describes ("actively
+    /// control internal voltages", plural): one launch can sweep island
+    /// configurations the way [`Engine::run`] sweeps global supplies. The
+    /// reported [`SlotSpec::voltage`] of each result is the slot's
+    /// domain-0 voltage (results are in slot order, so callers index the
+    /// spec list they passed).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::run`], plus [`SimError::Model`] variants surfaced
+    /// through domain validation in
+    /// [`VoltageDomains`](crate::domains::VoltageDomains).
+    pub fn run_domains(
+        &self,
+        patterns: &PatternSet,
+        domains: &crate::domains::VoltageDomains,
+        specs: &[crate::domains::DomainSlotSpec],
+        options: &SimOptions,
+    ) -> Result<SimRun, SimError> {
+        if specs.is_empty() {
+            return Err(SimError::EmptySlots);
+        }
+        if domains.len() != self.netlist.num_nodes() {
+            return Err(SimError::AnnotationMismatch);
+        }
+        let space = self.model.space();
+        let c_min = space.load_range().0;
+        let work: Vec<SlotWork> = specs
+            .iter()
+            .map(|spec| {
+                if spec.voltages.len() != domains.count() {
+                    return Err(SimError::BadPatternIndex {
+                        index: spec.voltages.len(),
+                        available: domains.count(),
+                    });
+                }
+                // Normalize each domain voltage once, then expand per node.
+                let per_domain: Vec<f64> = spec
+                    .voltages
+                    .iter()
+                    .map(|&v| {
+                        space
+                            .normalize_clamped(avfs_delay::op::OperatingPoint::new(v, c_min))
+                            .v
+                    })
+                    .collect();
+                let per_node: Vec<f64> = (0..self.netlist.num_nodes())
+                    .map(|n| per_domain[domains.domain_of_index(n)])
+                    .collect();
+                Ok(SlotWork {
+                    pattern: spec.pattern,
+                    assign: VoltageAssign::PerNode(Arc::new(per_node)),
+                    voltage: spec.voltages[0],
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        for w in &work {
+            if w.pattern >= patterns.len() {
+                return Err(SimError::BadPatternIndex {
+                    index: w.pattern,
+                    available: patterns.len(),
+                });
+            }
+        }
+        self.run_work(patterns, &work, options)
+    }
+
+    fn run_work(
+        &self,
+        patterns: &PatternSet,
+        work: &[SlotWork],
+        options: &SimOptions,
+    ) -> Result<SimRun, SimError> {
+        let nodes = self.netlist.num_nodes();
+        let batch_size = (options.waveform_budget / nodes.max(1)).clamp(1, work.len());
+        let mut results: Vec<SlotResult> = Vec::with_capacity(work.len());
+        let start = Instant::now();
+
+        // The waveform arena is reused across batches.
+        let mut arena: Vec<Waveform> = vec![Waveform::constant(false); batch_size * nodes];
+        for batch in work.chunks(batch_size) {
+            self.run_batch(patterns, batch, options, &mut arena, &mut results)?;
+        }
+        let elapsed = start.elapsed();
+        Ok(SimRun {
+            slots: results,
+            elapsed,
+            node_evaluations: (nodes as u64) * (work.len() as u64),
+        })
+    }
+
+    fn run_batch(
+        &self,
+        patterns: &PatternSet,
+        batch: &[SlotWork],
+        options: &SimOptions,
+        arena: &mut [Waveform],
+        results: &mut Vec<SlotResult>,
+    ) -> Result<(), SimError> {
+        let nodes = self.netlist.num_nodes();
+
+        // Level 0: stimuli waveforms.
+        for (si, work) in batch.iter().enumerate() {
+            let pair = &patterns.pairs()[work.pattern];
+            for (k, &pi) in self.netlist.inputs().iter().enumerate() {
+                arena[si * nodes + pi.index()] = Waveform::from_pattern(
+                    pair.launch.bit(k),
+                    pair.capture.bit(k),
+                    options.launch_time_ps,
+                );
+            }
+        }
+
+        // Distinct voltage groups within the batch: slots at the same
+        // operating point share identical delay kernels ("the delay
+        // calculations of threads from parallel instances of a gate
+        // utilize the same coefficients and delay function calls"), so the
+        // per-gate initialization phase runs once per (level, voltage)
+        // instead of once per (slot, gate).
+        let mut group_assigns: Vec<&VoltageAssign> = Vec::new();
+        let group_of_slot: Vec<usize> = batch
+            .iter()
+            .map(|work| {
+                match group_assigns.iter().position(|g| **g == work.assign) {
+                    Some(g) => g,
+                    None => {
+                        group_assigns.push(&work.assign);
+                        group_assigns.len() - 1
+                    }
+                }
+            })
+            .collect();
+
+        // Levels 1…L: the vertical dimension with a barrier per level.
+        let mut level_delays: Vec<Vec<PinDelays>> = vec![Vec::new(); group_assigns.len()];
+        let mut level_offsets: Vec<usize> = Vec::new();
+        for level in 1..self.levels.depth() {
+            let level_nodes = self.levels.level(level);
+            let tasks = batch.len() * level_nodes.len();
+            if tasks == 0 {
+                continue;
+            }
+
+            // Initialization phase (Sec. IV.A): modified pin delays for
+            // every gate of this level, per voltage group.
+            level_offsets.clear();
+            for buf in &mut level_delays {
+                buf.clear();
+            }
+            let mut offset = 0usize;
+            for &node_id in level_nodes {
+                level_offsets.push(offset);
+                if let NodeKind::Gate(cell_id) = self.netlist.node(node_id).kind() {
+                    let nominal = self.annotation.node_delays(node_id);
+                    let c = self.c_norm[node_id.index()];
+                    for (g, buf) in level_delays.iter_mut().enumerate() {
+                        let p = NormalizedPoint {
+                            v: group_assigns[g].v_norm_for(node_id.index()),
+                            c,
+                        };
+                        for (pin, d) in nominal.iter().enumerate() {
+                            let f_rise = self.model.factor(
+                                cell_id,
+                                pin,
+                                avfs_netlist::library::Polarity::Rise,
+                                p,
+                            )?;
+                            let f_fall = self.model.factor(
+                                cell_id,
+                                pin,
+                                avfs_netlist::library::Polarity::Fall,
+                                p,
+                            )?;
+                            buf.push(PinDelays {
+                                rise: (d.rise * f_rise).max(0.0),
+                                fall: (d.fall * f_fall).max(0.0),
+                            });
+                        }
+                    }
+                    offset += nominal.len();
+                }
+            }
+
+            let workers = options.threads.clamp(1, tasks);
+            let ctx = LevelCtx {
+                level_nodes,
+                level_delays: &level_delays,
+                level_offsets: &level_offsets,
+                group_of_slot: &group_of_slot,
+                nodes,
+            };
+            if workers == 1 {
+                // Same collect-then-write discipline as the parallel path:
+                // reads of previous levels and writes of this level are
+                // separated by the (here trivial) barrier.
+                let mut writes: Vec<(usize, Waveform)> = Vec::with_capacity(tasks);
+                {
+                    let arena_ref: &[Waveform] = arena;
+                    let mut scratch = GateScratch::new();
+                    let mut inputs: Vec<&Waveform> = Vec::new();
+                    for t in 0..tasks {
+                        writes.push(self.eval_task(t, &ctx, arena_ref, &mut scratch, &mut inputs));
+                        inputs.clear();
+                    }
+                }
+                for (idx, wf) in writes {
+                    arena[idx] = wf;
+                }
+            } else {
+                // Fork-join over the horizontal plane: workers read the
+                // arena (previous levels only) and return their writes,
+                // which are applied after the join — the level barrier.
+                let chunk = tasks.div_ceil(workers);
+                let arena_ref: &[Waveform] = arena;
+                let ctx_ref = &ctx;
+                let writes: Vec<Vec<(usize, Waveform)>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|w| {
+                            scope.spawn(move || {
+                                let lo = w * chunk;
+                                let hi = ((w + 1) * chunk).min(tasks);
+                                let mut out = Vec::with_capacity(hi.saturating_sub(lo));
+                                let mut scratch = GateScratch::new();
+                                let mut inputs: Vec<&Waveform> = Vec::new();
+                                for t in lo..hi {
+                                    let (idx, wf) = self.eval_task(
+                                        t,
+                                        ctx_ref,
+                                        arena_ref,
+                                        &mut scratch,
+                                        &mut inputs,
+                                    );
+                                    inputs.clear();
+                                    out.push((idx, wf));
+                                }
+                                out
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("worker panicked"))
+                        .collect()
+                });
+                for w in writes {
+                    for (idx, wf) in w {
+                        arena[idx] = wf;
+                    }
+                }
+            }
+        }
+
+        // Waveform analysis (Fig. 2, step 4).
+        for (si, work) in batch.iter().enumerate() {
+            let slot_wfs = &arena[si * nodes..(si + 1) * nodes];
+            let mut responses = Vec::with_capacity(self.netlist.outputs().len());
+            let mut latest: Option<f64> = None;
+            for &po in self.netlist.outputs() {
+                let stats = WaveformStats::of(&slot_wfs[po.index()]);
+                responses.push(stats.final_value);
+                latest = match (latest, stats.latest_transition) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+            let activity = SwitchingActivity::of(slot_wfs.iter());
+            results.push(SlotResult {
+                spec: SlotSpec {
+                    pattern: work.pattern,
+                    voltage: work.voltage,
+                },
+                responses,
+                latest_output_transition_ps: latest,
+                activity,
+                waveforms: options.keep_waveforms.then(|| slot_wfs.to_vec()),
+            });
+        }
+        // Reset the arena for the next batch (cheap: drops transition
+        // vectors, keeps the outer allocation).
+        for wf in arena.iter_mut() {
+            *wf = Waveform::constant(false);
+        }
+        Ok(())
+    }
+
+    /// Evaluates one (slot, node) task of a level — the body of a device
+    /// thread. The modified delays were precomputed per (level, voltage
+    /// group) by the initialization phase; `inputs` is reusable scratch
+    /// whose borrows of `arena` end when the function returns.
+    fn eval_task<'a>(
+        &self,
+        task: usize,
+        ctx: &LevelCtx<'_>,
+        arena: &'a [Waveform],
+        scratch: &mut GateScratch,
+        inputs: &mut Vec<&'a Waveform>,
+    ) -> (usize, Waveform) {
+        let si = task / ctx.level_nodes.len();
+        let pos = task % ctx.level_nodes.len();
+        let node_id = ctx.level_nodes[pos];
+        let node = self.netlist.node(node_id);
+        let base = si * ctx.nodes;
+        let out_index = base + node_id.index();
+        let wf = match node.kind() {
+            NodeKind::Input => unreachable!("inputs are level 0"),
+            NodeKind::Output => arena[base + node.fanin()[0].index()].clone(),
+            NodeKind::Gate(_) => {
+                let cell = self.netlist.cell_of(node_id).expect("gate has a cell");
+                let npins = node.fanin().len();
+                let off = ctx.level_offsets[pos];
+                let delays =
+                    &ctx.level_delays[ctx.group_of_slot[si]][off..off + npins];
+                inputs.clear();
+                inputs.extend(node.fanin().iter().map(|f| &arena[base + f.index()]));
+                evaluate_gate_scratch(inputs, delays, |vals| cell.eval(vals), scratch)
+            }
+        };
+        (out_index, wf)
+    }
+}
+
+/// One slot's resolved work: which pattern to replay under which voltage
+/// assignment.
+#[derive(Debug, Clone)]
+struct SlotWork {
+    pattern: usize,
+    assign: VoltageAssign,
+    /// Representative voltage reported in the result spec (the global
+    /// supply for uniform slots, the domain-0 supply for island slots).
+    voltage: f64,
+}
+
+/// Normalized voltage assignment of one slot.
+#[derive(Debug, Clone, PartialEq)]
+enum VoltageAssign {
+    /// One global supply (normalized).
+    Uniform(f64),
+    /// Per-node normalized voltage (voltage islands), expanded from the
+    /// domain map once per slot.
+    PerNode(Arc<Vec<f64>>),
+}
+
+impl VoltageAssign {
+    #[inline]
+    fn v_norm_for(&self, node: usize) -> f64 {
+        match self {
+            VoltageAssign::Uniform(v) => *v,
+            VoltageAssign::PerNode(per_node) => per_node[node],
+        }
+    }
+}
+
+/// Shared per-level context handed to the device threads.
+struct LevelCtx<'l> {
+    level_nodes: &'l [NodeId],
+    /// `level_delays[group][level_offsets[pos] + pin]` — modified pin
+    /// delays per voltage group.
+    level_delays: &'l [Vec<PinDelays>],
+    level_offsets: &'l [usize],
+    group_of_slot: &'l [usize],
+    nodes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slots::{at_voltage, cross};
+    use avfs_delay::{ParameterSpace, StaticModel};
+    use avfs_netlist::{CellLibrary, NetlistBuilder};
+
+    fn chain_netlist() -> Arc<Netlist> {
+        let lib = CellLibrary::nangate15_like();
+        let mut b = NetlistBuilder::new("chain", &lib);
+        let a = b.add_input("a").unwrap();
+        let g1 = b.add_gate("g1", "INV_X1", &[a]).unwrap();
+        let g2 = b.add_gate("g2", "INV_X1", &[g1]).unwrap();
+        b.add_output("y", g2).unwrap();
+        Arc::new(b.finish().unwrap())
+    }
+
+    fn static_engine(netlist: &Arc<Netlist>, rise: f64, fall: f64) -> Engine {
+        let mut ann = TimingAnnotation::zero(netlist);
+        for (id, node) in netlist.iter() {
+            if matches!(node.kind(), NodeKind::Gate(_)) {
+                for pin in 0..node.fanin().len() {
+                    ann.node_delays_mut(id)[pin] = PinDelays { rise, fall };
+                }
+            }
+        }
+        Engine::new(
+            Arc::clone(netlist),
+            Arc::new(ann),
+            Arc::new(StaticModel::new(ParameterSpace::paper())),
+        )
+        .unwrap()
+    }
+
+    fn one_pattern() -> PatternSet {
+        use avfs_atpg::pattern::{Pattern, PatternPair};
+        std::iter::once(
+            PatternPair::new(
+                Pattern::from_bits([false]),
+                Pattern::from_bits([true]),
+            )
+            .unwrap(),
+        )
+        .collect()
+    }
+
+    #[test]
+    fn chain_propagates_with_static_delays() {
+        let n = chain_netlist();
+        let engine = static_engine(&n, 10.0, 10.0);
+        let opts = SimOptions {
+            keep_waveforms: true,
+            threads: 1,
+            ..SimOptions::default()
+        };
+        let run = engine
+            .run(&one_pattern(), &at_voltage(1, 0.8), &opts)
+            .unwrap();
+        assert_eq!(run.slots.len(), 1);
+        let slot = &run.slots[0];
+        // Input rises at 0; y (after two inverters) rises at 20.
+        assert_eq!(slot.latest_output_transition_ps, Some(20.0));
+        assert_eq!(slot.responses, vec![true]);
+        let wfs = slot.waveforms.as_ref().unwrap();
+        let g1 = n.find("g1").unwrap();
+        assert_eq!(wfs[g1.index()].transitions(), &[10.0]);
+        assert!(!wfs[g1.index()].final_value());
+        assert_eq!(run.node_evaluations, 4);
+        assert!(run.meps() >= 0.0);
+    }
+
+    #[test]
+    fn voltage_slots_share_pattern() {
+        let n = chain_netlist();
+        let engine = static_engine(&n, 5.0, 7.0);
+        let run = engine
+            .run(
+                &one_pattern(),
+                &cross(1, &[0.6, 0.8, 1.0]),
+                &SimOptions { threads: 1, ..SimOptions::default() },
+            )
+            .unwrap();
+        // Static model: identical timing regardless of voltage.
+        assert_eq!(run.slots.len(), 3);
+        let t0 = run.slots[0].latest_output_transition_ps;
+        assert!(run.slots.iter().all(|s| s.latest_output_transition_ps == t0));
+        assert_eq!(run.voltages(), vec![0.6, 0.8, 1.0]);
+    }
+
+    #[test]
+    fn batching_is_transparent() {
+        // Force a one-slot batch via a tiny waveform budget and compare
+        // against an unbatched run.
+        let n = chain_netlist();
+        let engine = static_engine(&n, 3.0, 4.0);
+        let patterns = one_pattern();
+        let slots = cross(1, &[0.8, 0.9, 1.0, 1.1]);
+        let big = engine
+            .run(&patterns, &slots, &SimOptions { threads: 1, ..SimOptions::default() })
+            .unwrap();
+        let tiny = engine
+            .run(
+                &patterns,
+                &slots,
+                &SimOptions {
+                    threads: 1,
+                    waveform_budget: 1, // → batch of one slot
+                    ..SimOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(big.slots.len(), tiny.slots.len());
+        for (a, b) in big.slots.iter().zip(&tiny.slots) {
+            assert_eq!(a.responses, b.responses);
+            assert_eq!(a.latest_output_transition_ps, b.latest_output_transition_ps);
+            assert_eq!(a.activity, b.activity);
+        }
+    }
+
+    #[test]
+    fn multithreaded_matches_single_threaded() {
+        let lib = CellLibrary::nangate15_like();
+        let cfg = avfs_circuits::GeneratorConfig::small();
+        let n = Arc::new(avfs_circuits::random_netlist("rnd", &cfg, &lib, 11).unwrap());
+        let engine = static_engine(&n, 8.0, 9.5);
+        let patterns = PatternSet::lfsr(n.inputs().len(), 4, 5);
+        let slots = cross(4, &[0.8, 1.0]);
+        let single = engine
+            .run(&patterns, &slots, &SimOptions { threads: 1, ..SimOptions::default() })
+            .unwrap();
+        let multi = engine
+            .run(&patterns, &slots, &SimOptions { threads: 4, ..SimOptions::default() })
+            .unwrap();
+        for (a, b) in single.slots.iter().zip(&multi.slots) {
+            assert_eq!(a.responses, b.responses);
+            assert_eq!(a.latest_output_transition_ps, b.latest_output_transition_ps);
+            assert_eq!(a.activity, b.activity);
+        }
+    }
+
+    #[test]
+    fn launch_time_offsets_all_transitions() {
+        let n = chain_netlist();
+        let engine = static_engine(&n, 10.0, 10.0);
+        let patterns = one_pattern();
+        let base = engine
+            .run(
+                &patterns,
+                &at_voltage(1, 0.8),
+                &SimOptions { threads: 1, launch_time_ps: 0.0, ..SimOptions::default() },
+            )
+            .unwrap();
+        let shifted = engine
+            .run(
+                &patterns,
+                &at_voltage(1, 0.8),
+                &SimOptions { threads: 1, launch_time_ps: 250.0, ..SimOptions::default() },
+            )
+            .unwrap();
+        let (t0, t1) = (
+            base.slots[0].latest_output_transition_ps.unwrap(),
+            shifted.slots[0].latest_output_transition_ps.unwrap(),
+        );
+        assert!((t1 - t0 - 250.0).abs() < 1e-9, "{t0} vs {t1}");
+        assert_eq!(base.slots[0].responses, shifted.slots[0].responses);
+    }
+
+    #[test]
+    fn mixed_island_vectors_group_correctly() {
+        // Slots with different per-domain voltage vectors in ONE launch:
+        // the per-(level, voltage-assignment) grouping must keep them
+        // apart; results must match per-vector launches.
+        let lib = CellLibrary::nangate15_like();
+        let n = Arc::new(avfs_circuits::ripple_carry_adder(4, &lib).unwrap());
+        // A voltage-sensitive analytic model so distinct vectors actually
+        // produce distinct timing.
+        let mut ann = TimingAnnotation::zero(&n);
+        for (id, node) in n.iter() {
+            if matches!(node.kind(), NodeKind::Gate(_)) {
+                for pin in 0..node.fanin().len() {
+                    ann.node_delays_mut(id)[pin] = PinDelays { rise: 6.0, fall: 7.0 };
+                }
+            }
+        }
+        let engine = Engine::new(
+            Arc::clone(&n),
+            Arc::new(ann),
+            Arc::new(avfs_delay::AlphaPowerModel::new(0.24, 1.35, ParameterSpace::paper())),
+        )
+        .unwrap();
+        let domains = crate::domains::VoltageDomains::by_output_cones(&n, 2);
+        let patterns = PatternSet::lfsr(n.inputs().len(), 2, 8);
+        let opts = SimOptions { threads: 1, ..SimOptions::default() };
+        let mixed = vec![
+            crate::domains::DomainSlotSpec { pattern: 0, voltages: vec![0.8, 0.8] },
+            crate::domains::DomainSlotSpec { pattern: 1, voltages: vec![0.6, 1.0] },
+            crate::domains::DomainSlotSpec { pattern: 0, voltages: vec![0.6, 1.0] },
+        ];
+        let run = engine.run_domains(&patterns, &domains, &mixed, &opts).unwrap();
+        assert_eq!(run.slots.len(), 3);
+        for (spec, slot) in mixed.iter().zip(&run.slots) {
+            let solo = engine
+                .run_domains(&patterns, &domains, std::slice::from_ref(spec), &opts)
+                .unwrap();
+            assert_eq!(slot.responses, solo.slots[0].responses);
+            assert_eq!(
+                slot.latest_output_transition_ps,
+                solo.slots[0].latest_output_transition_ps
+            );
+        }
+    }
+
+    #[test]
+    fn input_validation() {
+        let n = chain_netlist();
+        let engine = static_engine(&n, 1.0, 1.0);
+        let patterns = one_pattern();
+        assert!(matches!(
+            engine.run(&patterns, &[], &SimOptions::default()),
+            Err(SimError::EmptySlots)
+        ));
+        assert!(matches!(
+            engine.run(
+                &patterns,
+                &[SlotSpec { pattern: 7, voltage: 0.8 }],
+                &SimOptions::default()
+            ),
+            Err(SimError::BadPatternIndex { index: 7, available: 1 })
+        ));
+        // Wrong-width pattern.
+        use avfs_atpg::pattern::{Pattern, PatternPair};
+        let wide: PatternSet = std::iter::once(
+            PatternPair::new(Pattern::zeros(3), Pattern::zeros(3)).unwrap(),
+        )
+        .collect();
+        assert!(matches!(
+            engine.run(&wide, &at_voltage(1, 0.8), &SimOptions::default()),
+            Err(SimError::PatternWidth { expected: 1, got: 3 })
+        ));
+    }
+
+    #[test]
+    fn annotation_mismatch_rejected() {
+        let n = chain_netlist();
+        let other = {
+            let lib = CellLibrary::nangate15_like();
+            let mut b = NetlistBuilder::new("other", &lib);
+            let a = b.add_input("a").unwrap();
+            b.add_output("y", a).unwrap();
+            Arc::new(b.finish().unwrap())
+        };
+        let ann = Arc::new(TimingAnnotation::zero(&other));
+        let model = Arc::new(StaticModel::new(ParameterSpace::paper()));
+        assert!(matches!(
+            Engine::new(Arc::clone(&n), ann, model),
+            Err(SimError::AnnotationMismatch)
+        ));
+    }
+
+    #[test]
+    fn glitch_visible_in_activity() {
+        // Reconvergent XOR: a ─┬────────► x
+        //                      └─ inv ──► x ; x = a ⊕ ā glitches on input
+        // change when path delays differ.
+        let lib = CellLibrary::nangate15_like();
+        let mut b = NetlistBuilder::new("glitch", &lib);
+        let a = b.add_input("a").unwrap();
+        let inv = b.add_gate("inv", "INV_X1", &[a]).unwrap();
+        let x = b.add_gate("x", "XOR2_X1", &[a, inv]).unwrap();
+        b.add_output("y", x).unwrap();
+        let n = Arc::new(b.finish().unwrap());
+        let engine = static_engine(&n, 10.0, 10.0);
+        let run = engine
+            .run(
+                &one_pattern(),
+                &at_voltage(1, 0.8),
+                &SimOptions { threads: 1, keep_waveforms: true, ..SimOptions::default() },
+            )
+            .unwrap();
+        let slot = &run.slots[0];
+        // x is 1 in steady state both before and after (a ⊕ ā = 1); the
+        // inverter delay opens a 10 ps window where both inputs agree →
+        // a glitch pulse at the XOR output.
+        let wfs = slot.waveforms.as_ref().unwrap();
+        let x_wf = &wfs[n.find("x").unwrap().index()];
+        assert_eq!(x_wf.num_transitions(), 2, "expected a glitch pulse");
+        assert!(x_wf.initial_value() && x_wf.final_value());
+        assert!(slot.activity.total_glitch_transitions >= 2);
+    }
+}

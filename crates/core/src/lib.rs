@@ -1,0 +1,120 @@
+//! Massively parallel voltage-aware gate-level time simulation — the
+//! paper's primary contribution (Sec. IV).
+//!
+//! The centerpiece is [`engine::Engine`], a CPU realization of the GPU
+//! execution model of Fig. 3:
+//!
+//! * **vertical dimension** — structural parallelism: the circuit is
+//!   processed level by level, all gates of a level concurrently;
+//! * **horizontal plane** — data parallelism over *slots*, each slot being
+//!   one (stimulus waveform, operating point) assignment; the grid trades
+//!   off stimuli against operating points arbitrarily;
+//! * **online delay calculation** — every gate evaluation scales its
+//!   nominal SDF delays with the delay-kernel factor
+//!   `1 + f(φ_V(v), φ_C(c))` fetched from the shared coefficient table
+//!   (Sec. IV.A), so per-instance timing never needs to be stored.
+//!
+//! Memory is organized as a structure-of-arrays waveform arena indexed by
+//! `(slot, net)` — the GPU global-memory layout of Holst et al. \[25\] —
+//! and slots are processed in batches sized to a configurable memory
+//! budget, exactly as a GPU launches as many slots as fit.
+//!
+//! The comparison baselines live alongside:
+//!
+//! * [`event_driven`] — a serial event-driven time simulator (the
+//!   "conventional commercial" algorithm of Table I columns 4–5) with
+//!   identical delay semantics, used both for benchmarking and as a
+//!   cross-validation oracle,
+//! * [`sta`] — static timing analysis (Table II column 2),
+//! * [`api::TimeSimulator`] — a high-level facade wiring netlist,
+//!   annotation, model and engine together for the examples and benches.
+
+pub mod api;
+pub mod delay_fault;
+pub mod domains;
+pub mod engine;
+pub mod event_driven;
+pub mod power;
+pub mod results;
+pub mod slots;
+pub mod sta;
+
+pub use api::TimeSimulator;
+pub use delay_fault::{DelayFaultSimulator, FaultVerdict, SmallDelayFault};
+pub use domains::{DomainSlotSpec, VoltageDomains};
+pub use engine::{Engine, SimOptions};
+pub use event_driven::EventDrivenSimulator;
+pub use power::{energy_by_voltage, slot_energy, EnergyEstimate};
+pub use results::{SimRun, SlotResult};
+pub use slots::{cross, SlotSpec};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The annotation does not cover the netlist.
+    AnnotationMismatch,
+    /// A pattern's width differs from the primary-input count.
+    PatternWidth {
+        /// Primary inputs in the netlist.
+        expected: usize,
+        /// Bits in the offending pattern.
+        got: usize,
+    },
+    /// A slot references a pattern index outside the pattern set.
+    BadPatternIndex {
+        /// The offending index.
+        index: usize,
+        /// Patterns available.
+        available: usize,
+    },
+    /// No slots were requested.
+    EmptySlots,
+    /// The delay model failed (missing kernel, out-of-range operating
+    /// point).
+    Model(avfs_delay::DelayError),
+    /// The event-driven baseline requires strictly positive gate delays.
+    NonPositiveDelay {
+        /// Name of the offending gate.
+        gate: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::AnnotationMismatch => {
+                write!(f, "timing annotation does not match the netlist")
+            }
+            SimError::PatternWidth { expected, got } => {
+                write!(f, "pattern width {got} does not match {expected} inputs")
+            }
+            SimError::BadPatternIndex { index, available } => {
+                write!(f, "slot references pattern {index} of {available}")
+            }
+            SimError::EmptySlots => write!(f, "no simulation slots requested"),
+            SimError::Model(e) => write!(f, "delay model error: {e}"),
+            SimError::NonPositiveDelay { gate } => {
+                write!(f, "event-driven simulation requires positive delays (gate `{gate}`)")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<avfs_delay::DelayError> for SimError {
+    fn from(e: avfs_delay::DelayError) -> Self {
+        SimError::Model(e)
+    }
+}

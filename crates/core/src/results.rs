@@ -1,0 +1,117 @@
+//! Simulation results and throughput accounting.
+
+use crate::slots::SlotSpec;
+use avfs_waveform::{SwitchingActivity, Waveform};
+use std::time::Duration;
+
+/// The outcome of one slot (one stimulus under one operating point).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotResult {
+    /// The slot assignment this result belongs to.
+    pub spec: SlotSpec,
+    /// Final value of every primary output (the test response).
+    pub responses: Vec<bool>,
+    /// Latest transition observed at any primary output, ps — the
+    /// "latest transition arrival time" of Table II.
+    pub latest_output_transition_ps: Option<f64>,
+    /// Switching activity aggregated over all nets of the slot.
+    pub activity: SwitchingActivity,
+    /// Full per-net waveforms (only retained when
+    /// [`SimOptions::keep_waveforms`](crate::engine::SimOptions) is set —
+    /// memory scales with nodes × slots).
+    pub waveforms: Option<Vec<Waveform>>,
+}
+
+/// A completed simulation run.
+#[derive(Debug, Clone)]
+pub struct SimRun {
+    /// Per-slot results in slot order.
+    pub slots: Vec<SlotResult>,
+    /// Wall-clock simulation time (excludes setup, as in the paper's
+    /// "only the bare simulation times were considered").
+    pub elapsed: Duration,
+    /// Total node evaluations (nodes × slots).
+    pub node_evaluations: u64,
+}
+
+impl SimRun {
+    /// Throughput in million node evaluations per second — the MEPS metric
+    /// of Table I.
+    pub fn meps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.node_evaluations as f64 / secs / 1e6
+    }
+
+    /// The latest output transition over all slots at a given voltage
+    /// (Table II aggregates per voltage over the whole pattern set).
+    pub fn latest_arrival_at(&self, voltage: f64) -> Option<f64> {
+        self.slots
+            .iter()
+            .filter(|s| (s.spec.voltage - voltage).abs() < 1e-12)
+            .filter_map(|s| s.latest_output_transition_ps)
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.max(t))))
+    }
+
+    /// Distinct voltages simulated, in first-appearance order.
+    pub fn voltages(&self) -> Vec<f64> {
+        let mut out: Vec<f64> = Vec::new();
+        for s in &self.slots {
+            if !out.iter().any(|&v| (v - s.spec.voltage).abs() < 1e-12) {
+                out.push(s.spec.voltage);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(voltage: f64, latest: Option<f64>) -> SlotResult {
+        SlotResult {
+            spec: SlotSpec { pattern: 0, voltage },
+            responses: vec![],
+            latest_output_transition_ps: latest,
+            activity: SwitchingActivity::default(),
+            waveforms: None,
+        }
+    }
+
+    #[test]
+    fn meps_accounting() {
+        let run = SimRun {
+            slots: vec![],
+            elapsed: Duration::from_millis(100),
+            node_evaluations: 5_000_000,
+        };
+        assert!((run.meps() - 50.0).abs() < 1e-9);
+        let zero = SimRun {
+            slots: vec![],
+            elapsed: Duration::ZERO,
+            node_evaluations: 1,
+        };
+        assert_eq!(zero.meps(), 0.0);
+    }
+
+    #[test]
+    fn latest_arrival_per_voltage() {
+        let run = SimRun {
+            slots: vec![
+                slot(0.8, Some(100.0)),
+                slot(0.8, Some(250.0)),
+                slot(0.8, None),
+                slot(1.1, Some(80.0)),
+            ],
+            elapsed: Duration::from_secs(1),
+            node_evaluations: 1,
+        };
+        assert_eq!(run.latest_arrival_at(0.8), Some(250.0));
+        assert_eq!(run.latest_arrival_at(1.1), Some(80.0));
+        assert_eq!(run.latest_arrival_at(0.55), None);
+        assert_eq!(run.voltages(), vec![0.8, 1.1]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Static timing analysis: the pessimistic longest structural path.
+//!
+//! Provides the "Longest Path" reference of Table II column 2 — the value
+//! a commercial STA tool reports at the nominal corner. The comparison the
+//! paper draws (simulated latest arrival ≪ STA longest path) falls out of
+//! STA's topological worst-casing: it ignores logical sensitizability and
+//! takes the worst pin/polarity delay at every gate.
+
+use avfs_delay::TimingAnnotation;
+use avfs_netlist::{Levelization, Netlist, NodeId};
+
+/// The result of a longest-path analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaReport {
+    /// Length of the longest structural path, ps.
+    pub longest_path_ps: f64,
+    /// The path itself, PI → PO.
+    pub critical_path: Vec<NodeId>,
+}
+
+/// Computes the longest structural path with worst-case pin delays.
+///
+/// Gate edges weigh `max(rise, fall)` of the annotated pin delay; PI and
+/// PO edges weigh zero.
+pub fn longest_path(
+    netlist: &Netlist,
+    levels: &Levelization,
+    annotation: &TimingAnnotation,
+) -> StaReport {
+    let n = netlist.num_nodes();
+    let mut dist = vec![0.0f64; n];
+    let mut pred: Vec<Option<NodeId>> = vec![None; n];
+    for id in levels.topological_order() {
+        let node = netlist.node(id);
+        let pins = annotation.node_delays(id);
+        for (pin, &f) in node.fanin().iter().enumerate() {
+            let w = pins.get(pin).map_or(0.0, |d| d.max());
+            let cand = dist[f.index()] + w;
+            // `>=`-style update on the first fanin keeps the critical path
+            // structurally complete even for zero-weight (unannotated)
+            // edges.
+            if cand > dist[id.index()] || pred[id.index()].is_none() {
+                dist[id.index()] = cand;
+                pred[id.index()] = Some(f);
+            }
+        }
+    }
+    // The worst endpoint among primary outputs.
+    let (&end, &length) = netlist
+        .outputs()
+        .iter()
+        .map(|po| (po, &dist[po.index()]))
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .expect("netlists have at least one output");
+    let mut critical_path = vec![end];
+    let mut cur = end;
+    while let Some(p) = pred[cur.index()] {
+        critical_path.push(p);
+        cur = p;
+    }
+    critical_path.reverse();
+    StaReport {
+        longest_path_ps: length,
+        critical_path,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avfs_netlist::{CellLibrary, NetlistBuilder, NodeKind};
+    use avfs_waveform::PinDelays;
+
+    #[test]
+    fn picks_worst_branch() {
+        let lib = CellLibrary::nangate15_like();
+        let mut b = NetlistBuilder::new("y", &lib);
+        let a = b.add_input("a").unwrap();
+        let fast = b.add_gate("fast", "BUF_X1", &[a]).unwrap();
+        let slow1 = b.add_gate("slow1", "INV_X1", &[a]).unwrap();
+        let slow2 = b.add_gate("slow2", "INV_X1", &[slow1]).unwrap();
+        let join = b.add_gate("join", "AND2_X1", &[fast, slow2]).unwrap();
+        b.add_output("y", join).unwrap();
+        let n = b.finish().unwrap();
+        let levels = Levelization::of(&n);
+        let mut ann = avfs_delay::TimingAnnotation::zero(&n);
+        for (id, node) in n.iter() {
+            if matches!(node.kind(), NodeKind::Gate(_)) {
+                for pin in 0..node.fanin().len() {
+                    ann.node_delays_mut(id)[pin] = PinDelays { rise: 10.0, fall: 12.0 };
+                }
+            }
+        }
+        let report = longest_path(&n, &levels, &ann);
+        // slow1 + slow2 + join = 3 × 12.
+        assert!((report.longest_path_ps - 36.0).abs() < 1e-9);
+        let names: Vec<&str> = report
+            .critical_path
+            .iter()
+            .map(|&id| n.node(id).name())
+            .collect();
+        assert_eq!(names, ["a", "slow1", "slow2", "join", "y"]);
+    }
+
+    #[test]
+    fn zero_annotation_gives_zero_path() {
+        let lib = CellLibrary::nangate15_like();
+        let mut b = NetlistBuilder::new("z", &lib);
+        let a = b.add_input("a").unwrap();
+        let g = b.add_gate("g", "INV_X1", &[a]).unwrap();
+        b.add_output("y", g).unwrap();
+        let n = b.finish().unwrap();
+        let levels = Levelization::of(&n);
+        let ann = avfs_delay::TimingAnnotation::zero(&n);
+        let report = longest_path(&n, &levels, &ann);
+        assert_eq!(report.longest_path_ps, 0.0);
+        assert_eq!(report.critical_path.len(), 3);
+    }
+}

@@ -1,0 +1,749 @@
+//! The full characterization pre-process of Fig. 1.
+//!
+//! For each cell type and input pin, rising and falling propagation delays
+//! are extracted from transient analysis over the operating-point sweep
+//! (step A), the normalized data grid is densified by linear interpolation
+//! (step B), multi-variable linear regression fits a deviation surface
+//! (step C), and the surface coefficients are compiled into the kernel
+//! table (step D). "This flow has to be repeated only once for each new
+//! cell type in the library as the computed functions are reused during
+//! simulation."
+
+use crate::annotation::TimingAnnotation;
+use crate::model::{LutModel, PolynomialModel};
+use crate::op::ParameterSpace;
+use crate::polynomial::SurfacePolynomial;
+use crate::table::CoefficientTable;
+use crate::DelayError;
+use avfs_netlist::library::{CellId, CellLibrary, Polarity};
+use avfs_netlist::{Netlist, NodeKind};
+use avfs_regression::{fit_least_squares, DataGrid, ErrorStats, PolyBasis};
+use avfs_spice::{sweep::sweep_pin, SweepConfig, Technology};
+use avfs_waveform::PinDelays;
+use std::time::Instant;
+
+/// Configuration of the characterization flow.
+#[derive(Debug, Clone)]
+pub struct CharacterizationConfig {
+    /// The operating-point sweep (step A).
+    pub sweep: SweepConfig,
+    /// Per-variable polynomial order `N` (the paper uses N = 3 for the
+    /// performance experiments).
+    pub order: usize,
+    /// Grid densification factor per axis (step B).
+    pub refine_factor: usize,
+    /// Probe lattice size per axis for the error evaluation (Fig. 4 uses
+    /// 64 × 64).
+    pub probe_grid: usize,
+}
+
+impl Default for CharacterizationConfig {
+    fn default() -> Self {
+        CharacterizationConfig {
+            sweep: SweepConfig::paper(),
+            order: 3,
+            refine_factor: 4,
+            probe_grid: 64,
+        }
+    }
+}
+
+impl CharacterizationConfig {
+    /// A fast configuration for tests: coarse sweep, small probe lattice.
+    pub fn fast() -> CharacterizationConfig {
+        CharacterizationConfig {
+            sweep: SweepConfig::coarse(),
+            order: 2,
+            refine_factor: 3,
+            probe_grid: 16,
+        }
+    }
+}
+
+/// Nominal delay versus load at the nominal supply voltage — the data an
+/// SDF writer needs for one (cell, pin, polarity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NominalCurve {
+    /// Load axis, fF (strictly increasing).
+    loads_ff: Vec<f64>,
+    /// Delay at nominal voltage for each load, ps.
+    delays_ps: Vec<f64>,
+}
+
+impl NominalCurve {
+    /// Interpolates the nominal delay at load `c_ff` (piecewise linear in
+    /// `log₂ c`, clamped at the sweep boundaries).
+    pub fn delay_ps(&self, c_ff: f64) -> f64 {
+        let n = self.loads_ff.len();
+        let c = c_ff.max(self.loads_ff[0]).min(self.loads_ff[n - 1]);
+        let x = c.log2();
+        // Find the containing segment.
+        let mut i = 0;
+        while i + 2 < n && self.loads_ff[i + 1].log2() < x {
+            i += 1;
+        }
+        let x0 = self.loads_ff[i].log2();
+        let x1 = self.loads_ff[i + 1].log2();
+        let t = if x1 > x0 { (x - x0) / (x1 - x0) } else { 0.0 };
+        self.delays_ps[i] + t.clamp(0.0, 1.0) * (self.delays_ps[i + 1] - self.delays_ps[i])
+    }
+
+    /// The sampled loads.
+    pub fn loads_ff(&self) -> &[f64] {
+        &self.loads_ff
+    }
+
+    /// The sampled delays.
+    pub fn delays_ps(&self) -> &[f64] {
+        &self.delays_ps
+    }
+}
+
+/// Per-cell report of the fit quality and cost (the raw data of Fig. 4 and
+/// the regression-runtime claim of Sec. V.A).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharacterizationReport {
+    /// Cell-type name.
+    pub cell: String,
+    /// Relative-error statistics over the probe lattice, aggregated over
+    /// all pins and polarities of the cell.
+    pub stats: ErrorStats,
+    /// Wall-clock time of the regression solves only, milliseconds (the
+    /// paper reports 1–40 ms per coefficient set).
+    pub fit_millis: f64,
+    /// Wall-clock time of the transient sweeps, milliseconds.
+    pub sweep_millis: f64,
+}
+
+/// The outcome of characterizing a library: compiled kernels, the LUT
+/// baseline, and the nominal-delay curves for annotation.
+#[derive(Debug)]
+pub struct CharacterizedLibrary {
+    space: ParameterSpace,
+    order: usize,
+    model: PolynomialModel,
+    lut: LutModel,
+    /// `nominal[cell][pin][polarity]`.
+    nominal: Vec<Option<Vec<[NominalCurve; 2]>>>,
+    reports: Vec<CharacterizationReport>,
+}
+
+impl CharacterizedLibrary {
+    /// The characterized parameter space.
+    pub fn space(&self) -> &ParameterSpace {
+        &self.space
+    }
+
+    /// Per-variable polynomial order `N`.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// The compiled polynomial model (the paper's delay kernels).
+    pub fn model(&self) -> &PolynomialModel {
+        &self.model
+    }
+
+    /// The bilinear-LUT baseline built from the same sweep data.
+    pub fn lut(&self) -> &LutModel {
+        &self.lut
+    }
+
+    /// Per-cell fit reports.
+    pub fn reports(&self) -> &[CharacterizationReport] {
+        &self.reports
+    }
+
+    /// The nominal curve for (cell, pin, polarity), if characterized.
+    pub fn nominal_curve(
+        &self,
+        cell: CellId,
+        pin: usize,
+        polarity: Polarity,
+    ) -> Option<&NominalCurve> {
+        self.nominal
+            .get(cell.index())?
+            .as_ref()?
+            .get(pin)
+            .map(|pair| &pair[polarity.index()])
+    }
+
+    /// Annotates a netlist with nominal pin-to-pin delays interpolated
+    /// from the characterization at each instance's actual load — the
+    /// role the SDF file plays in the paper's flow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DelayError::MissingCell`] if the netlist instantiates a
+    /// cell type that was not characterized.
+    pub fn annotate(&self, netlist: &Netlist) -> Result<TimingAnnotation, DelayError> {
+        let mut ann = TimingAnnotation::zero(netlist);
+        for (id, node) in netlist.iter() {
+            if let NodeKind::Gate(cell) = node.kind() {
+                let load = ann.load_ff(id);
+                let pins = self
+                    .nominal
+                    .get(cell.index())
+                    .and_then(Option::as_ref)
+                    .ok_or(DelayError::MissingCell {
+                        cell_index: cell.index(),
+                    })?;
+                let delays = ann.node_delays_mut(id);
+                for (p, pair) in pins.iter().enumerate() {
+                    delays[p] = PinDelays {
+                        rise: pair[Polarity::Rise.index()].delay_ps(load),
+                        fall: pair[Polarity::Fall.index()].delay_ps(load),
+                    };
+                }
+            }
+        }
+        Ok(ann)
+    }
+}
+
+/// A serializable snapshot of compiled kernels and nominal curves — what
+/// a characterization run persists so that the Fig. 1 flow truly runs
+/// "only once for each new cell type in the library".
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelPackage {
+    /// `(V_min, V_max, C_min, C_max, V_nom)` of the parameter space.
+    pub space: (f64, f64, f64, f64, f64),
+    /// Per-variable polynomial order `N`.
+    pub order: usize,
+    /// One entry per characterized cell type.
+    pub cells: Vec<CellKernelData>,
+}
+
+/// Compiled kernels of one cell type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellKernelData {
+    /// Cell-type name (resolved against the library on load).
+    pub cell: String,
+    /// Per input pin.
+    pub pins: Vec<PinKernelData>,
+}
+
+/// Compiled kernels of one input pin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PinKernelData {
+    /// Rise-polarity polynomial coefficients (Eq. 6 order).
+    pub rise_coeffs: Vec<f64>,
+    /// Fall-polarity polynomial coefficients.
+    pub fall_coeffs: Vec<f64>,
+    /// The nominal-curve load axis, fF.
+    pub loads_ff: Vec<f64>,
+    /// Nominal rise delays per load, ps.
+    pub nominal_rise_ps: Vec<f64>,
+    /// Nominal fall delays per load, ps.
+    pub nominal_fall_ps: Vec<f64>,
+}
+
+impl CharacterizedLibrary {
+    /// Extracts the persistable kernel package (the LUT baseline and fit
+    /// reports are characterization-time artifacts and are not included).
+    pub fn to_package(&self, library: &CellLibrary) -> KernelPackage {
+        let (v_min, v_max) = self.space.voltage_range();
+        let (c_min, c_max) = self.space.load_range();
+        let mut cells = Vec::new();
+        for (idx, entry) in self.nominal.iter().enumerate() {
+            let Some(pins) = entry else { continue };
+            let cell = library.cell(CellId::from_index(idx));
+            let pin_data = pins
+                .iter()
+                .enumerate()
+                .map(|(p, pair)| {
+                    let rise = &pair[Polarity::Rise.index()];
+                    let fall = &pair[Polarity::Fall.index()];
+                    PinKernelData {
+                        rise_coeffs: self
+                            .model
+                            .table()
+                            .coefficients(CellId::from_index(idx), p, Polarity::Rise)
+                            .expect("characterized cell has kernels")
+                            .to_vec(),
+                        fall_coeffs: self
+                            .model
+                            .table()
+                            .coefficients(CellId::from_index(idx), p, Polarity::Fall)
+                            .expect("characterized cell has kernels")
+                            .to_vec(),
+                        loads_ff: rise.loads_ff.clone(),
+                        nominal_rise_ps: rise.delays_ps.clone(),
+                        nominal_fall_ps: fall.delays_ps.clone(),
+                    }
+                })
+                .collect();
+            cells.push(CellKernelData {
+                cell: cell.name().to_owned(),
+                pins: pin_data,
+            });
+        }
+        KernelPackage {
+            space: (v_min, v_max, c_min, c_max, self.space.nominal_vdd()),
+            order: self.order,
+            cells,
+        }
+    }
+
+    /// Rebuilds a characterized library from a package, resolving cell
+    /// names against `library`.
+    ///
+    /// The bilinear-LUT baseline and the fit reports are not part of a
+    /// package; the restored library has an empty LUT and no reports.
+    ///
+    /// # Errors
+    ///
+    /// * [`DelayError::Characterization`] for unknown cell names, shape
+    ///   inconsistencies or an invalid space,
+    /// * [`DelayError::BadCoefficients`] if a coefficient vector does not
+    ///   match the declared order.
+    pub fn from_package(
+        package: &KernelPackage,
+        library: &CellLibrary,
+    ) -> Result<CharacterizedLibrary, DelayError> {
+        let (v_min, v_max, c_min, c_max, v_nom) = package.space;
+        let space = ParameterSpace::new(v_min, v_max, c_min, c_max, v_nom)?;
+        let mut table = CoefficientTable::new(library.len(), package.order);
+        let mut nominal: Vec<Option<Vec<[NominalCurve; 2]>>> =
+            (0..library.len()).map(|_| None).collect();
+        for cell_data in &package.cells {
+            let id = library
+                .find(&cell_data.cell)
+                .ok_or_else(|| DelayError::Characterization {
+                    cell: cell_data.cell.clone(),
+                    message: "cell not present in the library".to_owned(),
+                })?;
+            let expected_pins = library.cell(id).num_inputs();
+            if cell_data.pins.len() != expected_pins {
+                return Err(DelayError::Characterization {
+                    cell: cell_data.cell.clone(),
+                    message: format!(
+                        "package has {} pins, library cell has {expected_pins}",
+                        cell_data.pins.len()
+                    ),
+                });
+            }
+            let mut surfaces = Vec::with_capacity(cell_data.pins.len());
+            let mut curves = Vec::with_capacity(cell_data.pins.len());
+            for pin in &cell_data.pins {
+                let shape_ok = pin.loads_ff.len() == pin.nominal_rise_ps.len()
+                    && pin.loads_ff.len() == pin.nominal_fall_ps.len()
+                    && pin.loads_ff.len() >= 2;
+                if !shape_ok {
+                    return Err(DelayError::Characterization {
+                        cell: cell_data.cell.clone(),
+                        message: "nominal curve shape mismatch".to_owned(),
+                    });
+                }
+                surfaces.push([
+                    SurfacePolynomial::new(package.order, pin.rise_coeffs.clone())?,
+                    SurfacePolynomial::new(package.order, pin.fall_coeffs.clone())?,
+                ]);
+                curves.push([
+                    NominalCurve {
+                        loads_ff: pin.loads_ff.clone(),
+                        delays_ps: pin.nominal_rise_ps.clone(),
+                    },
+                    NominalCurve {
+                        loads_ff: pin.loads_ff.clone(),
+                        delays_ps: pin.nominal_fall_ps.clone(),
+                    },
+                ]);
+            }
+            table.insert(id, &surfaces)?;
+            nominal[id.index()] = Some(curves);
+        }
+        Ok(CharacterizedLibrary {
+            space,
+            order: package.order,
+            model: PolynomialModel::new(table, space),
+            lut: LutModel::new(library.len(), space),
+            nominal,
+            reports: Vec::new(),
+        })
+    }
+}
+
+/// Builds the normalized deviation grid of one sweep surface: the
+/// regression target `y(v, c) = d(v, c) / d(V_nom, c) − 1` over
+/// `(φ_V, φ_C)` axes (the input to Fig. 1 steps B–C).
+///
+/// # Errors
+///
+/// Returns [`DelayError::Characterization`] if the space's nominal voltage
+/// is not on the sweep grid or the surface is degenerate.
+pub fn deviation_grid(
+    surface: &avfs_spice::DelaySurface,
+    space: &ParameterSpace,
+) -> Result<DataGrid, DelayError> {
+    let err = |message: &str| DelayError::Characterization {
+        cell: String::new(),
+        message: message.to_owned(),
+    };
+    let nom_idx = surface
+        .voltages
+        .iter()
+        .position(|&v| (v - space.nominal_vdd()).abs() < 1e-9)
+        .ok_or_else(|| err("nominal voltage not on the sweep grid"))?;
+    let xs: Vec<f64> = surface
+        .voltages
+        .iter()
+        .map(|&v| space.phi_v().apply(v))
+        .collect();
+    let ys: Vec<f64> = surface
+        .loads_ff
+        .iter()
+        .map(|&c| space.phi_c().apply(c))
+        .collect();
+    let mut dev = Vec::with_capacity(xs.len() * ys.len());
+    for i in 0..xs.len() {
+        for j in 0..ys.len() {
+            let nominal = surface.at(nom_idx, j);
+            if nominal <= 0.0 {
+                return Err(err("non-positive nominal delay in sweep"));
+            }
+            dev.push(surface.at(i, j) / nominal - 1.0);
+        }
+    }
+    DataGrid::new(xs, ys, dev).map_err(|e| err(&e.to_string()))
+}
+
+/// One fitted deviation surface plus its quality metrics.
+#[derive(Debug, Clone)]
+pub struct GridFit {
+    /// The compiled polynomial (step D).
+    pub poly: SurfacePolynomial,
+    /// Relative delay errors on the probe lattice (Fig. 4 raw data).
+    pub probe_errors: Vec<f64>,
+    /// Error statistics over the probe lattice.
+    pub stats: ErrorStats,
+    /// Regression wall-clock, milliseconds.
+    pub fit_millis: f64,
+}
+
+/// Fits one deviation grid: densification (step B), OLS regression
+/// (step C), compilation (step D) and the probe-lattice error evaluation
+/// of Fig. 4 against the linearly interpolated reference.
+///
+/// # Errors
+///
+/// Returns [`DelayError::Characterization`] wrapping regression failures.
+pub fn fit_deviation_grid(
+    grid: &DataGrid,
+    order: usize,
+    refine_factor: usize,
+    probe_grid: usize,
+) -> Result<GridFit, DelayError> {
+    let refined = grid.refine(refine_factor.max(1));
+    let basis = PolyBasis::new(order);
+    let samples: Vec<(f64, f64)> = refined.samples().map(|(v, c, _)| (v, c)).collect();
+    let targets: Vec<f64> = refined.samples().map(|(_, _, d)| d).collect();
+    let t0 = Instant::now();
+    let beta =
+        fit_least_squares(&basis, &samples, &targets).map_err(|e| DelayError::Characterization {
+            cell: String::new(),
+            message: e.to_string(),
+        })?;
+    let fit_millis = t0.elapsed().as_secs_f64() * 1e3;
+    let poly = SurfacePolynomial::new(order, beta)?;
+
+    let (pvs, pcs) = refined.equidistant_probes(probe_grid);
+    let mut probe_errors = Vec::with_capacity(pvs.len() * pcs.len());
+    for &pv in &pvs {
+        for &pc in &pcs {
+            let reference = 1.0 + refined.sample(pv, pc);
+            let predicted = 1.0 + poly.eval(crate::op::NormalizedPoint { v: pv, c: pc });
+            probe_errors.push((predicted - reference) / reference);
+        }
+    }
+    let stats = ErrorStats::from_errors(probe_errors.iter().copied());
+    Ok(GridFit {
+        poly,
+        probe_errors,
+        stats,
+        fit_millis,
+    })
+}
+
+/// Runs the Fig. 1 flow for `cells` (or the whole library when `None`).
+///
+/// # Errors
+///
+/// Returns [`DelayError::Characterization`] wrapping any sweep or
+/// regression failure, tagged with the failing cell.
+pub fn characterize_library(
+    library: &CellLibrary,
+    tech: &Technology,
+    config: &CharacterizationConfig,
+    cells: Option<&[CellId]>,
+) -> Result<CharacterizedLibrary, DelayError> {
+    let (v_min, v_max) = (
+        config.sweep.voltages[0],
+        *config.sweep.voltages.last().expect("validated below"),
+    );
+    let (c_min, c_max) = (
+        config.sweep.loads_ff[0],
+        *config.sweep.loads_ff.last().expect("validated below"),
+    );
+    config
+        .sweep
+        .validate()
+        .map_err(|e| DelayError::Characterization {
+            cell: String::new(),
+            message: e.to_string(),
+        })?;
+    let space = ParameterSpace::new(v_min, v_max, c_min, c_max, config.sweep.nominal_vdd)?;
+
+    let all_ids: Vec<CellId>;
+    let selected: &[CellId] = match cells {
+        Some(ids) => ids,
+        None => {
+            all_ids = library.iter().map(|(id, _)| id).collect();
+            &all_ids
+        }
+    };
+
+    let mut table = CoefficientTable::new(library.len(), config.order);
+    let mut lut = LutModel::new(library.len(), space);
+    let mut nominal: Vec<Option<Vec<[NominalCurve; 2]>>> =
+        (0..library.len()).map(|_| None).collect();
+    let mut reports = Vec::with_capacity(selected.len());
+    let _basis = PolyBasis::new(config.order);
+
+    // Index of the nominal voltage within the sweep.
+    let nom_idx = config
+        .sweep
+        .voltages
+        .iter()
+        .position(|&v| (v - config.sweep.nominal_vdd).abs() < 1e-9)
+        .expect("validated: nominal on grid");
+
+    for &cell_id in selected {
+        let cell = library.cell(cell_id);
+        let mut surfaces: Vec<[SurfacePolynomial; 2]> = Vec::with_capacity(cell.num_inputs());
+        let mut lut_grids: Vec<[DataGrid; 2]> = Vec::with_capacity(cell.num_inputs());
+        let mut curves: Vec<[NominalCurve; 2]> = Vec::with_capacity(cell.num_inputs());
+        let mut errors: Vec<f64> = Vec::new();
+        let mut fit_millis = 0.0;
+        let mut sweep_millis = 0.0;
+
+        for pin in 0..cell.num_inputs() {
+            let mut pin_surfaces: Vec<SurfacePolynomial> = Vec::with_capacity(2);
+            let mut pin_grids: Vec<DataGrid> = Vec::with_capacity(2);
+            let mut pin_curves: Vec<NominalCurve> = Vec::with_capacity(2);
+            for polarity in Polarity::both() {
+                let wrap = |message: String| DelayError::Characterization {
+                    cell: cell.name().to_owned(),
+                    message,
+                };
+                // Step A: transient sweep.
+                let t0 = Instant::now();
+                let surface = sweep_pin(tech, cell, pin, polarity, &config.sweep)
+                    .map_err(|e| wrap(e.to_string()))?;
+                sweep_millis += t0.elapsed().as_secs_f64() * 1e3;
+
+                // Nominal curve (the SDF view).
+                let loads = surface.loads_ff.clone();
+                let nominal_delays: Vec<f64> = (0..loads.len())
+                    .map(|j| surface.at(nom_idx, j))
+                    .collect();
+
+                // Steps B–D plus the Fig. 4 error evaluation.
+                let grid = deviation_grid(&surface, &space).map_err(|e| match e {
+                    DelayError::Characterization { message, .. } => wrap(message),
+                    other => other,
+                })?;
+                let fit = fit_deviation_grid(
+                    &grid,
+                    config.order,
+                    config.refine_factor,
+                    config.probe_grid,
+                )
+                .map_err(|e| match e {
+                    DelayError::Characterization { message, .. } => wrap(message),
+                    other => other,
+                })?;
+                fit_millis += fit.fit_millis;
+                errors.extend(fit.probe_errors);
+
+                pin_surfaces.push(fit.poly);
+                pin_grids.push(grid);
+                pin_curves.push(NominalCurve {
+                    loads_ff: loads,
+                    delays_ps: nominal_delays,
+                });
+            }
+            let [s_rise, s_fall] = <[SurfacePolynomial; 2]>::try_from(pin_surfaces)
+                .expect("exactly two polarities");
+            surfaces.push([s_rise, s_fall]);
+            let [g_rise, g_fall] =
+                <[DataGrid; 2]>::try_from(pin_grids).expect("exactly two polarities");
+            lut_grids.push([g_rise, g_fall]);
+            let [c_rise, c_fall] =
+                <[NominalCurve; 2]>::try_from(pin_curves).expect("exactly two polarities");
+            curves.push([c_rise, c_fall]);
+        }
+
+        table.insert(cell_id, &surfaces)?;
+        lut.insert(cell_id, lut_grids)?;
+        nominal[cell_id.index()] = Some(curves);
+        reports.push(CharacterizationReport {
+            cell: cell.name().to_owned(),
+            stats: ErrorStats::from_errors(errors),
+            fit_millis,
+            sweep_millis,
+        });
+    }
+
+    Ok(CharacterizedLibrary {
+        space,
+        order: config.order,
+        model: PolynomialModel::new(table, space),
+        lut,
+        nominal,
+        reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DelayModel;
+    use crate::op::OperatingPoint;
+    use avfs_netlist::bench::{parse_bench, BenchOptions, C17_BENCH};
+
+    fn subset(lib: &CellLibrary, names: &[&str]) -> Vec<CellId> {
+        names.iter().map(|n| lib.find(n).expect("cell exists")).collect()
+    }
+
+    #[test]
+    fn characterize_inverter_fast() {
+        let lib = CellLibrary::nangate15_like();
+        let tech = Technology::nm15();
+        let cfg = CharacterizationConfig::fast();
+        let ids = subset(&lib, &["INV_X1"]);
+        let ch = characterize_library(&lib, &tech, &cfg, Some(&ids)).unwrap();
+        assert_eq!(ch.order(), cfg.order);
+        assert_eq!(ch.reports().len(), 1);
+        let report = &ch.reports()[0];
+        assert_eq!(report.cell, "INV_X1");
+        // The surface is smooth; even a coarse fit should be within a few
+        // percent on average.
+        assert!(report.stats.mean < 0.05, "mean rel err {}", report.stats.mean);
+        assert!(report.fit_millis >= 0.0);
+
+        // Factor ≈ 1 at nominal voltage for any load.
+        let id = ids[0];
+        for c in [0.5, 2.0, 32.0, 128.0] {
+            let p = ch.space().normalize(OperatingPoint::new(0.8, c)).unwrap();
+            let f = ch.model().factor(id, 0, Polarity::Fall, p).unwrap();
+            assert!((f - 1.0).abs() < 0.05, "nominal factor {f} at c={c}");
+        }
+        // Factor > 1 at low voltage, < 1 at high voltage.
+        let lo = ch.space().normalize(OperatingPoint::new(0.55, 4.0)).unwrap();
+        let hi = ch.space().normalize(OperatingPoint::new(1.1, 4.0)).unwrap();
+        assert!(ch.model().factor(id, 0, Polarity::Fall, lo).unwrap() > 1.15);
+        assert!(ch.model().factor(id, 0, Polarity::Fall, hi).unwrap() < 0.95);
+    }
+
+    #[test]
+    fn polynomial_beats_nothing_and_tracks_lut() {
+        let lib = CellLibrary::nangate15_like();
+        let tech = Technology::nm15();
+        let cfg = CharacterizationConfig::fast();
+        let ids = subset(&lib, &["NOR2_X2"]);
+        let ch = characterize_library(&lib, &tech, &cfg, Some(&ids)).unwrap();
+        let id = ids[0];
+        // The polynomial and the LUT (same training data) should agree
+        // closely everywhere on the grid interior.
+        for &(v, c) in &[(0.6, 1.0), (0.8, 8.0), (1.0, 64.0)] {
+            let p = ch.space().normalize(OperatingPoint::new(v, c)).unwrap();
+            let f_poly = ch.model().factor(id, 0, Polarity::Rise, p).unwrap();
+            let f_lut = ch.lut().factor(id, 0, Polarity::Rise, p).unwrap();
+            assert!(
+                (f_poly - f_lut).abs() / f_lut < 0.08,
+                "poly {f_poly} vs lut {f_lut} at ({v},{c})"
+            );
+        }
+    }
+
+    #[test]
+    fn annotation_from_characterization() {
+        let lib = CellLibrary::nangate15_like();
+        let tech = Technology::nm15();
+        let cfg = CharacterizationConfig::fast();
+        let ids = subset(&lib, &["NAND2_X1"]);
+        let ch = characterize_library(&lib, &tech, &cfg, Some(&ids)).unwrap();
+        let c17 = parse_bench("c17", C17_BENCH, &lib, &BenchOptions::default()).unwrap();
+        let ann = ch.annotate(&c17).unwrap();
+        assert!(ann.matches(&c17));
+        // Every gate pin must have a positive delay.
+        for (id, node) in c17.iter() {
+            if matches!(node.kind(), NodeKind::Gate(_)) {
+                for pin in 0..node.fanin().len() {
+                    let d = ann.pin_delays(id, pin);
+                    assert!(d.rise > 0.0 && d.fall > 0.0);
+                }
+            }
+        }
+        // Gates driving more load must be slower: gate "16" drives two
+        // sinks, gate "10" drives one.
+        let g16 = c17.find("16").unwrap();
+        let g10 = c17.find("10").unwrap();
+        assert!(ann.load_ff(g16) > ann.load_ff(g10));
+        assert!(ann.pin_delays(g16, 0).rise > ann.pin_delays(g10, 0).rise);
+    }
+
+    #[test]
+    fn uncharacterized_cell_fails_annotation() {
+        let lib = CellLibrary::nangate15_like();
+        let tech = Technology::nm15();
+        let cfg = CharacterizationConfig::fast();
+        let ids = subset(&lib, &["INV_X1"]); // c17 needs NAND2_X1
+        let ch = characterize_library(&lib, &tech, &cfg, Some(&ids)).unwrap();
+        let c17 = parse_bench("c17", C17_BENCH, &lib, &BenchOptions::default()).unwrap();
+        assert!(matches!(
+            ch.annotate(&c17),
+            Err(DelayError::MissingCell { .. })
+        ));
+    }
+
+    #[test]
+    fn nominal_curve_interpolation() {
+        let curve = NominalCurve {
+            loads_ff: vec![1.0, 4.0, 16.0],
+            delays_ps: vec![10.0, 20.0, 30.0],
+        };
+        assert!((curve.delay_ps(1.0) - 10.0).abs() < 1e-12);
+        assert!((curve.delay_ps(16.0) - 30.0).abs() < 1e-12);
+        // Midpoint in log2 space: c = 2 between 1 and 4.
+        assert!((curve.delay_ps(2.0) - 15.0).abs() < 1e-9);
+        // Clamped outside.
+        assert!((curve.delay_ps(0.1) - 10.0).abs() < 1e-12);
+        assert!((curve.delay_ps(100.0) - 30.0).abs() < 1e-12);
+        assert_eq!(curve.loads_ff().len(), 3);
+        assert_eq!(curve.delays_ps().len(), 3);
+    }
+
+    #[test]
+    fn higher_order_fits_are_tighter() {
+        let lib = CellLibrary::nangate15_like();
+        let tech = Technology::nm15();
+        let ids = subset(&lib, &["NAND2_X1"]);
+        let mut maxes = Vec::new();
+        for order in [1usize, 3] {
+            let cfg = CharacterizationConfig {
+                order,
+                ..CharacterizationConfig::fast()
+            };
+            let ch = characterize_library(&lib, &tech, &cfg, Some(&ids)).unwrap();
+            maxes.push(ch.reports()[0].stats.max);
+        }
+        assert!(
+            maxes[1] < maxes[0],
+            "order 3 ({}) should beat order 1 ({})",
+            maxes[1],
+            maxes[0]
+        );
+    }
+}

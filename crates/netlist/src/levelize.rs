@@ -1,0 +1,208 @@
+//! Topological levelization of a netlist.
+//!
+//! The parallel simulator processes a circuit level by level: all gates
+//! whose fan-ins are fully computed form one *level* and are evaluated
+//! concurrently (paper Fig. 3, "structural parallelism in simulation slots
+//! through level-wise processing"). This module computes that partition.
+
+use crate::graph::{Netlist, NodeId};
+
+/// The level assignment of a netlist.
+///
+/// Primary inputs are level 0; every other node's level is one more than
+/// the maximum level of its fan-ins.
+///
+/// # Example
+///
+/// ```
+/// use avfs_netlist::{CellLibrary, NetlistBuilder, Levelization};
+///
+/// # fn main() -> Result<(), avfs_netlist::NetlistError> {
+/// let lib = CellLibrary::nangate15_like();
+/// let mut b = NetlistBuilder::new("chain", &lib);
+/// let a = b.add_input("a")?;
+/// let g1 = b.add_gate("g1", "INV_X1", &[a])?;
+/// let g2 = b.add_gate("g2", "INV_X1", &[g1])?;
+/// b.add_output("y", g2)?;
+/// let netlist = b.finish()?;
+/// let levels = Levelization::of(&netlist);
+/// assert_eq!(levels.depth(), 4); // PI, g1, g2, PO
+/// assert_eq!(levels.level_of(g2), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Levelization {
+    level_of: Vec<u32>,
+    levels: Vec<Vec<NodeId>>,
+}
+
+impl Levelization {
+    /// Computes the levelization of a (guaranteed acyclic) netlist.
+    pub fn of(netlist: &Netlist) -> Levelization {
+        let n = netlist.num_nodes();
+        let mut level_of = vec![0u32; n];
+        let mut max_level = 0u32;
+        // Nodes are not necessarily stored topologically (parsers emit them
+        // in definition order), so do a proper Kahn traversal.
+        let mut indegree: Vec<u32> = netlist
+            .nodes()
+            .iter()
+            .map(|node| node.fanin().len() as u32)
+            .collect();
+        let mut queue: Vec<NodeId> = netlist
+            .iter()
+            .filter(|(_, node)| node.fanin().is_empty())
+            .map(|(id, _)| id)
+            .collect();
+        let mut head = 0;
+        while head < queue.len() {
+            let id = queue[head];
+            head += 1;
+            let lvl = level_of[id.index()];
+            max_level = max_level.max(lvl);
+            for &s in netlist.node(id).fanout() {
+                let si = s.index();
+                level_of[si] = level_of[si].max(lvl + 1);
+                indegree[si] -= 1;
+                if indegree[si] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        debug_assert_eq!(queue.len(), n, "netlist must be acyclic");
+        let mut levels = vec![Vec::new(); (max_level + 1) as usize];
+        for (id, _) in netlist.iter() {
+            levels[level_of[id.index()] as usize].push(id);
+        }
+        Levelization { level_of, levels }
+    }
+
+    /// The level of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn level_of(&self, id: NodeId) -> u32 {
+        self.level_of[id.index()]
+    }
+
+    /// Number of levels (circuit depth including PI and PO levels).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The nodes of one level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= self.depth()`.
+    pub fn level(&self, level: usize) -> &[NodeId] {
+        &self.levels[level]
+    }
+
+    /// Iterates over levels in topological order.
+    pub fn iter(&self) -> impl Iterator<Item = &[NodeId]> {
+        self.levels.iter().map(Vec::as_slice)
+    }
+
+    /// All node ids in one flat topological order (level-major).
+    pub fn topological_order(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.levels.iter().flatten().copied()
+    }
+
+    /// The widest level's size — the upper bound on per-level gate
+    /// parallelism.
+    pub fn max_width(&self) -> usize {
+        self.levels.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Verifies the level invariant: every node's level exceeds all of its
+/// fan-ins' levels. Exposed for property tests and debugging.
+pub fn check_level_invariant(netlist: &Netlist, levels: &Levelization) -> bool {
+    netlist.iter().all(|(id, node)| {
+        node.fanin()
+            .iter()
+            .all(|&f| levels.level_of(f) < levels.level_of(id))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{NetlistBuilder, NodeKind};
+    use crate::library::CellLibrary;
+
+    fn diamond() -> Netlist {
+        // a ──► g1 ──► g3 ──► y
+        //   └─► g2 ──────┘
+        let lib = CellLibrary::nangate15_like();
+        let mut b = NetlistBuilder::new("diamond", &lib);
+        let a = b.add_input("a").unwrap();
+        let g1 = b.add_gate("g1", "INV_X1", &[a]).unwrap();
+        let g2 = b.add_gate("g2", "BUF_X1", &[a]).unwrap();
+        let g3 = b.add_gate("g3", "NAND2_X1", &[g1, g2]).unwrap();
+        b.add_output("y", g3).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn diamond_levels() {
+        let n = diamond();
+        let lv = Levelization::of(&n);
+        assert_eq!(lv.depth(), 4);
+        assert_eq!(lv.level_of(n.find("a").unwrap()), 0);
+        assert_eq!(lv.level_of(n.find("g1").unwrap()), 1);
+        assert_eq!(lv.level_of(n.find("g2").unwrap()), 1);
+        assert_eq!(lv.level_of(n.find("g3").unwrap()), 2);
+        assert_eq!(lv.level_of(n.find("y").unwrap()), 3);
+        assert_eq!(lv.max_width(), 2);
+        assert!(check_level_invariant(&n, &lv));
+    }
+
+    #[test]
+    fn unbalanced_paths_take_max() {
+        // g3's fanins are at levels 1 and 3 → g3 at level 4.
+        let lib = CellLibrary::nangate15_like();
+        let mut b = NetlistBuilder::new("unbalanced", &lib);
+        let a = b.add_input("a").unwrap();
+        let fast = b.add_gate("fast", "BUF_X1", &[a]).unwrap();
+        let s1 = b.add_gate("s1", "INV_X1", &[a]).unwrap();
+        let s2 = b.add_gate("s2", "INV_X1", &[s1]).unwrap();
+        let s3 = b.add_gate("s3", "INV_X1", &[s2]).unwrap();
+        let j = b.add_gate("j", "AND2_X1", &[fast, s3]).unwrap();
+        b.add_output("y", j).unwrap();
+        let n = b.finish().unwrap();
+        let lv = Levelization::of(&n);
+        assert_eq!(lv.level_of(n.find("j").unwrap()), 4);
+        assert!(check_level_invariant(&n, &lv));
+    }
+
+    #[test]
+    fn levels_partition_all_nodes() {
+        let n = diamond();
+        let lv = Levelization::of(&n);
+        let total: usize = lv.iter().map(<[NodeId]>::len).sum();
+        assert_eq!(total, n.num_nodes());
+        let ordered: Vec<NodeId> = lv.topological_order().collect();
+        assert_eq!(ordered.len(), n.num_nodes());
+        // Topological property: every fanin appears before its sink.
+        let pos: std::collections::HashMap<NodeId, usize> =
+            ordered.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        for (id, node) in n.iter() {
+            for &f in node.fanin() {
+                assert!(pos[&f] < pos[&id]);
+            }
+        }
+    }
+
+    #[test]
+    fn inputs_are_level_zero_only() {
+        let n = diamond();
+        let lv = Levelization::of(&n);
+        for &id in lv.level(0) {
+            assert!(matches!(n.node(id).kind(), NodeKind::Input));
+        }
+    }
+}

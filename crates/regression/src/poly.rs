@@ -1,0 +1,245 @@
+//! Bivariate polynomial feature expansion (paper Eq. 4 and Eq. 6).
+//!
+//! A delay-deviation surface is modeled as a polynomial of order `2·N`,
+//!
+//! ```text
+//! f(v, c) = Σ_{i=0..N} Σ_{j=0..N} β_{i,j} · vⁱ cʲ
+//! ```
+//!
+//! The design-matrix column ordering follows Eq. 6 of the paper: row `k`
+//! holds the power terms `v_k^i c_k^j` ordered with `i` (voltage power) as
+//! the major index and `j` (capacitance power) as the minor index, so the
+//! first column is the all-ones zero-degree term.
+
+use crate::RegressionError;
+
+/// The term basis of a bivariate polynomial with per-variable order `N`.
+///
+/// # Example
+///
+/// ```
+/// use avfs_regression::PolyBasis;
+///
+/// let basis = PolyBasis::new(1);
+/// assert_eq!(basis.len(), 4); // 1, c, v, v·c
+/// assert_eq!(basis.features(2.0, 3.0), vec![1.0, 3.0, 2.0, 6.0]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PolyBasis {
+    n: usize,
+}
+
+impl PolyBasis {
+    /// Creates the basis for per-variable order `N` (polynomial order `2·N`).
+    pub fn new(n: usize) -> Self {
+        PolyBasis { n }
+    }
+
+    /// The per-variable order `N`.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Number of terms, `(N+1)²` — the coefficient count the paper quotes
+    /// as 4, 9, 16, 25, … for N = 1, 2, 3, 4, …
+    pub fn len(&self) -> usize {
+        (self.n + 1) * (self.n + 1)
+    }
+
+    /// Returns `true` only for the degenerate zero-term basis (never
+    /// constructed by [`PolyBasis::new`], provided for completeness).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Expands one sample `(v, c)` into its feature row `[vⁱcʲ]`.
+    ///
+    /// Ordering matches Eq. 6: `(i, j)` iterates with `i` major, `j` minor,
+    /// i.e. `v⁰c⁰, v⁰c¹, …, v⁰cᴺ, v¹c⁰, …, vᴺcᴺ`.
+    pub fn features(&self, v: f64, c: f64) -> Vec<f64> {
+        let mut row = Vec::with_capacity(self.len());
+        self.write_features(v, c, &mut row);
+        row
+    }
+
+    /// Like [`PolyBasis::features`] but appends into a caller-provided
+    /// buffer, avoiding per-row allocations in the hot sweep loop.
+    pub fn write_features(&self, v: f64, c: f64, out: &mut Vec<f64>) {
+        let n = self.n;
+        // Incremental powers avoid calling powi in the inner loop.
+        let mut vi = 1.0;
+        for _ in 0..=n {
+            let mut cj = 1.0;
+            for _ in 0..=n {
+                out.push(vi * cj);
+                cj *= c;
+            }
+            vi *= v;
+        }
+    }
+
+    /// Evaluates the polynomial with coefficient vector `beta` at `(v, c)`
+    /// using Horner's method in both variables.
+    ///
+    /// This is the same nested-Horner scheme the paper compiles into the GPU
+    /// delay kernel (Sec. IV): the inner reduction over `c` and outer
+    /// reduction over `v` are chains of fused multiply-adds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegressionError::DimensionMismatch`] if `beta.len()` is not
+    /// `(N+1)²`.
+    pub fn eval(&self, beta: &[f64], v: f64, c: f64) -> Result<f64, RegressionError> {
+        if beta.len() != self.len() {
+            return Err(RegressionError::DimensionMismatch {
+                context: "PolyBasis::eval",
+                left: (1, self.len()),
+                right: (1, beta.len()),
+            });
+        }
+        Ok(eval_horner(self.n, beta, v, c))
+    }
+
+    /// Enumerates the `(i, j)` power pairs in design-matrix column order.
+    pub fn powers(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let n = self.n;
+        (0..=n).flat_map(move |i| (0..=n).map(move |j| (i, j)))
+    }
+}
+
+/// Nested Horner evaluation of a bivariate polynomial.
+///
+/// `beta` is laid out with voltage power major (Eq. 6 ordering):
+/// `beta[i*(n+1) + j] = β_{i,j}`. The outer Horner loop runs over `v`, the
+/// inner one over `c`; both compile to FMA chains.
+///
+/// # Panics
+///
+/// Panics (debug assertions only) if `beta.len() < (n+1)²`; release builds
+/// would read out of bounds, so callers must validate first — the public
+/// entry point [`PolyBasis::eval`] does.
+#[inline]
+pub fn eval_horner(n: usize, beta: &[f64], v: f64, c: f64) -> f64 {
+    debug_assert!(beta.len() >= (n + 1) * (n + 1));
+    let width = n + 1;
+    let mut acc = 0.0f64;
+    // Outer Horner over v: acc = (…((row_N)·v + row_{N-1})·v + …) + row_0.
+    for i in (0..width).rev() {
+        let row = &beta[i * width..(i + 1) * width];
+        // Inner Horner over c.
+        let mut r = 0.0f64;
+        for &b in row.iter().rev() {
+            r = r.mul_add(c, b);
+        }
+        acc = acc.mul_add(v, r);
+    }
+    acc
+}
+
+/// Naive power-sum evaluation, kept as a cross-check oracle for the Horner
+/// kernel (and used by tests/benches only).
+pub fn eval_naive(n: usize, beta: &[f64], v: f64, c: f64) -> f64 {
+    let width = n + 1;
+    let mut acc = 0.0;
+    for i in 0..width {
+        for j in 0..width {
+            acc += beta[i * width + j] * v.powi(i as i32) * c.powi(j as i32);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn term_counts_match_paper() {
+        // Paper Sec. V.A: "4, 9, 16, 25, …" coefficients per pin-delay.
+        assert_eq!(PolyBasis::new(1).len(), 4);
+        assert_eq!(PolyBasis::new(2).len(), 9);
+        assert_eq!(PolyBasis::new(3).len(), 16);
+        assert_eq!(PolyBasis::new(4).len(), 25);
+        assert_eq!(PolyBasis::new(5).len(), 36);
+    }
+
+    #[test]
+    fn feature_ordering_matches_eq6() {
+        // Eq. 6 row: v⁰c⁰, v⁰c¹, v¹c⁰ (for N=1 with i major: 1, c, v, vc).
+        let basis = PolyBasis::new(1);
+        assert_eq!(basis.features(2.0, 3.0), vec![1.0, 3.0, 2.0, 6.0]);
+        let basis2 = PolyBasis::new(2);
+        let f = basis2.features(2.0, 3.0);
+        // 1, c, c², v, vc, vc², v², v²c, v²c²
+        assert_eq!(f, vec![1.0, 3.0, 9.0, 2.0, 6.0, 18.0, 4.0, 12.0, 36.0]);
+    }
+
+    #[test]
+    fn first_column_is_ones() {
+        let basis = PolyBasis::new(3);
+        for &(v, c) in &[(0.0, 0.0), (0.5, 0.7), (1.0, 1.0)] {
+            assert_eq!(basis.features(v, c)[0], 1.0);
+        }
+    }
+
+    #[test]
+    fn eval_checks_coefficient_count() {
+        let basis = PolyBasis::new(2);
+        assert!(basis.eval(&[0.0; 4], 0.5, 0.5).is_err());
+        assert!(basis.eval(&[0.0; 9], 0.5, 0.5).is_ok());
+    }
+
+    #[test]
+    fn powers_enumeration() {
+        let basis = PolyBasis::new(1);
+        let p: Vec<_> = basis.powers().collect();
+        assert_eq!(p, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn horner_matches_hand_computed() {
+        // f(v,c) = 1 + 2c + 3v + 4vc at (v,c) = (2,3): 1 + 6 + 6 + 24 = 37.
+        let beta = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(eval_horner(1, &beta, 2.0, 3.0), 37.0);
+    }
+
+    proptest! {
+        #[test]
+        fn horner_matches_naive(
+            n in 1usize..=5,
+            v in -2.0f64..2.0,
+            c in -2.0f64..2.0,
+            seed in any::<u64>(),
+        ) {
+            // Deterministic pseudo-random coefficients from the seed.
+            let len = (n + 1) * (n + 1);
+            let mut state = seed | 1;
+            let beta: Vec<f64> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+                })
+                .collect();
+            let h = eval_horner(n, &beta, v, c);
+            let e = eval_naive(n, &beta, v, c);
+            // Scale tolerance with the magnitude of the result.
+            let tol = 1e-11 * (1.0 + e.abs());
+            prop_assert!((h - e).abs() < tol, "horner {h} vs naive {e}");
+        }
+
+        #[test]
+        fn features_dot_beta_equals_eval(
+            n in 1usize..=4,
+            v in 0.0f64..1.0,
+            c in 0.0f64..1.0,
+        ) {
+            let basis = PolyBasis::new(n);
+            let beta: Vec<f64> = (0..basis.len()).map(|k| (k as f64) * 0.37 - 1.0).collect();
+            let row = basis.features(v, c);
+            let dot: f64 = row.iter().zip(&beta).map(|(a, b)| a * b).sum();
+            let ev = basis.eval(&beta, v, c).unwrap();
+            prop_assert!((dot - ev).abs() < 1e-10 * (1.0 + ev.abs()));
+        }
+    }
+}

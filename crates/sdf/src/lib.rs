@@ -1,0 +1,109 @@
+//! Standard Delay Format (SDF) and parasitics (SPEF-subset) support.
+//!
+//! The paper's simulator reads "static nominal delay annotations of the
+//! cells … from *standard delay format files* and the load capacitances …
+//! from *detailed standard parasitics format*" (Sec. IV). This crate
+//! implements the round trip for the subset those flows use:
+//!
+//! * [`sdf`] — `(DELAYFILE …)` with `IOPATH` absolute delays per instance,
+//!   parsed into / written from a
+//!   [`TimingAnnotation`](avfs_delay::TimingAnnotation),
+//! * [`spef`] — a simplified `*D_NET <net> <cap>` parasitics list carrying
+//!   per-net load capacitances.
+//!
+//! # Example
+//!
+//! ```
+//! use avfs_netlist::{CellLibrary, NetlistBuilder};
+//! use avfs_delay::TimingAnnotation;
+//! use avfs_waveform::PinDelays;
+//! use avfs_sdf::sdf;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lib = CellLibrary::nangate15_like();
+//! let mut b = NetlistBuilder::new("tiny", &lib);
+//! let a = b.add_input("a")?;
+//! let g = b.add_gate("g", "INV_X1", &[a])?;
+//! b.add_output("y", g)?;
+//! let netlist = b.finish()?;
+//!
+//! let mut ann = TimingAnnotation::zero(&netlist);
+//! ann.node_delays_mut(netlist.find("g").expect("exists"))[0] =
+//!     PinDelays { rise: 11.5, fall: 9.25 };
+//!
+//! let text = sdf::write_sdf(&netlist, &ann);
+//! let parsed = sdf::parse_sdf(&netlist, &text)?;
+//! assert_eq!(parsed.pin_delays(netlist.find("g").unwrap(), 0).rise, 11.5);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod sdf;
+pub mod spef;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by SDF/SPEF parsing and annotation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SdfError {
+    /// Lexical or structural error in the file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// An `(INSTANCE …)` refers to a node absent from the netlist.
+    UnknownInstance {
+        /// The instance name.
+        instance: String,
+    },
+    /// An `IOPATH` refers to a pin the instance's cell does not have.
+    UnknownPin {
+        /// The instance name.
+        instance: String,
+        /// The pin name.
+        pin: String,
+    },
+    /// A `*D_NET` refers to a net absent from the netlist.
+    UnknownNet {
+        /// The net name.
+        net: String,
+    },
+    /// The `CELLTYPE` recorded in the file disagrees with the netlist.
+    CellTypeMismatch {
+        /// The instance name.
+        instance: String,
+        /// Cell type in the file.
+        in_file: String,
+        /// Cell type in the netlist.
+        in_netlist: String,
+    },
+}
+
+impl fmt::Display for SdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdfError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            SdfError::UnknownInstance { instance } => {
+                write!(f, "unknown instance `{instance}`")
+            }
+            SdfError::UnknownPin { instance, pin } => {
+                write!(f, "instance `{instance}` has no pin `{pin}`")
+            }
+            SdfError::UnknownNet { net } => write!(f, "unknown net `{net}`"),
+            SdfError::CellTypeMismatch {
+                instance,
+                in_file,
+                in_netlist,
+            } => write!(
+                f,
+                "instance `{instance}` is `{in_file}` in the file but `{in_netlist}` in the netlist"
+            ),
+        }
+    }
+}
+
+impl Error for SdfError {}

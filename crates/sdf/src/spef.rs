@@ -1,0 +1,178 @@
+//! Simplified parasitics exchange: per-net lumped load capacitances.
+//!
+//! Full IEEE 1481 SPEF carries RC networks; gate-level delay annotation
+//! only consumes the lumped total per net, so this subset stores exactly
+//! that:
+//!
+//! ```text
+//! *SPEF "IEEE 1481-1998 (subset)"
+//! *DESIGN "c17"
+//! *C_UNIT 1 FF
+//! *D_NET 10 1.35
+//! *D_NET 11 2.81
+//! *END
+//! ```
+//!
+//! Net names refer to driving nodes (a net is identified with its driver,
+//! as everywhere in this workspace); capacitances are fF.
+
+use crate::SdfError;
+use avfs_delay::TimingAnnotation;
+use avfs_netlist::Netlist;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Serializes the per-net loads of an annotation as simplified SPEF.
+pub fn write_spef(netlist: &Netlist, annotation: &TimingAnnotation) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "*SPEF \"IEEE 1481-1998 (subset)\"");
+    let _ = writeln!(out, "*DESIGN \"{}\"", netlist.name());
+    let _ = writeln!(out, "*C_UNIT 1 FF");
+    for (id, node) in netlist.iter() {
+        // Only nets that drive something carry a load.
+        if !node.fanout().is_empty() {
+            let _ = writeln!(out, "*D_NET {} {:.6}", node.name(), annotation.load_ff(id));
+        }
+    }
+    let _ = writeln!(out, "*END");
+    out
+}
+
+/// Parses simplified SPEF into a name → capacitance map.
+///
+/// # Errors
+///
+/// Returns [`SdfError::Parse`] for malformed lines.
+pub fn parse_spef(text: &str) -> Result<HashMap<String, f64>, SdfError> {
+    let mut loads = HashMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let stripped = raw.split("//").next().unwrap_or("").trim();
+        if stripped.is_empty() || stripped == "*END" {
+            continue;
+        }
+        if let Some(rest) = stripped.strip_prefix("*D_NET") {
+            let mut parts = rest.split_whitespace();
+            let net = parts.next().ok_or_else(|| SdfError::Parse {
+                line,
+                message: "*D_NET missing net name".to_owned(),
+            })?;
+            let cap: f64 = parts
+                .next()
+                .ok_or_else(|| SdfError::Parse {
+                    line,
+                    message: "*D_NET missing capacitance".to_owned(),
+                })?
+                .parse()
+                .map_err(|_| SdfError::Parse {
+                    line,
+                    message: "invalid capacitance value".to_owned(),
+                })?;
+            if !cap.is_finite() || cap < 0.0 {
+                return Err(SdfError::Parse {
+                    line,
+                    message: "capacitance must be finite and non-negative".to_owned(),
+                });
+            }
+            loads.insert(net.to_owned(), cap);
+        } else if stripped.starts_with('*') {
+            // Other header directives are ignored.
+            continue;
+        } else {
+            return Err(SdfError::Parse {
+                line,
+                message: format!("unrecognized line `{stripped}`"),
+            });
+        }
+    }
+    Ok(loads)
+}
+
+/// Applies parsed SPEF loads to an annotation.
+///
+/// # Errors
+///
+/// Returns [`SdfError::UnknownNet`] if the file names a net the netlist
+/// does not contain.
+pub fn apply_spef(
+    netlist: &Netlist,
+    annotation: &mut TimingAnnotation,
+    loads: &HashMap<String, f64>,
+) -> Result<(), SdfError> {
+    for (net, &cap) in loads {
+        let id = netlist.find(net).ok_or_else(|| SdfError::UnknownNet {
+            net: net.clone(),
+        })?;
+        annotation.set_load_ff(id, cap);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avfs_netlist::bench::{parse_bench, BenchOptions, C17_BENCH};
+    use avfs_netlist::CellLibrary;
+
+    fn c17() -> Netlist {
+        let lib = CellLibrary::nangate15_like();
+        parse_bench("c17", C17_BENCH, &lib, &BenchOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_loads() {
+        let n = c17();
+        let mut ann = TimingAnnotation::zero(&n);
+        let g10 = n.find("10").unwrap();
+        ann.set_load_ff(g10, 9.75);
+        let text = write_spef(&n, &ann);
+        assert!(text.contains("*D_NET 10 9.750000"));
+
+        let loads = parse_spef(&text).unwrap();
+        let mut ann2 = TimingAnnotation::zero(&n);
+        apply_spef(&n, &mut ann2, &loads).unwrap();
+        assert!((ann2.load_ff(g10) - 9.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse_spef("*D_NET onlyname\n").is_err());
+        assert!(parse_spef("*D_NET n abc\n").is_err());
+        assert!(parse_spef("*D_NET n -1.0\n").is_err());
+        assert!(parse_spef("random garbage\n").is_err());
+    }
+
+    #[test]
+    fn parse_ignores_headers_and_comments() {
+        let loads = parse_spef(
+            "*SPEF \"x\"\n*DESIGN \"y\"\n// comment\n\n*D_NET a 1.5 // inline\n*END\n",
+        )
+        .unwrap();
+        assert_eq!(loads.len(), 1);
+        assert_eq!(loads["a"], 1.5);
+    }
+
+    #[test]
+    fn apply_rejects_unknown_net() {
+        let n = c17();
+        let mut ann = TimingAnnotation::zero(&n);
+        let mut loads = HashMap::new();
+        loads.insert("ghost".to_owned(), 1.0);
+        assert!(matches!(
+            apply_spef(&n, &mut ann, &loads),
+            Err(SdfError::UnknownNet { .. })
+        ));
+    }
+
+    #[test]
+    fn writer_emits_driving_nets_only() {
+        let n = c17();
+        let ann = TimingAnnotation::zero(&n);
+        let text = write_spef(&n, &ann);
+        // POs drive nothing → no *D_NET for them.
+        assert!(!text.contains("*D_NET 22_po"));
+        // PIs and internal nets drive → present.
+        assert!(text.contains("*D_NET 1 "));
+        assert!(text.contains("*D_NET 16 "));
+    }
+}

@@ -1,0 +1,191 @@
+//! Switching-activity analysis of simulated waveforms (paper Fig. 2,
+//! step 4: "the waveforms are analyzed to extract the output information,
+//! such as test responses, switching activity and transition times").
+
+use crate::Waveform;
+
+/// Per-waveform summary extracted after simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WaveformStats {
+    /// Total number of transitions.
+    pub transitions: usize,
+    /// Transitions in excess of the functionally necessary ones — the
+    /// glitch count. A net whose initial and final values differ needs one
+    /// transition; one that returns to its initial value needs none.
+    pub glitch_transitions: usize,
+    /// The time of the latest transition, or `None` if the signal never
+    /// switched.
+    pub latest_transition: Option<f64>,
+    /// The value at the end of the window (the test response).
+    pub final_value: bool,
+}
+
+impl WaveformStats {
+    /// Analyzes one waveform.
+    pub fn of(waveform: &Waveform) -> WaveformStats {
+        let transitions = waveform.num_transitions();
+        let functional = usize::from(waveform.initial_value() != waveform.final_value());
+        WaveformStats {
+            transitions,
+            glitch_transitions: transitions - functional,
+            latest_transition: waveform.last_transition(),
+            final_value: waveform.final_value(),
+        }
+    }
+}
+
+/// Aggregated switching activity over a set of nets (one simulation slot).
+///
+/// # Example
+///
+/// ```
+/// use avfs_waveform::{SwitchingActivity, Waveform};
+///
+/// # fn main() -> Result<(), avfs_waveform::WaveformError> {
+/// let wfs = vec![
+///     Waveform::with_transitions(false, vec![5.0])?,
+///     Waveform::with_transitions(false, vec![3.0, 9.0])?, // glitch pulse
+/// ];
+/// let act = SwitchingActivity::of(wfs.iter());
+/// assert_eq!(act.total_transitions, 3);
+/// assert_eq!(act.total_glitch_transitions, 2);
+/// assert_eq!(act.latest_transition, Some(9.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SwitchingActivity {
+    /// Sum of transitions over all nets.
+    pub total_transitions: usize,
+    /// Sum of glitch transitions over all nets.
+    pub total_glitch_transitions: usize,
+    /// Number of nets that toggled at least once.
+    pub active_nets: usize,
+    /// Number of analyzed nets.
+    pub nets: usize,
+    /// Latest transition over all nets (the "latest transition arrival
+    /// time" of Table II when restricted to output nets).
+    pub latest_transition: Option<f64>,
+}
+
+impl SwitchingActivity {
+    /// Aggregates statistics over a collection of waveforms.
+    pub fn of<'a>(waveforms: impl IntoIterator<Item = &'a Waveform>) -> SwitchingActivity {
+        let mut act = SwitchingActivity::default();
+        for w in waveforms {
+            let s = WaveformStats::of(w);
+            act.nets += 1;
+            act.total_transitions += s.transitions;
+            act.total_glitch_transitions += s.glitch_transitions;
+            if s.transitions > 0 {
+                act.active_nets += 1;
+            }
+            act.latest_transition = match (act.latest_transition, s.latest_transition) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        act
+    }
+
+    /// Average transitions per net, 0 for an empty set.
+    pub fn avg_transitions(&self) -> f64 {
+        if self.nets == 0 {
+            0.0
+        } else {
+            self.total_transitions as f64 / self.nets as f64
+        }
+    }
+
+    /// Capacitance-weighted switching energy proxy `Σ caps[i] · toggles_i`
+    /// (the dynamic-power estimation input mentioned in the paper's
+    /// introduction). `caps` must be indexable by net order.
+    pub fn weighted_switching<'a>(
+        waveforms: impl IntoIterator<Item = &'a Waveform>,
+        caps_ff: &[f64],
+    ) -> f64 {
+        waveforms
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| caps_ff.get(i).copied().unwrap_or(0.0) * w.num_transitions() as f64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wf(initial: bool, times: &[f64]) -> Waveform {
+        Waveform::with_transitions(initial, times.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn stats_of_clean_transition() {
+        let s = WaveformStats::of(&wf(false, &[10.0]));
+        assert_eq!(s.transitions, 1);
+        assert_eq!(s.glitch_transitions, 0);
+        assert_eq!(s.latest_transition, Some(10.0));
+        assert!(s.final_value);
+    }
+
+    #[test]
+    fn stats_of_glitch_pulse() {
+        // Returns to the initial value: both transitions are glitch.
+        let s = WaveformStats::of(&wf(false, &[10.0, 12.0]));
+        assert_eq!(s.transitions, 2);
+        assert_eq!(s.glitch_transitions, 2);
+        assert!(!s.final_value);
+    }
+
+    #[test]
+    fn stats_of_hazardous_transition() {
+        // Three transitions ending opposite: one functional, two glitch.
+        let s = WaveformStats::of(&wf(false, &[10.0, 12.0, 20.0]));
+        assert_eq!(s.glitch_transitions, 2);
+        assert!(s.final_value);
+    }
+
+    #[test]
+    fn stats_of_constant() {
+        let s = WaveformStats::of(&Waveform::constant(true));
+        assert_eq!(s.transitions, 0);
+        assert_eq!(s.glitch_transitions, 0);
+        assert_eq!(s.latest_transition, None);
+        assert!(s.final_value);
+    }
+
+    #[test]
+    fn aggregate_activity() {
+        let wfs = vec![
+            wf(false, &[5.0]),
+            Waveform::constant(true),
+            wf(true, &[3.0, 9.0, 11.0]),
+        ];
+        let act = SwitchingActivity::of(wfs.iter());
+        assert_eq!(act.nets, 3);
+        assert_eq!(act.active_nets, 2);
+        assert_eq!(act.total_transitions, 4);
+        assert_eq!(act.total_glitch_transitions, 2);
+        assert_eq!(act.latest_transition, Some(11.0));
+        assert!((act.avg_transitions() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_aggregate() {
+        let act = SwitchingActivity::of(std::iter::empty());
+        assert_eq!(act, SwitchingActivity::default());
+        assert_eq!(act.avg_transitions(), 0.0);
+    }
+
+    #[test]
+    fn weighted_switching_sums() {
+        let wfs = vec![wf(false, &[1.0]), wf(false, &[1.0, 2.0])];
+        let caps = [3.0, 0.5];
+        let e = SwitchingActivity::weighted_switching(wfs.iter(), &caps);
+        assert!((e - (3.0 + 1.0)).abs() < 1e-12);
+        // Missing caps count as zero load.
+        let e2 = SwitchingActivity::weighted_switching(wfs.iter(), &caps[..1]);
+        assert!((e2 - 3.0).abs() < 1e-12);
+    }
+}

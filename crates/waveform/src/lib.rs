@@ -1,0 +1,620 @@
+//! Glitch-accurate signal waveforms and the gate-evaluation kernel.
+//!
+//! A [`Waveform`] is the complete switching history of one net within a
+//! simulation window: an initial logic value plus a sorted list of
+//! transition times (two-valued logic; each transition toggles). This is the
+//! representation the GPU algorithm of Holst et al. \[25\] streams through
+//! global memory, and what this reproduction's simulator stores per
+//! `(slot, net)`.
+//!
+//! [`evaluate_gate`] implements the waveform-processing loop each simulator
+//! thread runs for one gate: merge the input histories in time order,
+//! re-evaluate the gate function after every input event, schedule output
+//! transitions after the pin-to-pin propagation delay of the causing pin
+//! and the output polarity, and cancel *overtaken* transitions — the
+//! inertial pulse filtering of the paper (Sec. IV: "inertial delay is
+//! considered for pulse filtering of glitches and hazards", with inertial
+//! delay equal to the propagation delay).
+//!
+//! # Example
+//!
+//! ```
+//! use avfs_waveform::{Waveform, PinDelays, evaluate_gate};
+//!
+//! # fn main() -> Result<(), avfs_waveform::WaveformError> {
+//! // An AND gate: input a rises at t=100, input b is constant 1.
+//! let a = Waveform::with_transitions(false, vec![100.0])?;
+//! let b = Waveform::constant(true);
+//! let delays = [PinDelays { rise: 10.0, fall: 12.0 }; 2];
+//! let out = evaluate_gate(&[&a, &b], &delays, |ins| ins[0] && ins[1]);
+//! assert_eq!(out.transitions(), &[110.0]); // rises 10 time units later
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod activity;
+pub mod vcd;
+
+pub use activity::{SwitchingActivity, WaveformStats};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by waveform construction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WaveformError {
+    /// Transition times were not strictly increasing.
+    UnsortedTransitions {
+        /// Index of the first out-of-order transition.
+        index: usize,
+    },
+    /// A transition time was NaN or infinite.
+    NonFiniteTime {
+        /// Index of the offending transition.
+        index: usize,
+    },
+}
+
+impl fmt::Display for WaveformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaveformError::UnsortedTransitions { index } => {
+                write!(f, "transition {index} is not strictly after its predecessor")
+            }
+            WaveformError::NonFiniteTime { index } => {
+                write!(f, "transition {index} has a non-finite time")
+            }
+        }
+    }
+}
+
+impl Error for WaveformError {}
+
+/// The switching history of one signal: an initial value and strictly
+/// increasing toggle times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveform {
+    initial: bool,
+    transitions: Vec<f64>,
+}
+
+impl Waveform {
+    /// A constant signal with no transitions.
+    pub fn constant(value: bool) -> Waveform {
+        Waveform {
+            initial: value,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Builds a waveform from an initial value and strictly increasing
+    /// transition times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::UnsortedTransitions`] if times are not
+    /// strictly increasing and [`WaveformError::NonFiniteTime`] for
+    /// NaN/infinite times.
+    pub fn with_transitions(initial: bool, transitions: Vec<f64>) -> Result<Waveform, WaveformError> {
+        for (i, &t) in transitions.iter().enumerate() {
+            if !t.is_finite() {
+                return Err(WaveformError::NonFiniteTime { index: i });
+            }
+            if i > 0 && transitions[i - 1] >= t {
+                return Err(WaveformError::UnsortedTransitions { index: i });
+            }
+        }
+        Ok(Waveform {
+            initial,
+            transitions,
+        })
+    }
+
+    /// The waveform of a two-pattern (launch/capture) stimulus: value `v1`
+    /// initially, switching to `v2` at `t` if they differ.
+    pub fn from_pattern(v1: bool, v2: bool, t: f64) -> Waveform {
+        if v1 == v2 {
+            Waveform::constant(v1)
+        } else {
+            Waveform {
+                initial: v1,
+                transitions: vec![t],
+            }
+        }
+    }
+
+    /// The value before the first transition.
+    pub fn initial_value(&self) -> bool {
+        self.initial
+    }
+
+    /// The value after the last transition.
+    pub fn final_value(&self) -> bool {
+        self.initial ^ (self.transitions.len() % 2 == 1)
+    }
+
+    /// The value at time `t` (transitions take effect *at* their time).
+    pub fn value_at(&self, t: f64) -> bool {
+        let flips = self.transitions.partition_point(|&x| x <= t);
+        self.initial ^ (flips % 2 == 1)
+    }
+
+    /// The sorted transition times.
+    pub fn transitions(&self) -> &[f64] {
+        &self.transitions
+    }
+
+    /// Number of transitions (the switching activity of this net).
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The time of the last transition, or `None` for a constant signal.
+    pub fn last_transition(&self) -> Option<f64> {
+        self.transitions.last().copied()
+    }
+
+    /// Iterates `(time, new_value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, bool)> + '_ {
+        self.transitions
+            .iter()
+            .enumerate()
+            .map(move |(i, &t)| (t, self.initial ^ (i % 2 == 0)))
+    }
+
+    /// Removes pulses narrower than `min_width`: any pair of consecutive
+    /// transitions closer than `min_width` is deleted. Applied repeatedly
+    /// until stable, so the result contains no sub-threshold pulse.
+    ///
+    /// This is the *explicit* inertial filter; [`evaluate_gate`] performs
+    /// the equivalent cancellation on the fly via transition overtaking.
+    pub fn filter_pulses(&self, min_width: f64) -> Waveform {
+        let mut times = self.transitions.clone();
+        loop {
+            let mut removed = false;
+            let mut kept: Vec<f64> = Vec::with_capacity(times.len());
+            let mut i = 0;
+            while i < times.len() {
+                // A pulse is a pair (times[i], times[i+1]) returning to the
+                // pre-pulse value.
+                if i + 1 < times.len() && times[i + 1] - times[i] < min_width {
+                    i += 2;
+                    removed = true;
+                } else {
+                    kept.push(times[i]);
+                    i += 1;
+                }
+            }
+            times = kept;
+            if !removed {
+                break;
+            }
+        }
+        Waveform {
+            initial: self.initial,
+            transitions: times,
+        }
+    }
+
+    /// Internal invariant check (used by debug assertions and tests).
+    fn check_invariants(&self) -> bool {
+        self.transitions.iter().all(|t| t.is_finite())
+            && self.transitions.windows(2).all(|w| w[0] < w[1])
+    }
+}
+
+impl Default for Waveform {
+    /// A constant-low signal.
+    fn default() -> Self {
+        Waveform::constant(false)
+    }
+}
+
+/// Pin-to-pin propagation delays for one gate input pin, by output
+/// transition polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PinDelays {
+    /// Delay when the output rises.
+    pub rise: f64,
+    /// Delay when the output falls.
+    pub fall: f64,
+}
+
+impl PinDelays {
+    /// Selects the delay for an output transition to `new_value`.
+    #[inline]
+    pub fn for_output(&self, new_value: bool) -> f64 {
+        if new_value {
+            self.rise
+        } else {
+            self.fall
+        }
+    }
+
+    /// The larger of the two delays.
+    pub fn max(&self) -> f64 {
+        self.rise.max(self.fall)
+    }
+}
+
+/// Reusable working memory for [`evaluate_gate_scratch`].
+///
+/// One instance per simulation worker avoids the per-gate heap traffic
+/// that would otherwise dominate the oblivious (every-gate-every-slot)
+/// simulation schedule.
+#[derive(Debug, Default)]
+pub struct GateScratch {
+    values: Vec<bool>,
+    cursors: Vec<usize>,
+    sched: Vec<f64>,
+}
+
+impl GateScratch {
+    /// Creates empty scratch space.
+    pub fn new() -> GateScratch {
+        GateScratch::default()
+    }
+}
+
+/// Evaluates one gate over its input waveforms — the per-thread waveform
+/// processing loop of the parallel time simulator.
+///
+/// `delays[p]` gives the pin-to-pin delays from input `p` to the output;
+/// `eval` is the gate's Boolean function. The output waveform reflects
+/// glitch-accurate timing with inertial pulse filtering by transition
+/// overtaking: a newly caused output transition cancels any already
+/// scheduled transition that would occur at the same time or later.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != delays.len()` or either is empty.
+pub fn evaluate_gate(
+    inputs: &[&Waveform],
+    delays: &[PinDelays],
+    eval: impl Fn(&[bool]) -> bool,
+) -> Waveform {
+    evaluate_gate_scratch(inputs, delays, eval, &mut GateScratch::new())
+}
+
+/// [`evaluate_gate`] with caller-provided scratch buffers (the hot-loop
+/// form used by the engine).
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != delays.len()` or either is empty.
+pub fn evaluate_gate_scratch(
+    inputs: &[&Waveform],
+    delays: &[PinDelays],
+    eval: impl Fn(&[bool]) -> bool,
+    scratch: &mut GateScratch,
+) -> Waveform {
+    assert_eq!(
+        inputs.len(),
+        delays.len(),
+        "one PinDelays entry per input pin required"
+    );
+    assert!(!inputs.is_empty(), "gate must have at least one input");
+
+    let values = &mut scratch.values;
+    values.clear();
+    values.extend(inputs.iter().map(|w| w.initial_value()));
+    let initial_out = eval(values);
+
+    // Fast path: quiescent inputs produce a constant output.
+    if inputs.iter().all(|w| w.transitions.is_empty()) {
+        return Waveform {
+            initial: initial_out,
+            transitions: Vec::new(),
+        };
+    }
+
+    // Scheduled output transition times (sorted ascending, alternating
+    // from initial_out). `scheduled_value` is the output value after all
+    // currently scheduled transitions.
+    let sched = &mut scratch.sched;
+    sched.clear();
+    let mut scheduled_value = initial_out;
+
+    // K-way merge over the input transition lists.
+    let cursors = &mut scratch.cursors;
+    cursors.clear();
+    cursors.resize(inputs.len(), 0);
+    loop {
+        // Find the earliest pending input event.
+        let mut best: Option<(f64, usize)> = None;
+        for (p, w) in inputs.iter().enumerate() {
+            if let Some(&t) = w.transitions().get(cursors[p]) {
+                if best.is_none_or(|(bt, _)| t < bt) {
+                    best = Some((t, p));
+                }
+            }
+        }
+        let Some((t, pin)) = best else { break };
+        cursors[pin] += 1;
+        values[pin] = !values[pin];
+
+        let new_out = eval(values);
+        if new_out == scheduled_value {
+            continue;
+        }
+        let tt = t + delays[pin].for_output(new_out);
+        // Inertial cancellation: the new cause overtakes any scheduled
+        // transition at tt or later.
+        while let Some(&last) = sched.last() {
+            if last >= tt {
+                sched.pop();
+                scheduled_value = !scheduled_value;
+            } else {
+                break;
+            }
+        }
+        if scheduled_value != new_out {
+            sched.push(tt);
+            scheduled_value = new_out;
+        }
+    }
+
+    let out = Waveform {
+        initial: initial_out,
+        // Exact-size copy out of the reusable buffer.
+        transitions: sched.as_slice().to_vec(),
+    };
+    debug_assert!(out.check_invariants());
+    out
+}
+
+/// Propagates a waveform through an identity stage with per-polarity delay
+/// (used for primary-output observation nodes).
+pub fn delay_waveform(input: &Waveform, delays: PinDelays) -> Waveform {
+    evaluate_gate(&[input], &[delays], |v| v[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn wf(initial: bool, times: &[f64]) -> Waveform {
+        Waveform::with_transitions(initial, times.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Waveform::with_transitions(false, vec![1.0, 2.0]).is_ok());
+        assert!(matches!(
+            Waveform::with_transitions(false, vec![2.0, 1.0]),
+            Err(WaveformError::UnsortedTransitions { index: 1 })
+        ));
+        assert!(matches!(
+            Waveform::with_transitions(false, vec![1.0, 1.0]),
+            Err(WaveformError::UnsortedTransitions { index: 1 })
+        ));
+        assert!(matches!(
+            Waveform::with_transitions(false, vec![f64::NAN]),
+            Err(WaveformError::NonFiniteTime { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn values_over_time() {
+        let w = wf(false, &[10.0, 20.0, 30.0]);
+        assert!(!w.initial_value());
+        assert!(w.final_value());
+        assert!(!w.value_at(9.9));
+        assert!(w.value_at(10.0)); // effective at its time
+        assert!(!w.value_at(25.0));
+        assert!(w.value_at(30.0));
+        assert_eq!(w.num_transitions(), 3);
+        assert_eq!(w.last_transition(), Some(30.0));
+    }
+
+    #[test]
+    fn pattern_waveforms() {
+        assert_eq!(Waveform::from_pattern(true, true, 5.0), Waveform::constant(true));
+        let w = Waveform::from_pattern(false, true, 5.0);
+        assert_eq!(w.transitions(), &[5.0]);
+        assert!(w.final_value());
+    }
+
+    #[test]
+    fn iter_reports_new_values() {
+        let w = wf(true, &[1.0, 2.0]);
+        let seq: Vec<_> = w.iter().collect();
+        assert_eq!(seq, vec![(1.0, false), (2.0, true)]);
+    }
+
+    #[test]
+    fn buffer_shifts_by_delay() {
+        let input = wf(false, &[100.0, 150.0]);
+        let out = delay_waveform(&input, PinDelays { rise: 7.0, fall: 9.0 });
+        assert_eq!(out.transitions(), &[107.0, 159.0]);
+        assert!(!out.initial_value());
+    }
+
+    #[test]
+    fn inverter_flips_polarity_delays() {
+        let input = wf(false, &[100.0]);
+        // Input rises → output falls → fall delay applies.
+        let out = evaluate_gate(
+            &[&input],
+            &[PinDelays { rise: 5.0, fall: 11.0 }],
+            |v| !v[0],
+        );
+        assert!(out.initial_value());
+        assert_eq!(out.transitions(), &[111.0]);
+    }
+
+    #[test]
+    fn and_gate_masks_controlled_input() {
+        let a = wf(false, &[100.0]);
+        let b = Waveform::constant(false); // controlling 0: output stays 0
+        let out = evaluate_gate(
+            &[&a, &b],
+            &[PinDelays::default(); 2],
+            |v| v[0] && v[1],
+        );
+        assert_eq!(out.num_transitions(), 0);
+        assert!(!out.initial_value());
+    }
+
+    #[test]
+    fn nand_glitch_from_skewed_inputs() {
+        // a falls at 105, b rises at 100: window [100,105) has a=1,b=1 →
+        // the NAND output dips and recovers: a glitch survives when the
+        // delays keep the pulse open.
+        let a = wf(true, &[105.0]);
+        let b = wf(false, &[100.0]);
+        let d = PinDelays { rise: 10.0, fall: 10.0 };
+        let out = evaluate_gate(&[&a, &b], &[d, d], |v| !(v[0] && v[1]));
+        // Fall caused at 100+10=110, rise caused at 105+10=115.
+        assert!(out.initial_value());
+        assert_eq!(out.transitions(), &[110.0, 115.0]);
+        assert!(out.final_value());
+    }
+
+    #[test]
+    fn glitch_filtered_when_delays_close_it() {
+        // Same stimulus, but the rise delay is shorter than the fall delay:
+        // the recovering rise at 105+4=109 overtakes the fall at 100+10=110
+        // → both cancel, no output pulse.
+        let a = wf(true, &[105.0]);
+        let b = wf(false, &[100.0]);
+        let d = PinDelays { rise: 4.0, fall: 10.0 };
+        let out = evaluate_gate(&[&a, &b], &[d, d], |v| !(v[0] && v[1]));
+        assert_eq!(out.num_transitions(), 0);
+        assert!(out.initial_value());
+        assert!(out.final_value());
+    }
+
+    #[test]
+    fn narrow_input_pulse_filtered() {
+        // 3-wide input pulse through a buffer with rise 10 / fall 5:
+        // rise lands at t+10, fall at t+3+5=t+8 → overtakes → silence.
+        let input = wf(false, &[100.0, 103.0]);
+        let out = delay_waveform(&input, PinDelays { rise: 10.0, fall: 5.0 });
+        assert_eq!(out.num_transitions(), 0);
+    }
+
+    #[test]
+    fn simultaneous_input_events() {
+        // Both NAND inputs swap at the same instant (1,0) → (0,1); the
+        // output stays 1 both before and after, and any internal hazard is
+        // resolved by the overtaking rule (rise scheduled first is popped).
+        let a = wf(true, &[100.0]);
+        let b = wf(false, &[100.0]);
+        let d = PinDelays { rise: 10.0, fall: 10.0 };
+        let out = evaluate_gate(&[&a, &b], &[d, d], |v| !(v[0] && v[1]));
+        assert!(out.initial_value());
+        assert_eq!(out.num_transitions(), 0);
+    }
+
+    #[test]
+    fn per_pin_delays_differ() {
+        // XOR with different pin delays: pin 0 slow, pin 1 fast.
+        let a = wf(false, &[100.0]);
+        let b = wf(false, &[200.0]);
+        let d0 = PinDelays { rise: 20.0, fall: 20.0 };
+        let d1 = PinDelays { rise: 3.0, fall: 3.0 };
+        let out = evaluate_gate(&[&a, &b], &[d0, d1], |v| v[0] ^ v[1]);
+        assert_eq!(out.transitions(), &[120.0, 203.0]);
+    }
+
+    #[test]
+    fn filter_pulses_removes_narrow() {
+        let w = wf(false, &[100.0, 101.0, 200.0, 260.0]);
+        let f = w.filter_pulses(5.0);
+        assert_eq!(f.transitions(), &[200.0, 260.0]);
+        // Wide pulses survive.
+        let f2 = w.filter_pulses(0.5);
+        assert_eq!(f2.transitions(), w.transitions());
+    }
+
+    #[test]
+    fn filter_pulses_cascades() {
+        // Removing the inner pulse merges the outer pair, which is then
+        // itself narrow and must be removed too.
+        let w = wf(false, &[100.0, 103.0, 104.0, 107.0]);
+        let f = w.filter_pulses(5.0);
+        assert_eq!(f.num_transitions(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn value_at_consistent_with_final(times in proptest::collection::vec(0.0f64..1e6, 0..20)) {
+            let mut sorted = times.clone();
+            sorted.sort_by(f64::total_cmp);
+            sorted.dedup();
+            let w = Waveform::with_transitions(false, sorted.clone()).unwrap();
+            prop_assert_eq!(w.value_at(2e6), w.final_value());
+            prop_assert_eq!(w.value_at(-1.0), w.initial_value());
+        }
+
+        #[test]
+        fn gate_output_invariants(
+            a_times in proptest::collection::vec(0.0f64..1000.0, 0..12),
+            b_times in proptest::collection::vec(0.0f64..1000.0, 0..12),
+            rise in 1.0f64..30.0,
+            fall in 1.0f64..30.0,
+        ) {
+            let mut a_t = a_times.clone(); a_t.sort_by(f64::total_cmp); a_t.dedup();
+            let mut b_t = b_times.clone(); b_t.sort_by(f64::total_cmp); b_t.dedup();
+            let a = Waveform::with_transitions(false, a_t).unwrap();
+            let b = Waveform::with_transitions(true, b_t).unwrap();
+            let d = PinDelays { rise, fall };
+            let out = evaluate_gate(&[&a, &b], &[d, d], |v| !(v[0] && v[1]));
+            // Output transitions strictly increasing and finite.
+            prop_assert!(out.check_invariants());
+            // Causality: no output transition before the earliest input
+            // event plus the smallest delay.
+            if let Some(&first_out) = out.transitions().first() {
+                let first_in = a.transitions().first().copied()
+                    .into_iter()
+                    .chain(b.transitions().first().copied())
+                    .fold(f64::INFINITY, f64::min);
+                prop_assert!(first_out >= first_in + rise.min(fall) - 1e-9);
+            }
+            // Steady state: the final value equals the gate function of the
+            // final input values.
+            prop_assert_eq!(out.final_value(), !(a.final_value() && b.final_value()));
+            // Initial value equals the function of initial inputs.
+            prop_assert_eq!(out.initial_value(), !(a.initial_value() && b.initial_value()));
+        }
+
+        #[test]
+        fn filter_pulses_idempotent(
+            times in proptest::collection::vec(0.0f64..1000.0, 0..16),
+            width in 0.1f64..50.0,
+        ) {
+            let mut t = times.clone(); t.sort_by(f64::total_cmp); t.dedup();
+            let w = Waveform::with_transitions(false, t).unwrap();
+            let once = w.filter_pulses(width);
+            let twice = once.filter_pulses(width);
+            prop_assert_eq!(&once, &twice);
+            // No surviving pulse is narrower than the width.
+            for pair in once.transitions().windows(2).step_by(2) {
+                prop_assert!(pair[1] - pair[0] >= width);
+            }
+        }
+
+        #[test]
+        fn buffer_chain_associativity(
+            times in proptest::collection::vec(0.0f64..1000.0, 0..10),
+            d1 in 1.0f64..20.0,
+            d2 in 1.0f64..20.0,
+        ) {
+            // Two buffers with symmetric delays compose additively.
+            let mut t = times.clone(); t.sort_by(f64::total_cmp); t.dedup();
+            let w = Waveform::with_transitions(false, t).unwrap();
+            let sym1 = PinDelays { rise: d1, fall: d1 };
+            let sym2 = PinDelays { rise: d2, fall: d2 };
+            let sym12 = PinDelays { rise: d1 + d2, fall: d1 + d2 };
+            let chained = delay_waveform(&delay_waveform(&w, sym1), sym2);
+            let direct = delay_waveform(&w, sym12);
+            prop_assert_eq!(chained.transitions().len(), direct.transitions().len());
+            for (x, y) in chained.transitions().iter().zip(direct.transitions()) {
+                prop_assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+}

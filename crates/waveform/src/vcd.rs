@@ -1,0 +1,172 @@
+//! Value-change-dump (VCD) export of simulated waveforms.
+//!
+//! The paper's flow analyzes waveforms on the device; a practical tool
+//! also needs to hand them to humans. This writer emits standard IEEE
+//! 1364 VCD that GTKWave & co. read, with picosecond timescale and one
+//! scalar variable per exported net.
+
+use crate::Waveform;
+use std::fmt::Write as _;
+
+/// One named signal to export.
+#[derive(Debug, Clone)]
+pub struct VcdSignal<'a> {
+    /// The display name (any non-empty string; spaces are replaced).
+    pub name: &'a str,
+    /// The waveform to dump.
+    pub waveform: &'a Waveform,
+}
+
+/// Serializes signals into VCD text.
+///
+/// Transition times are rounded to whole picoseconds (the timescale);
+/// simultaneous changes share a timestamp block as the format requires.
+///
+/// # Example
+///
+/// ```
+/// use avfs_waveform::{Waveform, vcd};
+///
+/// # fn main() -> Result<(), avfs_waveform::WaveformError> {
+/// let a = Waveform::with_transitions(false, vec![100.0, 250.0])?;
+/// let text = vcd::write_vcd("demo", &[vcd::VcdSignal { name: "a", waveform: &a }]);
+/// assert!(text.contains("$timescale 1ps $end"));
+/// assert!(text.contains("#100"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_vcd(module: &str, signals: &[VcdSignal<'_>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "$date avfs-sim $end");
+    let _ = writeln!(out, "$version avfs-sim waveform export $end");
+    let _ = writeln!(out, "$timescale 1ps $end");
+    let _ = writeln!(out, "$scope module {} $end", sanitize(module));
+    for (k, sig) in signals.iter().enumerate() {
+        let _ = writeln!(out, "$var wire 1 {} {} $end", id_code(k), sanitize(sig.name));
+    }
+    let _ = writeln!(out, "$upscope $end");
+    let _ = writeln!(out, "$enddefinitions $end");
+
+    // Initial values.
+    let _ = writeln!(out, "#0");
+    let _ = writeln!(out, "$dumpvars");
+    for (k, sig) in signals.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{}{}",
+            u8::from(sig.waveform.initial_value()),
+            id_code(k)
+        );
+    }
+    let _ = writeln!(out, "$end");
+
+    // Merge all transitions in time order.
+    let mut events: Vec<(u64, usize, bool)> = Vec::new();
+    for (k, sig) in signals.iter().enumerate() {
+        for (t, v) in sig.waveform.iter() {
+            events.push((t.round().max(0.0) as u64, k, v));
+        }
+    }
+    events.sort_by_key(|&(t, k, _)| (t, k));
+    let mut last_t: Option<u64> = None;
+    for (t, k, v) in events {
+        if last_t != Some(t) {
+            let _ = writeln!(out, "#{t}");
+            last_t = Some(t);
+        }
+        let _ = writeln!(out, "{}{}", u8::from(v), id_code(k));
+    }
+    out
+}
+
+/// Short identifier codes from the VCD printable range (`!` … `~`).
+fn id_code(mut index: usize) -> String {
+    let mut code = String::new();
+    loop {
+        code.push((b'!' + (index % 94) as u8) as char);
+        index /= 94;
+        if index == 0 {
+            break;
+        }
+        index -= 1;
+    }
+    code
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect();
+    if cleaned.is_empty() {
+        "_".to_owned()
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wf(initial: bool, times: &[f64]) -> Waveform {
+        Waveform::with_transitions(initial, times.to_vec()).expect("valid")
+    }
+
+    #[test]
+    fn header_and_initial_values() {
+        let a = wf(true, &[]);
+        let text = write_vcd("top", &[VcdSignal { name: "clk out", waveform: &a }]);
+        assert!(text.contains("$timescale 1ps $end"));
+        assert!(text.contains("$scope module top $end"));
+        assert!(text.contains("$var wire 1 ! clk_out $end"));
+        assert!(text.contains("$dumpvars\n1!"));
+    }
+
+    #[test]
+    fn transitions_in_time_order() {
+        let a = wf(false, &[100.0, 300.0]);
+        let b = wf(true, &[200.0]);
+        let text = write_vcd(
+            "t",
+            &[
+                VcdSignal { name: "a", waveform: &a },
+                VcdSignal { name: "b", waveform: &b },
+            ],
+        );
+        let pos = |needle: &str| text.find(needle).unwrap_or_else(|| panic!("missing {needle}"));
+        assert!(pos("#100") < pos("#200"));
+        assert!(pos("#200") < pos("#300"));
+        // a's first transition goes high, b's goes low.
+        assert!(text.contains("#100\n1!"));
+        assert!(text.contains("#200\n0\""));
+        assert!(text.contains("#300\n0!"));
+    }
+
+    #[test]
+    fn simultaneous_changes_share_timestamp() {
+        let a = wf(false, &[50.0]);
+        let b = wf(false, &[50.0]);
+        let text = write_vcd(
+            "s",
+            &[
+                VcdSignal { name: "a", waveform: &a },
+                VcdSignal { name: "b", waveform: &b },
+            ],
+        );
+        assert_eq!(text.matches("#50").count(), 1);
+    }
+
+    #[test]
+    fn id_codes_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..500 {
+            let code = id_code(k);
+            assert!(code.bytes().all(|b| (b'!'..=b'~').contains(&b)));
+            assert!(seen.insert(code), "duplicate code at {k}");
+        }
+        assert_eq!(id_code(0), "!");
+        assert_eq!(id_code(93), "~");
+        assert_eq!(id_code(94), "!!");
+    }
+}

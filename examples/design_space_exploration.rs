@@ -1,0 +1,105 @@
+//! AVFS design-space exploration: find the minimum supply voltage that
+//! meets each clock period — the use case the paper's introduction
+//! motivates ("large-scale design space exploration of AVFS-based
+//! systems").
+//!
+//! A scaled industrial-profile netlist is swept over a fine voltage grid
+//! in a single engine launch; for each candidate clock period the lowest
+//! voltage whose worst observed arrival time still fits is reported (plus
+//! the switching-activity proxy for the power trade-off).
+//!
+//! ```text
+//! cargo run --release --example design_space_exploration
+//! ```
+
+use avfs::atpg::PatternSet;
+use avfs::circuits::CircuitProfile;
+use avfs::delay::characterize::{characterize_library, CharacterizationConfig};
+use avfs::netlist::{CellLibrary, NodeKind};
+use avfs::sim::{SimOptions, TimeSimulator};
+use avfs::spice::Technology;
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let library = CellLibrary::nangate15_like();
+    let profile = CircuitProfile::find("s38417").expect("profile exists");
+    let netlist = Arc::new(profile.synthesize(0.05, &library)?);
+    println!(
+        "exploring {} (scale 0.05): {}",
+        profile.name,
+        avfs::netlist::NetlistStats::of(&netlist)
+    );
+
+    let used: Vec<_> = {
+        let mut set = BTreeSet::new();
+        for (_, node) in netlist.iter() {
+            if let NodeKind::Gate(cell) = node.kind() {
+                set.insert(cell);
+            }
+        }
+        set.into_iter().collect()
+    };
+    let chars = characterize_library(
+        &library,
+        &Technology::nm15(),
+        &CharacterizationConfig::default(),
+        Some(&used),
+    )?;
+    let sim = TimeSimulator::from_characterization(Arc::clone(&netlist), &chars)?;
+
+    // A fine AVFS voltage grid (the paper's interval at 0.05 V steps) and
+    // a realistic pattern budget — all in ONE launch.
+    let voltages: Vec<f64> = (0..12).map(|i| 0.55 + 0.05 * i as f64).collect();
+    let patterns = PatternSet::lfsr(netlist.inputs().len(), 24, 11);
+    let run = sim.voltage_sweep(&patterns, &voltages, &SimOptions::default())?;
+    println!(
+        "swept {} operating points x {} patterns = {} slots in {:?} ({:.1} MEPS)",
+        voltages.len(),
+        patterns.len(),
+        run.slots.len(),
+        run.elapsed,
+        run.meps()
+    );
+
+    // Arrival and activity per voltage.
+    let mut rows = Vec::new();
+    for &v in &voltages {
+        let latest = run.latest_arrival_at(v).expect("activity exists");
+        let avg_toggles: f64 = run
+            .slots
+            .iter()
+            .filter(|s| (s.spec.voltage - v).abs() < 1e-12)
+            .map(|s| s.activity.total_transitions as f64)
+            .sum::<f64>()
+            / patterns.len() as f64;
+        rows.push((v, latest, avg_toggles));
+    }
+
+    // Minimum-voltage operating points for candidate clock periods.
+    println!("{:>10} {:>12} — lowest V_DD meeting the period", "clock", "V_min");
+    let worst = rows.last().expect("rows exist").1;
+    for target_ps in [
+        1.1 * worst,
+        1.3 * worst,
+        1.6 * worst,
+        2.0 * worst,
+        2.6 * worst,
+    ] {
+        let vmin = rows
+            .iter()
+            .find(|(_, latest, _)| *latest <= target_ps)
+            .map(|(v, _, _)| *v);
+        match vmin {
+            Some(v) => println!("{target_ps:>9.0}ps {v:>11.2}V"),
+            None => println!("{target_ps:>9.0}ps {:>11}", "unreachable"),
+        }
+    }
+
+    println!("\n{:>8} {:>14} {:>16}", "V_DD", "latest [ps]", "avg toggles/pat");
+    for (v, latest, toggles) in &rows {
+        println!("{v:>7.2}V {latest:>13.1} {toggles:>16.1}");
+    }
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! `avfs` — facade crate re-exporting the whole AVFS time-simulation
+//! workspace under one roof.
+//!
+//! This is a reproduction of Schneider & Wunderlich, *"GPU-accelerated Time
+//! Simulation of Systems with Adaptive Voltage and Frequency Scaling"*
+//! (DATE'20). See the repository `README.md` for an architecture overview,
+//! `DESIGN.md` for the system inventory, and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+//!
+//! The sub-crates re-exported here:
+//!
+//! * [`netlist`] — gate-level netlist substrate and synthetic cell library,
+//! * [`spice`] — transistor-level characterization (SPICE substitute),
+//! * [`regression`] — OLS regression, polynomial bases, normalizers,
+//! * [`delay`] — parametric delay models and kernels (the paper's Sec. III),
+//! * [`sdf`] — SDF / SPEF subset parsing and netlist annotation,
+//! * [`waveform`] — glitch-accurate waveform algebra,
+//! * [`sim`] — the parallel thread-grid time simulator and baselines
+//!   (the paper's Sec. IV),
+//! * [`atpg`] — pattern-pair generation (transition + timing-aware),
+//! * [`circuits`] — benchmark circuits and Table-I/II profiles.
+
+pub use avfs_atpg as atpg;
+pub use avfs_circuits as circuits;
+pub use avfs_core as sim;
+pub use avfs_delay as delay;
+pub use avfs_netlist as netlist;
+pub use avfs_regression as regression;
+pub use avfs_sdf as sdf;
+pub use avfs_spice as spice;
+pub use avfs_waveform as waveform;

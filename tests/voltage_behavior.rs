@@ -1,0 +1,258 @@
+//! Integration checks of the voltage-dependent timing behaviour — the
+//! properties behind Table II.
+
+use avfs::atpg::PatternSet;
+use avfs::circuits::{random_netlist, ripple_carry_adder, GeneratorConfig};
+use avfs::delay::characterize::{characterize_library, CharacterizationConfig};
+use avfs::delay::{AlphaPowerModel, StaticModel};
+use avfs::netlist::{CellLibrary, Netlist, NodeKind};
+use avfs::sim::{SimOptions, TimeSimulator};
+use avfs::spice::Technology;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+const SWEEP: [f64; 6] = [0.55, 0.6, 0.7, 0.8, 0.9, 1.1];
+
+fn characterized_sim(netlist: &Arc<Netlist>, library: &Arc<CellLibrary>) -> TimeSimulator {
+    let used: Vec<_> = {
+        let mut set = BTreeSet::new();
+        for (_, node) in netlist.iter() {
+            if let NodeKind::Gate(cell) = node.kind() {
+                set.insert(cell);
+            }
+        }
+        set.into_iter().collect()
+    };
+    let chars = characterize_library(
+        library,
+        &Technology::nm15(),
+        &CharacterizationConfig::fast(),
+        Some(&used),
+    )
+    .expect("characterization succeeds");
+    TimeSimulator::from_characterization(Arc::clone(netlist), &chars).expect("builds")
+}
+
+#[test]
+fn arrival_times_fall_monotonically_with_voltage() {
+    let library = CellLibrary::nangate15_like();
+    for netlist in [
+        Arc::new(ripple_carry_adder(8, &library).expect("adder")),
+        Arc::new(
+            random_netlist(
+                "mono",
+                &GeneratorConfig {
+                    nodes: 400,
+                    inputs: 24,
+                    outputs: 24,
+                    depth: 16,
+                    two_input_fraction: 0.7,
+                },
+                &library,
+                5,
+            )
+            .expect("generates"),
+        ),
+    ] {
+        let sim = characterized_sim(&netlist, &library);
+        let patterns = PatternSet::lfsr(netlist.inputs().len(), 16, 2);
+        let run = sim
+            .voltage_sweep(&patterns, &SWEEP, &SimOptions::default())
+            .expect("sweep runs");
+        let arrivals: Vec<f64> = SWEEP
+            .iter()
+            .map(|&v| run.latest_arrival_at(v).expect("outputs toggle"))
+            .collect();
+        for w in arrivals.windows(2) {
+            assert!(
+                w[0] > w[1],
+                "{}: arrivals must fall with voltage: {arrivals:?}",
+                netlist.name()
+            );
+        }
+        // Non-linear: the low-voltage end is much more sensitive (paper
+        // Table II shape). Compare slopes of the first and last segment.
+        let low_slope = (arrivals[0] - arrivals[1]) / (SWEEP[1] - SWEEP[0]);
+        let high_slope = (arrivals[4] - arrivals[5]) / (SWEEP[5] - SWEEP[4]);
+        assert!(
+            low_slope > 1.5 * high_slope,
+            "{}: expected super-linear low-voltage sensitivity ({low_slope} vs {high_slope})",
+            netlist.name()
+        );
+    }
+}
+
+#[test]
+fn nominal_parametric_deviation_is_small() {
+    // Table II: the parametric simulation at the nominal voltage deviates
+    // from the static-delay simulation only by the kernel's fit error.
+    let library = CellLibrary::nangate15_like();
+    let netlist = Arc::new(ripple_carry_adder(8, &library).expect("adder"));
+    let sim = characterized_sim(&netlist, &library);
+    let static_sim = TimeSimulator::new(
+        Arc::clone(&netlist),
+        Arc::clone(sim.annotation()),
+        Arc::new(StaticModel::new(*sim.engine().model().space())),
+    )
+    .expect("builds");
+    let patterns = PatternSet::lfsr(netlist.inputs().len(), 16, 8);
+    let opts = SimOptions::default();
+    let a = sim.run_at(&patterns, 0.8, &opts).expect("runs");
+    let b = static_sim.run_at(&patterns, 0.8, &opts).expect("runs");
+    let (ta, tb) = (
+        a.latest_arrival_at(0.8).expect("toggles"),
+        b.latest_arrival_at(0.8).expect("toggles"),
+    );
+    let deviation = (ta - tb).abs() / tb;
+    assert!(deviation < 0.02, "nominal deviation {deviation} too large");
+    // Responses are identical — delays shift, logic does not.
+    for (x, y) in a.slots.iter().zip(&b.slots) {
+        assert_eq!(x.responses, y.responses);
+    }
+}
+
+#[test]
+fn alpha_power_baseline_tracks_polynomial_roughly() {
+    // The analytical α-power model (load-blind) should agree with the
+    // learned polynomial on the big picture while differing in detail —
+    // the motivation for learning the surface instead of using Eq. 1.
+    let library = CellLibrary::nangate15_like();
+    let netlist = Arc::new(ripple_carry_adder(8, &library).expect("adder"));
+    let sim = characterized_sim(&netlist, &library);
+    let tech = Technology::nm15();
+    let alpha_sim = TimeSimulator::new(
+        Arc::clone(&netlist),
+        Arc::clone(sim.annotation()),
+        Arc::new(AlphaPowerModel::new(
+            tech.vth_n,
+            tech.alpha,
+            *sim.engine().model().space(),
+        )),
+    )
+    .expect("builds");
+    let patterns = PatternSet::lfsr(netlist.inputs().len(), 8, 13);
+    let opts = SimOptions::default();
+    for &v in &[0.55, 0.8, 1.1] {
+        let poly = sim
+            .run_at(&patterns, v, &opts)
+            .expect("runs")
+            .latest_arrival_at(v)
+            .expect("toggles");
+        let alpha = alpha_sim
+            .run_at(&patterns, v, &opts)
+            .expect("runs")
+            .latest_arrival_at(v)
+            .expect("toggles");
+        let ratio = poly / alpha;
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "at {v} V: polynomial {poly} vs alpha-power {alpha}"
+        );
+    }
+}
+
+#[test]
+fn energy_grows_with_voltage_while_latency_falls() {
+    // The AVFS trade-off in one assertion: raising the supply buys
+    // latency and costs quadratic energy.
+    let library = CellLibrary::nangate15_like();
+    let netlist = Arc::new(ripple_carry_adder(8, &library).expect("adder"));
+    let sim = characterized_sim(&netlist, &library);
+    let patterns = PatternSet::lfsr(netlist.inputs().len(), 8, 21);
+    let run = sim
+        .voltage_sweep(
+            &patterns,
+            &[0.6, 0.8, 1.0],
+            &SimOptions {
+                keep_waveforms: true,
+                ..SimOptions::default()
+            },
+        )
+        .expect("sweep runs");
+    let energies = avfs::sim::energy_by_voltage(&netlist, sim.annotation(), &run);
+    assert_eq!(energies.len(), 3);
+    for w in energies.windows(2) {
+        let ((v0, e0), (v1, e1)) = (w[0], w[1]);
+        assert!(v0 < v1);
+        assert!(
+            e1.total_fj > e0.total_fj,
+            "energy must grow with voltage: {e0:?} vs {e1:?}"
+        );
+        // More than linear (V² on equal-toggle counts; toggles may shift
+        // a little as glitches appear/vanish).
+        assert!(e1.total_fj / e0.total_fj > v1 / v0);
+    }
+    let t_low = run.latest_arrival_at(0.6).expect("toggles");
+    let t_high = run.latest_arrival_at(1.0).expect("toggles");
+    assert!(t_low > t_high);
+}
+
+#[test]
+fn process_variation_shifts_arrivals_modestly() {
+    use avfs::delay::variation::{apply_variation, VariationConfig};
+    let library = CellLibrary::nangate15_like();
+    let netlist = Arc::new(ripple_carry_adder(8, &library).expect("adder"));
+    let sim = characterized_sim(&netlist, &library);
+    let varied = Arc::new(apply_variation(sim.annotation(), &VariationConfig::sigma5(99)));
+    let varied_sim = TimeSimulator::new(
+        Arc::clone(&netlist),
+        varied,
+        Arc::new(StaticModel::new(*sim.engine().model().space())),
+    )
+    .expect("builds");
+    let base_sim = TimeSimulator::new(
+        Arc::clone(&netlist),
+        Arc::clone(sim.annotation()),
+        Arc::new(StaticModel::new(*sim.engine().model().space())),
+    )
+    .expect("builds");
+    let patterns = PatternSet::lfsr(netlist.inputs().len(), 16, 2);
+    let opts = SimOptions::default();
+    let a = base_sim.run_at(&patterns, 0.8, &opts).expect("runs");
+    let b = varied_sim.run_at(&patterns, 0.8, &opts).expect("runs");
+    let (ta, tb) = (
+        a.latest_arrival_at(0.8).expect("toggles"),
+        b.latest_arrival_at(0.8).expect("toggles"),
+    );
+    let shift = (tb - ta).abs() / ta;
+    assert!(shift > 0.0, "variation must move the arrival");
+    assert!(shift < 0.25, "5%-sigma variation shifted arrival by {shift}");
+    // Logic is unaffected.
+    for (x, y) in a.slots.iter().zip(&b.slots) {
+        assert_eq!(x.responses, y.responses);
+    }
+}
+
+#[test]
+fn glitch_activity_is_observed() {
+    // Glitch accuracy is the point of time simulation: a reconvergent
+    // random circuit must show glitch transitions beyond the functional
+    // ones under realistic delays.
+    let library = CellLibrary::nangate15_like();
+    let netlist = Arc::new(
+        random_netlist(
+            "glitchy",
+            &GeneratorConfig {
+                nodes: 500,
+                inputs: 24,
+                outputs: 24,
+                depth: 18,
+                two_input_fraction: 0.75,
+            },
+            &library,
+            17,
+        )
+        .expect("generates"),
+    );
+    let sim = characterized_sim(&netlist, &library);
+    let patterns = PatternSet::lfsr(netlist.inputs().len(), 16, 3);
+    let run = sim
+        .run_at(&patterns, 0.8, &SimOptions::default())
+        .expect("runs");
+    let glitches: usize = run
+        .slots
+        .iter()
+        .map(|s| s.activity.total_glitch_transitions)
+        .sum();
+    assert!(glitches > 0, "expected glitch activity in a reconvergent circuit");
+}
