@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Hermetic CI gate: formatting, lints, build and tests, all offline.
+# The workspace vendors its own dev-dependency shims (crates/proptest,
+# crates/criterion, crates/prng), so no registry access is ever needed.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --offline --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test (workspace)"
+cargo test --workspace --offline -q
+
+echo "CI OK"

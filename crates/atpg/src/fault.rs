@@ -122,7 +122,7 @@ mod tests {
     fn c17() -> (Netlist, Levelization) {
         let lib = CellLibrary::nangate15_like();
         let n = parse_bench("c17", C17_BENCH, &lib, &BenchOptions::default()).unwrap();
-        let l = Levelization::of(&n);
+        let l = Levelization::of(&n).expect("acyclic");
         (n, l)
     }
 
@@ -143,8 +143,7 @@ mod tests {
         let (n, l) = c17();
         let mut list = FaultList::full(&n);
         let p = Pattern::zeros(5);
-        let set: PatternSet =
-            std::iter::once(PatternPair::new(p.clone(), p).unwrap()).collect();
+        let set: PatternSet = std::iter::once(PatternPair::new(p.clone(), p).unwrap()).collect();
         assert_eq!(list.mark_excited(&n, &l, &set), 0);
         assert_eq!(list.coverage(), 0.0);
     }
@@ -154,7 +153,7 @@ mod tests {
         let (n, l) = c17();
         let mut list = FaultList::full(&n);
         let zeros = Pattern::zeros(5);
-        let ones = Pattern::from_bits(std::iter::repeat(true).take(5));
+        let ones = Pattern::from_bits(std::iter::repeat_n(true, 5));
         let set: PatternSet = [
             PatternPair::new(zeros.clone(), ones.clone()).unwrap(),
             PatternPair::new(ones, zeros).unwrap(),

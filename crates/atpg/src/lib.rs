@@ -55,7 +55,10 @@ impl fmt::Display for AtpgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AtpgError::WidthMismatch { expected, got } => {
-                write!(f, "pattern width {got} does not match {expected} primary inputs")
+                write!(
+                    f,
+                    "pattern width {got} does not match {expected} primary inputs"
+                )
             }
             AtpgError::EmptyRequest => write!(f, "requested zero paths/patterns"),
         }
@@ -106,7 +109,7 @@ mod tests {
     fn zero_delay_c17_known_vector() {
         let lib = CellLibrary::nangate15_like();
         let n = parse_bench("c17", C17_BENCH, &lib, &BenchOptions::default()).unwrap();
-        let levels = Levelization::of(&n);
+        let levels = Levelization::of(&n).expect("acyclic");
         // All inputs 0: NAND gates with 0 inputs produce 1 → outputs:
         // 10=1, 11=1, 16=NAND(0,1)=1, 19=NAND(1,0)=1, 22=NAND(1,1)=0, 23=0.
         let v = zero_delay_values(&n, &levels, &Pattern::zeros(5));

@@ -37,11 +37,7 @@ impl Path {
 
 /// The edge delay used for ranking: the worst of the rise/fall pin delays
 /// from `fanin_idx` into `node`, or 1 for unit-delay enumeration.
-fn edge_delay(
-    annotation: Option<&TimingAnnotation>,
-    node: NodeId,
-    fanin_idx: usize,
-) -> f64 {
+fn edge_delay(annotation: Option<&TimingAnnotation>, node: NodeId, fanin_idx: usize) -> f64 {
     match annotation {
         Some(ann) => {
             let pins = ann.node_delays(node);
@@ -169,7 +165,7 @@ mod tests {
     fn c17() -> (Netlist, Levelization) {
         let lib = CellLibrary::nangate15_like();
         let n = parse_bench("c17", C17_BENCH, &lib, &BenchOptions::default()).unwrap();
-        let l = Levelization::of(&n);
+        let l = Levelization::of(&n).expect("acyclic");
         (n, l)
     }
 
@@ -222,9 +218,14 @@ mod tests {
         b.add_output("yf", fast2).unwrap();
         b.add_output("ys", slow2).unwrap();
         let n = b.finish().unwrap();
-        let l = Levelization::of(&n);
+        let l = Levelization::of(&n).expect("acyclic");
         let mut ann = TimingAnnotation::zero(&n);
-        for (name, d) in [("fast1", 1.0), ("fast2", 1.0), ("slow1", 50.0), ("slow2", 50.0)] {
+        for (name, d) in [
+            ("fast1", 1.0),
+            ("fast2", 1.0),
+            ("slow1", 50.0),
+            ("slow2", 50.0),
+        ] {
             let id = n.find(name).unwrap();
             ann.node_delays_mut(id)[0] = PinDelays { rise: d, fall: d };
         }

@@ -1,8 +1,7 @@
 //! Patterns, pattern pairs and pseudo-random generators.
 
 use crate::AtpgError;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use avfs_prng::{Rng, SeedableRng, SmallRng};
 use std::fmt;
 
 /// One input vector: a bit per primary input, packed into `u64` words.
@@ -309,7 +308,10 @@ mod tests {
         let c = Pattern::zeros(4);
         assert!(matches!(
             a.hamming(&c),
-            Err(AtpgError::WidthMismatch { expected: 3, got: 4 })
+            Err(AtpgError::WidthMismatch {
+                expected: 3,
+                got: 4
+            })
         ));
     }
 

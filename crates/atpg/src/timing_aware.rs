@@ -14,8 +14,7 @@ use crate::paths::Path;
 use crate::pattern::{Pattern, PatternPair, PatternSet};
 use crate::zero_delay_values;
 use avfs_netlist::{Levelization, Netlist, NodeKind};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use avfs_prng::{SeedableRng, SmallRng};
 
 /// Outcome of targeting one path.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,8 +86,7 @@ pub fn generate_timing_aware(
                     })
                     .count();
                 let candidate = PathPattern {
-                    pair: PatternPair::new(launch, capture)
-                        .expect("widths equal by construction"),
+                    pair: PatternPair::new(launch, capture).expect("widths equal by construction"),
                     toggled_gates: toggled,
                     path_gates,
                     sensitized: toggled == path_gates,
@@ -133,7 +131,7 @@ mod tests {
         let g3 = b.add_gate("g3", "BUF_X1", &[g2]).unwrap();
         b.add_output("y", g3).unwrap();
         let n = b.finish().unwrap();
-        let l = Levelization::of(&n);
+        let l = Levelization::of(&n).expect("acyclic");
         let paths = k_longest_paths(&n, &l, None, 1);
         let out = generate_timing_aware(&n, &l, &paths, 4, 1);
         assert_eq!(out.len(), 1);
@@ -147,7 +145,7 @@ mod tests {
     fn c17_paths_mostly_sensitizable() {
         let lib = CellLibrary::nangate15_like();
         let n = parse_bench("c17", C17_BENCH, &lib, &BenchOptions::default()).unwrap();
-        let l = Levelization::of(&n);
+        let l = Levelization::of(&n).expect("acyclic");
         let paths = k_longest_paths(&n, &l, None, 8);
         let out = generate_timing_aware(&n, &l, &paths, 32, 7);
         assert_eq!(out.len(), paths.len());
@@ -169,7 +167,7 @@ mod tests {
     fn determinism_per_seed() {
         let lib = CellLibrary::nangate15_like();
         let n = parse_bench("c17", C17_BENCH, &lib, &BenchOptions::default()).unwrap();
-        let l = Levelization::of(&n);
+        let l = Levelization::of(&n).expect("acyclic");
         let paths = k_longest_paths(&n, &l, None, 4);
         let a = generate_timing_aware(&n, &l, &paths, 8, 99);
         let b = generate_timing_aware(&n, &l, &paths, 8, 99);

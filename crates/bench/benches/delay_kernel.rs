@@ -43,10 +43,7 @@ fn bench_table_lookup(c: &mut Criterion) {
             table
                 .insert(
                     CellId::from_index(cell),
-                    &[
-                        [surf.clone(), surf.clone()],
-                        [surf.clone(), surf.clone()],
-                    ],
+                    &[[surf.clone(), surf.clone()], [surf.clone(), surf.clone()]],
                 )
                 .expect("insert succeeds");
         }

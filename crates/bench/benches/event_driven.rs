@@ -45,8 +45,8 @@ fn bench_event_driven(c: &mut Criterion) {
     let slot_list = slots::at_voltage(patterns.len(), 0.8);
     let evals = (netlist.num_nodes() * slot_list.len()) as u64;
 
-    let simulator = EventDrivenSimulator::new(Arc::clone(&netlist), annotation)
-        .expect("positive delays");
+    let simulator =
+        EventDrivenSimulator::new(Arc::clone(&netlist), annotation).expect("positive delays");
     let mut group = c.benchmark_group("event_driven");
     group.sample_size(10);
     group.throughput(Throughput::Elements(evals));

@@ -21,19 +21,23 @@ fn bench_gate_eval(c: &mut Criterion) {
         let a = make_waveform(transitions, 10.0, 0.0);
         let b_wf = make_waveform(transitions, 13.0, 3.0);
         let delays = [
-            PinDelays { rise: 8.0, fall: 9.0 },
-            PinDelays { rise: 7.5, fall: 8.5 },
+            PinDelays {
+                rise: 8.0,
+                fall: 9.0,
+            },
+            PinDelays {
+                rise: 7.5,
+                fall: 8.5,
+            },
         ];
         group.bench_with_input(
             BenchmarkId::from_parameter(transitions),
             &transitions,
             |bencher, _| {
                 bencher.iter(|| {
-                    let out = evaluate_gate(
-                        black_box(&[&a, &b_wf]),
-                        black_box(&delays),
-                        |v| !(v[0] && v[1]),
-                    );
+                    let out = evaluate_gate(black_box(&[&a, &b_wf]), black_box(&delays), |v| {
+                        !(v[0] && v[1])
+                    });
                     black_box(out)
                 })
             },

@@ -78,10 +78,14 @@ fn main() {
                         // reference here (it interpolates the measured
                         // grid); its own "error" column reports the
                         // LUT-vs-polynomial disagreement instead.
-                        let reference =
-                            chars.lut().factor(cell, pin, polarity, p).expect("lut entry");
-                        let f_poly =
-                            chars.model().factor(cell, pin, polarity, p).expect("kernel");
+                        let reference = chars
+                            .lut()
+                            .factor(cell, pin, polarity, p)
+                            .expect("lut entry");
+                        let f_poly = chars
+                            .model()
+                            .factor(cell, pin, polarity, p)
+                            .expect("kernel");
                         let f_alpha = alpha.factor(cell, pin, polarity, p).expect("analytic");
                         poly_errors.push((f_poly - reference) / reference);
                         lut_errors.push(0.0);
@@ -98,7 +102,10 @@ fn main() {
     let poly_words = chars.model().table().arena_len();
     let lut_words = chars.lut().stored_samples();
 
-    println!("# model-family ablation ({} cells, order N={order})", used.len());
+    println!(
+        "# model-family ablation ({} cells, order N={order})",
+        used.len()
+    );
     println!(
         "{:<14} {:>12} {:>12} {:>14}",
         "model", "mean err", "max err", "stored f64s"
@@ -136,9 +143,8 @@ fn main() {
         models
             .into_iter()
             .map(|(name, model)| {
-                let engine =
-                    Engine::new(Arc::clone(&netlist), Arc::clone(&annotation), model)
-                        .expect("engine builds");
+                let engine = Engine::new(Arc::clone(&netlist), Arc::clone(&annotation), model)
+                    .expect("engine builds");
                 let run = engine.run(&patterns, &slot_list, &opts).expect("runs");
                 (
                     name.to_owned(),

@@ -76,7 +76,10 @@ fn main() {
     }
 
     println!("# Fig. 4 — approximation error of cell delay polynomials");
-    println!("# subset: AND/NAND/BUF/INV/OR/NOR x X1,X2,X4,X8 ({} cells)", cell_names.len());
+    println!(
+        "# subset: AND/NAND/BUF/INV/OR/NOR x X1,X2,X4,X8 ({} cells)",
+        cell_names.len()
+    );
     println!("# probe lattice {probe}x{probe}, refine factor {refine}, errors in % relative delay");
     println!(
         "{:>5} {:>7} | {:>10} {:>10} {:>10} | {:>10} {:>10} | {:>10}",

@@ -52,7 +52,10 @@ fn main() {
         .collect();
 
     let library = CellLibrary::nangate15_like();
-    eprintln!("table1: synthesizing {} designs at scale {scale} ...", profiles.len());
+    eprintln!(
+        "table1: synthesizing {} designs at scale {scale} ...",
+        profiles.len()
+    );
     let netlists: Vec<Arc<avfs_netlist::Netlist>> = profiles
         .iter()
         .map(|p| Arc::new(p.synthesize(scale, &library).expect("synthesis succeeds")))
@@ -155,7 +158,7 @@ fn build_patterns(
     let seed = 0xA5F5_0000 ^ profile.nodes as u64;
     let mut patterns = PatternSet::random(width, count, seed);
     if !profile.false_paths_only {
-        let levels = avfs_netlist::Levelization::of(netlist);
+        let levels = avfs_netlist::Levelization::of(netlist).expect("acyclic");
         let k = 200.min(count.max(8));
         let paths = k_longest_paths(netlist, &levels, Some(annotation), k);
         let outcomes = generate_timing_aware(netlist, &levels, &paths, 4, seed ^ 0xFF);
@@ -173,7 +176,10 @@ fn slots_ablation(
     pairs_cap: usize,
     threads: usize,
 ) {
-    println!("#\n# slot-split ablation on {} (fixed budget of slots)", netlist.name());
+    println!(
+        "#\n# slot-split ablation on {} (fixed budget of slots)",
+        netlist.name()
+    );
     let annotation = Arc::new(chars.annotate(netlist).expect("annotation"));
     let engine = Engine::new(
         Arc::clone(netlist),

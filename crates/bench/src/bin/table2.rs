@@ -48,7 +48,10 @@ fn main() {
         .collect();
 
     let library = CellLibrary::nangate15_like();
-    eprintln!("table2: synthesizing {} designs at scale {scale} ...", profiles.len());
+    eprintln!(
+        "table2: synthesizing {} designs at scale {scale} ...",
+        profiles.len()
+    );
     let netlists: Vec<Arc<avfs_netlist::Netlist>> = profiles
         .iter()
         .map(|p| Arc::new(p.synthesize(scale, &library).expect("synthesis succeeds")))
@@ -78,7 +81,7 @@ fn main() {
         };
 
         // STA longest path at the nominal corner (col 2).
-        let levels = avfs_netlist::Levelization::of(netlist);
+        let levels = avfs_netlist::Levelization::of(netlist).expect("acyclic");
         let sta_report = sta::longest_path(netlist, &levels, &annotation);
 
         // One launch: every pattern under every voltage.
@@ -119,7 +122,10 @@ fn main() {
                 None => print!(" {:>10}", "-"),
             }
         }
-        let deviation = match (run.latest_arrival_at(0.8), static_run.latest_arrival_at(0.8)) {
+        let deviation = match (
+            run.latest_arrival_at(0.8),
+            static_run.latest_arrival_at(0.8),
+        ) {
             (Some(a), Some(b)) if b > 0.0 => format!("({:+.2}%)", 100.0 * (a - b) / b),
             _ => "(-)".to_owned(),
         };

@@ -2,8 +2,7 @@
 //! levelized DAGs.
 
 use avfs_netlist::{CellLibrary, Netlist, NetlistBuilder, NetlistError, NodeId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use avfs_prng::{Rng, SeedableRng, SmallRng};
 use std::sync::Arc;
 
 /// Builds an `n`-bit ripple-carry adder (`2n` inputs, `n+1` outputs) from
@@ -64,10 +63,7 @@ pub fn ripple_carry_adder(
 /// # Panics
 ///
 /// Panics if `bits == 0`.
-pub fn array_multiplier(
-    bits: usize,
-    library: &Arc<CellLibrary>,
-) -> Result<Netlist, NetlistError> {
+pub fn array_multiplier(bits: usize, library: &Arc<CellLibrary>) -> Result<Netlist, NetlistError> {
     assert!(bits > 0, "multiplier must have at least one bit");
     let mut b = NetlistBuilder::new(format!("mul{bits}"), library);
     let a_in: Vec<NodeId> = (0..bits)
@@ -331,7 +327,11 @@ mod tests {
         assert_eq!(n.num_gates(), 2 + 7 * 5);
         // Carry chain forces depth ≳ bit count.
         let stats = NetlistStats::of(&n);
-        assert!(stats.depth > 8, "depth {} too shallow for a ripple carry", stats.depth);
+        assert!(
+            stats.depth > 8,
+            "depth {} too shallow for a ripple carry",
+            stats.depth
+        );
     }
 
     #[test]
@@ -340,11 +340,15 @@ mod tests {
         // cell truth tables (poor man's functional test).
         use avfs_netlist::NodeKind;
         let n = ripple_carry_adder(4, &lib()).unwrap();
-        let levels = Levelization::of(&n);
+        let levels = Levelization::of(&n).expect("acyclic");
         let add = |a: u8, c: u8| -> u16 {
             let mut values = vec![false; n.num_nodes()];
             for (k, &pi) in n.inputs().iter().enumerate() {
-                let bit = if k < 4 { (a >> k) & 1 == 1 } else { (c >> (k - 4)) & 1 == 1 };
+                let bit = if k < 4 {
+                    (a >> k) & 1 == 1
+                } else {
+                    (c >> (k - 4)) & 1 == 1
+                };
                 values[pi.index()] = bit;
             }
             let mut buf = Vec::new();
@@ -381,7 +385,7 @@ mod tests {
         let n = array_multiplier(4, &lib()).unwrap();
         assert_eq!(n.inputs().len(), 8);
         assert_eq!(n.outputs().len(), 8);
-        let levels = Levelization::of(&n);
+        let levels = Levelization::of(&n).expect("acyclic");
         let multiply = |a: u8, c: u8| -> u16 {
             let mut values = vec![false; n.num_nodes()];
             for (k, &pi) in n.inputs().iter().enumerate() {
@@ -425,7 +429,7 @@ mod tests {
         assert_eq!(n.inputs().len(), 2);
         // 1×1 multiplier: p0 = a·b, p1 = 0? The schoolbook array emits
         // only the single AND; output count is the accumulated bits.
-        assert!(n.outputs().len() >= 1);
+        assert!(!n.outputs().is_empty());
     }
 
     #[test]
@@ -479,7 +483,7 @@ mod tests {
         let n = random_netlist("dangle", &cfg, &lib(), 3).unwrap();
         // Acyclic is guaranteed by finish(); check levelization works and
         // the circuit is reasonably connected (most gates have fanout).
-        let levels = Levelization::of(&n);
+        let levels = Levelization::of(&n).expect("acyclic");
         assert!(levels.depth() >= cfg.depth);
         let dangling = n
             .iter()

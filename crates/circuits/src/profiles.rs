@@ -31,21 +31,111 @@ pub struct CircuitProfile {
 
 /// All fifteen designs of Tables I and II, in table order.
 pub const PAPER_PROFILES: &[CircuitProfile] = &[
-    CircuitProfile { name: "s38417", nodes: 18_999, test_pairs: 173, longest_path_ps: Some(145.3), false_paths_only: false },
-    CircuitProfile { name: "s38584", nodes: 23_053, test_pairs: 194, longest_path_ps: Some(610.9), false_paths_only: false },
-    CircuitProfile { name: "b17", nodes: 42_779, test_pairs: 818, longest_path_ps: Some(571.2), false_paths_only: true },
-    CircuitProfile { name: "b18", nodes: 125_305, test_pairs: 961, longest_path_ps: Some(708.7), false_paths_only: true },
-    CircuitProfile { name: "b19", nodes: 250_232, test_pairs: 1_916, longest_path_ps: Some(744.1), false_paths_only: true },
-    CircuitProfile { name: "b22", nodes: 27_847, test_pairs: 692, longest_path_ps: Some(606.2), false_paths_only: false },
-    CircuitProfile { name: "p35k", nodes: 47_997, test_pairs: 3_298, longest_path_ps: Some(275.5), false_paths_only: false },
-    CircuitProfile { name: "p45k", nodes: 44_098, test_pairs: 2_320, longest_path_ps: Some(2_234.0), false_paths_only: false },
-    CircuitProfile { name: "p100k", nodes: 96_172, test_pairs: 2_211, longest_path_ps: Some(2_234.0), false_paths_only: false },
-    CircuitProfile { name: "p141k", nodes: 178_063, test_pairs: 995, longest_path_ps: Some(640.0), false_paths_only: false },
-    CircuitProfile { name: "p418k", nodes: 440_277, test_pairs: 1_516, longest_path_ps: Some(1_537.0), false_paths_only: false },
-    CircuitProfile { name: "p500k", nodes: 527_006, test_pairs: 3_820, longest_path_ps: Some(660.8), false_paths_only: false },
-    CircuitProfile { name: "p533k", nodes: 676_611, test_pairs: 1_940, longest_path_ps: Some(2_348.0), false_paths_only: false },
-    CircuitProfile { name: "p951k", nodes: 1_090_419, test_pairs: 4_080, longest_path_ps: Some(708.0), false_paths_only: false },
-    CircuitProfile { name: "p1522k", nodes: 1_088_421, test_pairs: 8_021, longest_path_ps: None, false_paths_only: true },
+    CircuitProfile {
+        name: "s38417",
+        nodes: 18_999,
+        test_pairs: 173,
+        longest_path_ps: Some(145.3),
+        false_paths_only: false,
+    },
+    CircuitProfile {
+        name: "s38584",
+        nodes: 23_053,
+        test_pairs: 194,
+        longest_path_ps: Some(610.9),
+        false_paths_only: false,
+    },
+    CircuitProfile {
+        name: "b17",
+        nodes: 42_779,
+        test_pairs: 818,
+        longest_path_ps: Some(571.2),
+        false_paths_only: true,
+    },
+    CircuitProfile {
+        name: "b18",
+        nodes: 125_305,
+        test_pairs: 961,
+        longest_path_ps: Some(708.7),
+        false_paths_only: true,
+    },
+    CircuitProfile {
+        name: "b19",
+        nodes: 250_232,
+        test_pairs: 1_916,
+        longest_path_ps: Some(744.1),
+        false_paths_only: true,
+    },
+    CircuitProfile {
+        name: "b22",
+        nodes: 27_847,
+        test_pairs: 692,
+        longest_path_ps: Some(606.2),
+        false_paths_only: false,
+    },
+    CircuitProfile {
+        name: "p35k",
+        nodes: 47_997,
+        test_pairs: 3_298,
+        longest_path_ps: Some(275.5),
+        false_paths_only: false,
+    },
+    CircuitProfile {
+        name: "p45k",
+        nodes: 44_098,
+        test_pairs: 2_320,
+        longest_path_ps: Some(2_234.0),
+        false_paths_only: false,
+    },
+    CircuitProfile {
+        name: "p100k",
+        nodes: 96_172,
+        test_pairs: 2_211,
+        longest_path_ps: Some(2_234.0),
+        false_paths_only: false,
+    },
+    CircuitProfile {
+        name: "p141k",
+        nodes: 178_063,
+        test_pairs: 995,
+        longest_path_ps: Some(640.0),
+        false_paths_only: false,
+    },
+    CircuitProfile {
+        name: "p418k",
+        nodes: 440_277,
+        test_pairs: 1_516,
+        longest_path_ps: Some(1_537.0),
+        false_paths_only: false,
+    },
+    CircuitProfile {
+        name: "p500k",
+        nodes: 527_006,
+        test_pairs: 3_820,
+        longest_path_ps: Some(660.8),
+        false_paths_only: false,
+    },
+    CircuitProfile {
+        name: "p533k",
+        nodes: 676_611,
+        test_pairs: 1_940,
+        longest_path_ps: Some(2_348.0),
+        false_paths_only: false,
+    },
+    CircuitProfile {
+        name: "p951k",
+        nodes: 1_090_419,
+        test_pairs: 4_080,
+        longest_path_ps: Some(708.0),
+        false_paths_only: false,
+    },
+    CircuitProfile {
+        name: "p1522k",
+        nodes: 1_088_421,
+        test_pairs: 8_021,
+        longest_path_ps: None,
+        false_paths_only: true,
+    },
 ];
 
 impl CircuitProfile {
@@ -84,12 +174,9 @@ impl CircuitProfile {
         let inputs = io.clamp(8, 4096);
         let outputs = io.clamp(8, 4096);
         let depth = (8.0 + 3.8 * (nodes as f64).ln()).round() as usize;
-        let seed = self
-            .name
-            .bytes()
-            .fold(0xcbf29ce484222325u64, |h, b| {
-                (h ^ b as u64).wrapping_mul(0x100000001b3)
-            });
+        let seed = self.name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100000001b3)
+        });
         let config = GeneratorConfig {
             nodes,
             inputs,

@@ -1,5 +1,12 @@
 //! High-level facade tying netlist, annotation, delay model and engine
 //! together — the entry point used by the examples and benches.
+//!
+//! Every run returned here carries the engine's
+//! [`RunDiagnostics`](crate::results::RunDiagnostics): check
+//! [`SimRun::is_complete`](crate::results::SimRun::is_complete) to learn
+//! whether any slot was quarantined (arena overflow past the retry limit)
+//! or had its panic contained, and inspect per-slot
+//! [`SlotStatus`](crate::results::SlotStatus) for the verdicts.
 
 use crate::engine::{Engine, SimOptions};
 use crate::event_driven::EventDrivenSimulator;
@@ -171,7 +178,10 @@ mod tests {
         .unwrap();
         let sim = TimeSimulator::from_characterization(Arc::clone(&netlist), &chars).unwrap();
         let patterns = PatternSet::lfsr(5, 16, 3);
-        let opts = SimOptions { threads: 1, ..SimOptions::default() };
+        let opts = SimOptions {
+            threads: 1,
+            ..SimOptions::default()
+        };
         let run = sim
             .voltage_sweep(&patterns, &[0.55, 0.7, 0.8, 0.9, 1.1], &opts)
             .unwrap();
@@ -206,7 +216,14 @@ mod tests {
         let slots = crate::slots::at_voltage(patterns.len(), 0.8);
         let a = baseline.run(&patterns, &slots, false).unwrap();
         let b = sim
-            .run_at(&patterns, 0.8, &SimOptions { threads: 1, ..SimOptions::default() })
+            .run_at(
+                &patterns,
+                0.8,
+                &SimOptions {
+                    threads: 1,
+                    ..SimOptions::default()
+                },
+            )
             .unwrap();
         // Responses agree; arrivals agree to within the kernel's nominal
         // approximation error (the baseline is static-delay).
@@ -241,12 +258,18 @@ mod tests {
         )
         .unwrap();
         let patterns = PatternSet::lfsr(5, 16, 9);
-        let opts = SimOptions { threads: 1, ..SimOptions::default() };
+        let opts = SimOptions {
+            threads: 1,
+            ..SimOptions::default()
+        };
         let a = sim.run_at(&patterns, 0.8, &opts).unwrap();
         let b = static_sim.run_at(&patterns, 0.8, &opts).unwrap();
         let ta = a.latest_arrival_at(0.8).unwrap();
         let tb = b.latest_arrival_at(0.8).unwrap();
         let dev = (ta - tb).abs() / tb;
-        assert!(dev < 0.02, "nominal deviation {dev} too large ({ta} vs {tb})");
+        assert!(
+            dev < 0.02,
+            "nominal deviation {dev} too large ({ta} vs {tb})"
+        );
     }
 }

@@ -88,10 +88,7 @@ impl DelayFaultSimulator {
         self.netlist
             .iter()
             .filter(|(_, node)| matches!(node.kind(), NodeKind::Gate(_)))
-            .map(|(id, _)| SmallDelayFault {
-                node: id,
-                delta_ps,
-            })
+            .map(|(id, _)| SmallDelayFault { node: id, delta_ps })
             .collect()
     }
 
@@ -215,7 +212,10 @@ mod tests {
         for (id, node) in n.iter() {
             if matches!(node.kind(), NodeKind::Gate(_)) {
                 for p in 0..node.fanin().len() {
-                    ann.node_delays_mut(id)[p] = PinDelays { rise: 10.0, fall: 10.0 };
+                    ann.node_delays_mut(id)[p] = PinDelays {
+                        rise: 10.0,
+                        fall: 10.0,
+                    };
                 }
             }
         }
@@ -247,7 +247,15 @@ mod tests {
         let faults = s.full_fault_list(10.0);
         assert_eq!(faults.len(), 4);
         let verdicts = s
-            .run(&faults, &toggle_pattern(), 0.8, &SimOptions { threads: 1, ..SimOptions::default() })
+            .run(
+                &faults,
+                &toggle_pattern(),
+                0.8,
+                &SimOptions {
+                    threads: 1,
+                    ..SimOptions::default()
+                },
+            )
             .unwrap();
         assert!(verdicts.iter().all(|v| v.detected), "{verdicts:?}");
         assert!((DelayFaultSimulator::coverage(&verdicts) - 1.0).abs() < 1e-12);
@@ -264,7 +272,15 @@ mod tests {
         let s = sim(100.0);
         let faults = s.full_fault_list(10.0);
         let verdicts = s
-            .run(&faults, &toggle_pattern(), 0.8, &SimOptions { threads: 1, ..SimOptions::default() })
+            .run(
+                &faults,
+                &toggle_pattern(),
+                0.8,
+                &SimOptions {
+                    threads: 1,
+                    ..SimOptions::default()
+                },
+            )
             .unwrap();
         assert!(verdicts.iter().all(|v| !v.detected));
         assert_eq!(DelayFaultSimulator::coverage(&verdicts), 0.0);
@@ -275,21 +291,29 @@ mod tests {
         // Capture 45: δ = 4 keeps arrival at 44 < 45 (undetected); δ = 6
         // lands at 46 > 45 (detected).
         let s = sim(45.0);
-        let small = s.run(
-            &s.full_fault_list(4.0),
-            &toggle_pattern(),
-            0.8,
-            &SimOptions { threads: 1, ..SimOptions::default() },
-        )
-        .unwrap();
+        let small = s
+            .run(
+                &s.full_fault_list(4.0),
+                &toggle_pattern(),
+                0.8,
+                &SimOptions {
+                    threads: 1,
+                    ..SimOptions::default()
+                },
+            )
+            .unwrap();
         assert!(small.iter().all(|v| !v.detected));
-        let big = s.run(
-            &s.full_fault_list(6.0),
-            &toggle_pattern(),
-            0.8,
-            &SimOptions { threads: 1, ..SimOptions::default() },
-        )
-        .unwrap();
+        let big = s
+            .run(
+                &s.full_fault_list(6.0),
+                &toggle_pattern(),
+                0.8,
+                &SimOptions {
+                    threads: 1,
+                    ..SimOptions::default()
+                },
+            )
+            .unwrap();
         assert!(big.iter().all(|v| v.detected));
     }
 
@@ -301,7 +325,15 @@ mod tests {
         )
         .collect();
         let verdicts = s
-            .run(&s.full_fault_list(50.0), &quiet, 0.8, &SimOptions { threads: 1, ..SimOptions::default() })
+            .run(
+                &s.full_fault_list(50.0),
+                &quiet,
+                0.8,
+                &SimOptions {
+                    threads: 1,
+                    ..SimOptions::default()
+                },
+            )
             .unwrap();
         assert!(verdicts.iter().all(|v| !v.detected));
     }

@@ -186,7 +186,10 @@ mod tests {
                 voltages: vec![0.7],
             })
             .collect();
-        let opts = SimOptions { threads: 1, ..SimOptions::default() };
+        let opts = SimOptions {
+            threads: 1,
+            ..SimOptions::default()
+        };
         let island_run = engine
             .run_domains(&patterns, &domains, &specs, &opts)
             .expect("runs");
@@ -216,7 +219,10 @@ mod tests {
         let (netlist, engine) = setup();
         let domains = VoltageDomains::by_output_cones(&netlist, 2);
         let patterns = PatternSet::lfsr(netlist.inputs().len(), 8, 9);
-        let opts = SimOptions { threads: 1, ..SimOptions::default() };
+        let opts = SimOptions {
+            threads: 1,
+            ..SimOptions::default()
+        };
 
         let run_at = |v0: f64, v1: f64| {
             let specs: Vec<DomainSlotSpec> = (0..patterns.len())
@@ -285,7 +291,9 @@ mod tests {
             pattern: 0,
             voltages: vec![0.8],
         }];
-        assert!(engine.run_domains(&patterns, &domains, &bad, &opts).is_err());
+        assert!(engine
+            .run_domains(&patterns, &domains, &bad, &opts)
+            .is_err());
         // Empty specs.
         assert!(engine.run_domains(&patterns, &domains, &[], &opts).is_err());
         // Bad pattern index.
@@ -293,7 +301,9 @@ mod tests {
             pattern: 9,
             voltages: vec![0.8, 0.8],
         }];
-        assert!(engine.run_domains(&patterns, &domains, &bad, &opts).is_err());
+        assert!(engine
+            .run_domains(&patterns, &domains, &bad, &opts)
+            .is_err());
     }
 
     #[test]

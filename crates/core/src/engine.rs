@@ -11,8 +11,21 @@
 //! (Sec. IV.A): load the nominal pin delays from the annotation, read the
 //! slot's operating point, evaluate the delay kernel for each
 //! (pin, polarity), scale, then run the waveform-processing loop.
+//!
+//! # Fault isolation
+//!
+//! The arena is *capacity-bounded*: every `(slot, net)` cell holds at most
+//! [`SimOptions::arena_capacity`] transitions, exactly like the GPU's
+//! fixed-size waveform buffers. A slot whose gates overflow is not an
+//! error — it is quarantined (its remaining work skipped) and re-simulated
+//! after the batch with geometrically grown capacity, up to
+//! [`SimOptions::overflow_retries`] rounds; the GPU original's
+//! overflow-flag-and-relaunch loop. A slot whose worker panics is likewise
+//! contained via `catch_unwind` and reported in the run's
+//! [`RunDiagnostics`] instead of poisoning the batch. Only when *every*
+//! slot fails does a run return an error.
 
-use crate::results::{SimRun, SlotResult};
+use crate::results::{RunDiagnostics, SimRun, SlotResult, SlotStatus};
 use crate::slots::SlotSpec;
 use crate::SimError;
 use avfs_atpg::PatternSet;
@@ -20,9 +33,20 @@ use avfs_delay::model::DelayModel;
 use avfs_delay::op::NormalizedPoint;
 use avfs_delay::TimingAnnotation;
 use avfs_netlist::{Levelization, Netlist, NodeId, NodeKind};
-use avfs_waveform::{evaluate_gate_scratch, GateScratch, PinDelays, SwitchingActivity, Waveform, WaveformStats};
+use avfs_waveform::{
+    evaluate_gate_bounded_scratch, CapacityOverflow, GateScratch, PinDelays, SwitchingActivity,
+    Waveform, WaveformArena, WaveformStats, WaveformView,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Default per-`(slot, net)` transition capacity when
+/// [`SimOptions::arena_capacity`] is 0 (auto).
+const DEFAULT_ARENA_CAPACITY: usize = 64;
+
+/// Capacity growth factor per quarantine-and-retry round.
+const CAPACITY_GROWTH: usize = 4;
 
 /// Runtime options of one engine launch.
 #[derive(Debug, Clone)]
@@ -32,12 +56,21 @@ pub struct SimOptions {
     pub threads: usize,
     /// Time at which pattern pairs launch their transition, ps.
     pub launch_time_ps: f64,
-    /// Upper bound on `slots × nodes` waveforms resident at once; slots
-    /// are processed in batches respecting it (the global-memory budget).
+    /// Upper bound on total transitions resident in the waveform arena at
+    /// once (`slots × nodes × capacity`); slots are processed in batches
+    /// respecting it (the global-memory budget).
     pub waveform_budget: usize,
     /// Retain full per-net waveforms in each [`SlotResult`] (small runs
     /// and tests only).
     pub keep_waveforms: bool,
+    /// Transition capacity of one `(slot, net)` arena cell; 0 selects the
+    /// default (64). Slots that overflow it are quarantined and retried at
+    /// geometrically grown capacity.
+    pub arena_capacity: usize,
+    /// Quarantine-and-retry rounds for overflowing slots; each round
+    /// multiplies the slot's capacity by 4. Slots still overflowing after
+    /// the last round are reported as [`SlotStatus::Overflowed`].
+    pub overflow_retries: u32,
 }
 
 impl Default for SimOptions {
@@ -47,6 +80,8 @@ impl Default for SimOptions {
             launch_time_ps: 0.0,
             waveform_budget: 16 << 20,
             keep_waveforms: false,
+            arena_capacity: 0,
+            overflow_retries: 4,
         }
     }
 }
@@ -62,6 +97,10 @@ pub struct Engine {
     /// Pre-normalized `φ_C(load)` per node (clamped into the model's
     /// characterized interval; dangling nets sit at the lower bound).
     c_norm: Vec<f64>,
+    /// Annotated loads outside the characterized interval that the
+    /// normalization above clamped — reported per run in
+    /// [`RunDiagnostics::clamped_loads`].
+    clamped_loads: usize,
 }
 
 impl Engine {
@@ -69,8 +108,12 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::AnnotationMismatch`] if the annotation does not
-    /// cover the netlist.
+    /// * [`SimError::AnnotationMismatch`] if the annotation does not cover
+    ///   the netlist,
+    /// * [`SimError::Netlist`] if the netlist contains a combinational
+    ///   loop,
+    /// * [`SimError::InvalidLoad`] / [`SimError::InvalidDelay`] if the
+    ///   annotation carries non-finite or negative loads or delays.
     pub fn new(
         netlist: Arc<Netlist>,
         annotation: Arc<TimingAnnotation>,
@@ -79,15 +122,42 @@ impl Engine {
         if !annotation.matches(&netlist) {
             return Err(SimError::AnnotationMismatch);
         }
-        let levels = Arc::new(Levelization::of(&netlist));
+        let levels = Arc::new(Levelization::of(&netlist)?);
+        // Input hardening: reject corrupt annotations up front instead of
+        // letting NaNs propagate into waveforms.
+        for (id, node) in netlist.iter() {
+            let load = annotation.load_ff(id);
+            if !load.is_finite() || load < 0.0 {
+                return Err(SimError::InvalidLoad {
+                    node: node.name().to_owned(),
+                    load,
+                });
+            }
+            if matches!(node.kind(), NodeKind::Gate(_)) {
+                for (pin, d) in annotation.node_delays(id).iter().enumerate() {
+                    if !d.rise.is_finite() || d.rise < 0.0 || !d.fall.is_finite() || d.fall < 0.0 {
+                        return Err(SimError::InvalidDelay {
+                            gate: node.name().to_owned(),
+                            pin,
+                        });
+                    }
+                }
+            }
+        }
         let space = model.space();
+        let (c_lo, c_hi) = space.load_range();
+        let mut clamped_loads = 0usize;
         let c_norm = netlist
             .iter()
             .map(|(id, _)| {
+                let load = annotation.load_ff(id);
+                if load < c_lo || load > c_hi {
+                    clamped_loads += 1;
+                }
                 space
                     .normalize_clamped(avfs_delay::op::OperatingPoint::new(
                         space.nominal_vdd(),
-                        annotation.load_ff(id),
+                        load,
                     ))
                     .c
             })
@@ -98,6 +168,7 @@ impl Engine {
             annotation,
             model,
             c_norm,
+            clamped_loads,
         })
     }
 
@@ -128,8 +199,12 @@ impl Engine {
     /// * [`SimError::EmptySlots`] for an empty slot list,
     /// * [`SimError::PatternWidth`] / [`SimError::BadPatternIndex`] for
     ///   inconsistent stimuli,
+    /// * [`SimError::InvalidOperatingPoint`] for a non-finite or
+    ///   non-positive supply voltage,
     /// * [`SimError::Model`] if the delay model rejects an operating point
-    ///   or lacks a kernel.
+    ///   or lacks a kernel,
+    /// * [`SimError::AllSlotsFailed`] if no slot produced a usable result
+    ///   (individual slot failures are reported per slot instead).
     pub fn run(
         &self,
         patterns: &PatternSet,
@@ -148,11 +223,17 @@ impl Engine {
                 });
             }
         }
-        for spec in slots {
+        for (i, spec) in slots.iter().enumerate() {
             if spec.pattern >= patterns.len() {
                 return Err(SimError::BadPatternIndex {
                     index: spec.pattern,
                     available: patterns.len(),
+                });
+            }
+            if !spec.voltage.is_finite() || spec.voltage <= 0.0 {
+                return Err(SimError::InvalidOperatingPoint {
+                    slot: i,
+                    voltage: spec.voltage,
                 });
             }
         }
@@ -257,42 +338,127 @@ impl Engine {
         options: &SimOptions,
     ) -> Result<SimRun, SimError> {
         let nodes = self.netlist.num_nodes();
-        let batch_size = (options.waveform_budget / nodes.max(1)).clamp(1, work.len());
-        let mut results: Vec<SlotResult> = Vec::with_capacity(work.len());
+        let base_cap = if options.arena_capacity == 0 {
+            DEFAULT_ARENA_CAPACITY
+        } else {
+            options.arena_capacity.max(1)
+        };
         let start = Instant::now();
-
-        // The waveform arena is reused across batches.
-        let mut arena: Vec<Waveform> = vec![Waveform::constant(false); batch_size * nodes];
-        for batch in work.chunks(batch_size) {
-            self.run_batch(patterns, batch, options, &mut arena, &mut results)?;
+        let mut diag = RunDiagnostics {
+            clamped_loads: self.clamped_loads,
+            ..RunDiagnostics::default()
+        };
+        let mut results: Vec<Option<SlotResult>> = vec![None; work.len()];
+        let mut slot_sims = 0u64;
+        // Quarantine-and-retry rounds: round 0 simulates every slot at the
+        // base capacity; each later round re-simulates only the slots that
+        // overflowed, at geometrically grown capacity — the CPU analogue of
+        // the GPU's overflow-flag-and-relaunch loop.
+        let mut pending: Vec<usize> = (0..work.len()).collect();
+        let mut cap = base_cap;
+        let mut round = 0u32;
+        loop {
+            let batch_slots =
+                (options.waveform_budget / (nodes.max(1) * cap)).clamp(1, pending.len());
+            let mut arena = WaveformArena::new(batch_slots * nodes, cap);
+            let mut overflowed: Vec<usize> = Vec::new();
+            for chunk in pending.chunks(batch_slots) {
+                slot_sims += chunk.len() as u64;
+                self.run_batch(
+                    patterns,
+                    work,
+                    chunk,
+                    options,
+                    round,
+                    &mut arena,
+                    &mut results,
+                    &mut overflowed,
+                    &mut diag,
+                )?;
+            }
+            diag.peak_arena_occupancy = diag.peak_arena_occupancy.max(arena.peak_occupancy());
+            for &s in &overflowed {
+                if !diag.overflowed_slots.contains(&s) {
+                    diag.overflowed_slots.push(s);
+                }
+            }
+            if overflowed.is_empty() {
+                break;
+            }
+            if round >= options.overflow_retries {
+                for &s in &overflowed {
+                    results[s] = Some(SlotResult::failed(
+                        SlotSpec {
+                            pattern: work[s].pattern,
+                            voltage: work[s].voltage,
+                        },
+                        SlotStatus::Overflowed { capacity: cap },
+                    ));
+                    diag.failed_slots.push(s);
+                }
+                break;
+            }
+            round += 1;
+            diag.slot_retries += overflowed.len() as u64;
+            cap = cap.saturating_mul(CAPACITY_GROWTH);
+            pending = overflowed;
         }
-        let elapsed = start.elapsed();
+        diag.overflowed_slots.sort_unstable();
+        diag.panicked_slots.sort_unstable();
+        diag.failed_slots.sort_unstable();
+        let slots: Vec<SlotResult> = results
+            .into_iter()
+            .map(|r| r.expect("every slot resolved by the retry loop"))
+            .collect();
+        if slots.iter().all(|s| !s.status.is_completed()) {
+            return Err(SimError::AllSlotsFailed { slots: slots.len() });
+        }
         Ok(SimRun {
-            slots: results,
-            elapsed,
-            node_evaluations: (nodes as u64) * (work.len() as u64),
+            slots,
+            elapsed: start.elapsed(),
+            node_evaluations: (nodes as u64) * slot_sims,
+            diagnostics: diag,
         })
     }
 
+    /// Simulates one batch (`chunk` indexes into `work`) against the
+    /// bounded `arena`. Slots that overflow the arena are appended to
+    /// `overflowed` for the caller's retry loop; slots whose delay
+    /// evaluation panics are contained and recorded as failed. Only errors
+    /// affecting the whole run (a delay-model error) propagate as `Err`.
+    #[allow(clippy::too_many_arguments)]
     fn run_batch(
         &self,
         patterns: &PatternSet,
-        batch: &[SlotWork],
+        work: &[SlotWork],
+        chunk: &[usize],
         options: &SimOptions,
-        arena: &mut [Waveform],
-        results: &mut Vec<SlotResult>,
+        round: u32,
+        arena: &mut WaveformArena,
+        results: &mut [Option<SlotResult>],
+        overflowed: &mut Vec<usize>,
+        diag: &mut RunDiagnostics,
     ) -> Result<(), SimError> {
         let nodes = self.netlist.num_nodes();
+        arena.reset();
+
+        // Per-slot fault status within this batch. A dead slot's remaining
+        // work is skipped; flags are only updated at level barriers so the
+        // schedule stays deterministic.
+        let mut dead: Vec<Option<Dead>> = vec![None; chunk.len()];
 
         // Level 0: stimuli waveforms.
-        for (si, work) in batch.iter().enumerate() {
-            let pair = &patterns.pairs()[work.pattern];
+        for (si, &slot) in chunk.iter().enumerate() {
+            let pair = &patterns.pairs()[work[slot].pattern];
             for (k, &pi) in self.netlist.inputs().iter().enumerate() {
-                arena[si * nodes + pi.index()] = Waveform::from_pattern(
+                let wf = Waveform::from_pattern(
                     pair.launch.bit(k),
                     pair.capture.bit(k),
                     options.launch_time_ps,
                 );
+                if arena.write(si * nodes + pi.index(), &wf).is_err() {
+                    dead[si] = Some(Dead::Overflow);
+                }
             }
         }
 
@@ -303,66 +469,97 @@ impl Engine {
         // per-gate initialization phase runs once per (level, voltage)
         // instead of once per (slot, gate).
         let mut group_assigns: Vec<&VoltageAssign> = Vec::new();
-        let group_of_slot: Vec<usize> = batch
+        let group_of_slot: Vec<usize> = chunk
             .iter()
-            .map(|work| {
-                match group_assigns.iter().position(|g| **g == work.assign) {
+            .map(
+                |&slot| match group_assigns.iter().position(|g| **g == work[slot].assign) {
                     Some(g) => g,
                     None => {
-                        group_assigns.push(&work.assign);
+                        group_assigns.push(&work[slot].assign);
                         group_assigns.len() - 1
                     }
-                }
-            })
+                },
+            )
             .collect();
 
         // Levels 1…L: the vertical dimension with a barrier per level.
+        let mut fallbacks = 0u64;
         let mut level_delays: Vec<Vec<PinDelays>> = vec![Vec::new(); group_assigns.len()];
         let mut level_offsets: Vec<usize> = Vec::new();
         for level in 1..self.levels.depth() {
+            if dead.iter().all(Option::is_some) {
+                break;
+            }
             let level_nodes = self.levels.level(level);
-            let tasks = batch.len() * level_nodes.len();
+            let tasks = chunk.len() * level_nodes.len();
             if tasks == 0 {
                 continue;
             }
 
             // Initialization phase (Sec. IV.A): modified pin delays for
-            // every gate of this level, per voltage group.
+            // every gate of this level, per voltage group. A panic inside a
+            // delay model is contained per group: it kills only the slots
+            // at that operating point.
             level_offsets.clear();
-            for buf in &mut level_delays {
-                buf.clear();
-            }
             let mut offset = 0usize;
             for &node_id in level_nodes {
                 level_offsets.push(offset);
-                if let NodeKind::Gate(cell_id) = self.netlist.node(node_id).kind() {
-                    let nominal = self.annotation.node_delays(node_id);
-                    let c = self.c_norm[node_id.index()];
-                    for (g, buf) in level_delays.iter_mut().enumerate() {
-                        let p = NormalizedPoint {
-                            v: group_assigns[g].v_norm_for(node_id.index()),
-                            c,
-                        };
-                        for (pin, d) in nominal.iter().enumerate() {
-                            let f_rise = self.model.factor(
-                                cell_id,
-                                pin,
-                                avfs_netlist::library::Polarity::Rise,
-                                p,
-                            )?;
-                            let f_fall = self.model.factor(
-                                cell_id,
-                                pin,
-                                avfs_netlist::library::Polarity::Fall,
-                                p,
-                            )?;
-                            buf.push(PinDelays {
-                                rise: (d.rise * f_rise).max(0.0),
-                                fall: (d.fall * f_fall).max(0.0),
-                            });
+                if matches!(self.netlist.node(node_id).kind(), NodeKind::Gate(_)) {
+                    offset += self.netlist.node(node_id).fanin().len();
+                }
+            }
+            for (g, buf) in level_delays.iter_mut().enumerate() {
+                buf.clear();
+                let group_live = group_of_slot
+                    .iter()
+                    .zip(&dead)
+                    .any(|(&gg, d)| gg == g && d.is_none());
+                if !group_live {
+                    continue;
+                }
+                let assign = group_assigns[g];
+                let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<u64, SimError> {
+                    let mut fb = 0u64;
+                    for &node_id in level_nodes {
+                        if let NodeKind::Gate(cell_id) = self.netlist.node(node_id).kind() {
+                            let nominal = self.annotation.node_delays(node_id);
+                            let p = NormalizedPoint {
+                                v: assign.v_norm_for(node_id.index()),
+                                c: self.c_norm[node_id.index()],
+                            };
+                            for (pin, d) in nominal.iter().enumerate() {
+                                let f_rise = self.model.factor(
+                                    cell_id,
+                                    pin,
+                                    avfs_netlist::library::Polarity::Rise,
+                                    p,
+                                )?;
+                                let f_fall = self.model.factor(
+                                    cell_id,
+                                    pin,
+                                    avfs_netlist::library::Polarity::Fall,
+                                    p,
+                                )?;
+                                buf.push(PinDelays {
+                                    rise: scale_or_fallback(d.rise, f_rise, &mut fb),
+                                    fall: scale_or_fallback(d.fall, f_fall, &mut fb),
+                                });
+                            }
                         }
                     }
-                    offset += nominal.len();
+                    Ok(fb)
+                }));
+                match outcome {
+                    Ok(Ok(fb)) => fallbacks += fb,
+                    Ok(Err(e)) => return Err(e),
+                    Err(_) => {
+                        buf.clear();
+                        for (si, &gg) in group_of_slot.iter().enumerate() {
+                            if gg == g && dead[si].is_none() {
+                                dead[si] = Some(Dead::Panic);
+                            }
+                        }
+                    }
                 }
             }
 
@@ -374,96 +571,126 @@ impl Engine {
                 group_of_slot: &group_of_slot,
                 nodes,
             };
-            if workers == 1 {
+            // Snapshot of slot liveness for this level: workers skip tasks
+            // of dead slots; deaths discovered during the level take effect
+            // at the barrier below.
+            let alive: Vec<bool> = dead.iter().map(Option::is_none).collect();
+            let arena_ref: &WaveformArena = arena;
+            let ctx_ref = &ctx;
+            let alive_ref = &alive;
+            // One worker's share of the level: evaluate tasks, catching
+            // panics and capacity overflows per task.
+            let eval_range = |lo: usize, hi: usize| -> Vec<TaskOut> {
+                let mut out = Vec::with_capacity(hi.saturating_sub(lo));
+                let mut scratch = GateScratch::new();
+                let mut inputs: Vec<WaveformView<'_>> = Vec::new();
+                for t in lo..hi {
+                    let si = t / ctx_ref.level_nodes.len();
+                    if !alive_ref[si] {
+                        continue;
+                    }
+                    let r = catch_unwind(AssertUnwindSafe(|| {
+                        self.eval_task(t, ctx_ref, arena_ref, &mut scratch, &mut inputs)
+                    }));
+                    inputs.clear();
+                    out.push(match r {
+                        Ok(Ok((idx, wf))) => TaskOut::Write(idx, wf),
+                        Ok(Err(_)) => TaskOut::Overflow(si),
+                        Err(_) => TaskOut::Panic(si),
+                    });
+                }
+                out
+            };
+            let writes: Vec<Vec<TaskOut>> = if workers == 1 {
                 // Same collect-then-write discipline as the parallel path:
                 // reads of previous levels and writes of this level are
                 // separated by the (here trivial) barrier.
-                let mut writes: Vec<(usize, Waveform)> = Vec::with_capacity(tasks);
-                {
-                    let arena_ref: &[Waveform] = arena;
-                    let mut scratch = GateScratch::new();
-                    let mut inputs: Vec<&Waveform> = Vec::new();
-                    for t in 0..tasks {
-                        writes.push(self.eval_task(t, &ctx, arena_ref, &mut scratch, &mut inputs));
-                        inputs.clear();
-                    }
-                }
-                for (idx, wf) in writes {
-                    arena[idx] = wf;
-                }
+                vec![eval_range(0, tasks)]
             } else {
                 // Fork-join over the horizontal plane: workers read the
                 // arena (previous levels only) and return their writes,
                 // which are applied after the join — the level barrier.
-                let chunk = tasks.div_ceil(workers);
-                let arena_ref: &[Waveform] = arena;
-                let ctx_ref = &ctx;
-                let writes: Vec<Vec<(usize, Waveform)>> = std::thread::scope(|scope| {
+                let per_worker = tasks.div_ceil(workers);
+                let eval_range = &eval_range;
+                std::thread::scope(|scope| {
                     let handles: Vec<_> = (0..workers)
                         .map(|w| {
                             scope.spawn(move || {
-                                let lo = w * chunk;
-                                let hi = ((w + 1) * chunk).min(tasks);
-                                let mut out = Vec::with_capacity(hi.saturating_sub(lo));
-                                let mut scratch = GateScratch::new();
-                                let mut inputs: Vec<&Waveform> = Vec::new();
-                                for t in lo..hi {
-                                    let (idx, wf) = self.eval_task(
-                                        t,
-                                        ctx_ref,
-                                        arena_ref,
-                                        &mut scratch,
-                                        &mut inputs,
-                                    );
-                                    inputs.clear();
-                                    out.push((idx, wf));
-                                }
-                                out
+                                eval_range(w * per_worker, ((w + 1) * per_worker).min(tasks))
                             })
                         })
                         .collect();
                     handles
                         .into_iter()
-                        .map(|h| h.join().expect("worker panicked"))
+                        .map(|h| h.join().expect("worker thread itself must not die"))
                         .collect()
-                });
-                for w in writes {
-                    for (idx, wf) in w {
-                        arena[idx] = wf;
+                })
+            };
+            // The barrier: apply surviving writes, then liveness updates.
+            for w in writes {
+                for out in w {
+                    match out {
+                        TaskOut::Write(idx, wf) => {
+                            arena
+                                .write(idx, &wf)
+                                .expect("bounded evaluation fits the arena");
+                        }
+                        TaskOut::Overflow(si) => {
+                            if dead[si].is_none() {
+                                dead[si] = Some(Dead::Overflow);
+                            }
+                        }
+                        TaskOut::Panic(si) => {
+                            if dead[si].is_none() {
+                                dead[si] = Some(Dead::Panic);
+                            }
+                        }
                     }
                 }
             }
         }
+        diag.kernel_fallbacks += fallbacks;
 
-        // Waveform analysis (Fig. 2, step 4).
-        for (si, work) in batch.iter().enumerate() {
-            let slot_wfs = &arena[si * nodes..(si + 1) * nodes];
-            let mut responses = Vec::with_capacity(self.netlist.outputs().len());
-            let mut latest: Option<f64> = None;
-            for &po in self.netlist.outputs() {
-                let stats = WaveformStats::of(&slot_wfs[po.index()]);
-                responses.push(stats.final_value);
-                latest = match (latest, stats.latest_transition) {
-                    (Some(a), Some(b)) => Some(a.max(b)),
-                    (a, b) => a.or(b),
-                };
+        // Waveform analysis (Fig. 2, step 4) for surviving slots;
+        // quarantine verdicts for the rest.
+        for (si, &slot) in chunk.iter().enumerate() {
+            let spec = SlotSpec {
+                pattern: work[slot].pattern,
+                voltage: work[slot].voltage,
+            };
+            match dead[si] {
+                Some(Dead::Overflow) => overflowed.push(slot),
+                Some(Dead::Panic) => {
+                    results[slot] = Some(SlotResult::failed(spec, SlotStatus::Panicked));
+                    diag.panicked_slots.push(slot);
+                    diag.failed_slots.push(slot);
+                }
+                None => {
+                    let base = si * nodes;
+                    let mut responses = Vec::with_capacity(self.netlist.outputs().len());
+                    let mut latest: Option<f64> = None;
+                    for &po in self.netlist.outputs() {
+                        let stats = WaveformStats::of(&arena.view(base + po.index()));
+                        responses.push(stats.final_value);
+                        latest = match (latest, stats.latest_transition) {
+                            (Some(a), Some(b)) => Some(a.max(b)),
+                            (a, b) => a.or(b),
+                        };
+                    }
+                    let activity =
+                        SwitchingActivity::of((base..base + nodes).map(|i| arena.view(i)));
+                    results[slot] = Some(SlotResult {
+                        spec,
+                        status: SlotStatus::Completed { retries: round },
+                        responses,
+                        latest_output_transition_ps: latest,
+                        activity,
+                        waveforms: options
+                            .keep_waveforms
+                            .then(|| (base..base + nodes).map(|i| arena.to_waveform(i)).collect()),
+                    });
+                }
             }
-            let activity = SwitchingActivity::of(slot_wfs.iter());
-            results.push(SlotResult {
-                spec: SlotSpec {
-                    pattern: work.pattern,
-                    voltage: work.voltage,
-                },
-                responses,
-                latest_output_transition_ps: latest,
-                activity,
-                waveforms: options.keep_waveforms.then(|| slot_wfs.to_vec()),
-            });
-        }
-        // Reset the arena for the next batch (cheap: drops transition
-        // vectors, keeps the outer allocation).
-        for wf in arena.iter_mut() {
-            *wf = Waveform::constant(false);
         }
         Ok(())
     }
@@ -472,14 +699,19 @@ impl Engine {
     /// thread. The modified delays were precomputed per (level, voltage
     /// group) by the initialization phase; `inputs` is reusable scratch
     /// whose borrows of `arena` end when the function returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityOverflow`] when the gate's output history would
+    /// outgrow the arena's per-net capacity — the quarantine signal.
     fn eval_task<'a>(
         &self,
         task: usize,
         ctx: &LevelCtx<'_>,
-        arena: &'a [Waveform],
+        arena: &'a WaveformArena,
         scratch: &mut GateScratch,
-        inputs: &mut Vec<&'a Waveform>,
-    ) -> (usize, Waveform) {
+        inputs: &mut Vec<WaveformView<'a>>,
+    ) -> Result<(usize, Waveform), CapacityOverflow> {
         let si = task / ctx.level_nodes.len();
         let pos = task % ctx.level_nodes.len();
         let node_id = ctx.level_nodes[pos];
@@ -488,20 +720,55 @@ impl Engine {
         let out_index = base + node_id.index();
         let wf = match node.kind() {
             NodeKind::Input => unreachable!("inputs are level 0"),
-            NodeKind::Output => arena[base + node.fanin()[0].index()].clone(),
+            NodeKind::Output => arena.to_waveform(base + node.fanin()[0].index()),
             NodeKind::Gate(_) => {
                 let cell = self.netlist.cell_of(node_id).expect("gate has a cell");
                 let npins = node.fanin().len();
                 let off = ctx.level_offsets[pos];
-                let delays =
-                    &ctx.level_delays[ctx.group_of_slot[si]][off..off + npins];
+                let delays = &ctx.level_delays[ctx.group_of_slot[si]][off..off + npins];
                 inputs.clear();
-                inputs.extend(node.fanin().iter().map(|f| &arena[base + f.index()]));
-                evaluate_gate_scratch(inputs, delays, |vals| cell.eval(vals), scratch)
+                inputs.extend(node.fanin().iter().map(|f| arena.view(base + f.index())));
+                evaluate_gate_bounded_scratch(
+                    inputs,
+                    delays,
+                    |vals| cell.eval(vals),
+                    scratch,
+                    arena.capacity(),
+                )?
             }
         };
-        (out_index, wf)
+        Ok((out_index, wf))
     }
+}
+
+/// Guards the online delay calculation: a non-finite scaled delay falls
+/// back to the nominal delay and is counted in
+/// [`RunDiagnostics::kernel_fallbacks`].
+fn scale_or_fallback(nominal: f64, factor: f64, fallbacks: &mut u64) -> f64 {
+    let scaled = nominal * factor;
+    if scaled.is_finite() {
+        scaled.max(0.0)
+    } else {
+        *fallbacks += 1;
+        nominal.max(0.0)
+    }
+}
+
+/// Why a slot died within a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dead {
+    /// A gate's output outgrew the bounded arena — retry at larger
+    /// capacity.
+    Overflow,
+    /// The slot's evaluation panicked — contained, no retry.
+    Panic,
+}
+
+/// One task's outcome, applied at the level barrier.
+enum TaskOut {
+    Write(usize, Waveform),
+    Overflow(usize),
+    Panic(usize),
 }
 
 /// One slot's resolved work: which pattern to replay under which voltage
@@ -583,11 +850,7 @@ mod tests {
     fn one_pattern() -> PatternSet {
         use avfs_atpg::pattern::{Pattern, PatternPair};
         std::iter::once(
-            PatternPair::new(
-                Pattern::from_bits([false]),
-                Pattern::from_bits([true]),
-            )
-            .unwrap(),
+            PatternPair::new(Pattern::from_bits([false]), Pattern::from_bits([true])).unwrap(),
         )
         .collect()
     }
@@ -625,13 +888,19 @@ mod tests {
             .run(
                 &one_pattern(),
                 &cross(1, &[0.6, 0.8, 1.0]),
-                &SimOptions { threads: 1, ..SimOptions::default() },
+                &SimOptions {
+                    threads: 1,
+                    ..SimOptions::default()
+                },
             )
             .unwrap();
         // Static model: identical timing regardless of voltage.
         assert_eq!(run.slots.len(), 3);
         let t0 = run.slots[0].latest_output_transition_ps;
-        assert!(run.slots.iter().all(|s| s.latest_output_transition_ps == t0));
+        assert!(run
+            .slots
+            .iter()
+            .all(|s| s.latest_output_transition_ps == t0));
         assert_eq!(run.voltages(), vec![0.6, 0.8, 1.0]);
     }
 
@@ -644,7 +913,14 @@ mod tests {
         let patterns = one_pattern();
         let slots = cross(1, &[0.8, 0.9, 1.0, 1.1]);
         let big = engine
-            .run(&patterns, &slots, &SimOptions { threads: 1, ..SimOptions::default() })
+            .run(
+                &patterns,
+                &slots,
+                &SimOptions {
+                    threads: 1,
+                    ..SimOptions::default()
+                },
+            )
             .unwrap();
         let tiny = engine
             .run(
@@ -674,10 +950,24 @@ mod tests {
         let patterns = PatternSet::lfsr(n.inputs().len(), 4, 5);
         let slots = cross(4, &[0.8, 1.0]);
         let single = engine
-            .run(&patterns, &slots, &SimOptions { threads: 1, ..SimOptions::default() })
+            .run(
+                &patterns,
+                &slots,
+                &SimOptions {
+                    threads: 1,
+                    ..SimOptions::default()
+                },
+            )
             .unwrap();
         let multi = engine
-            .run(&patterns, &slots, &SimOptions { threads: 4, ..SimOptions::default() })
+            .run(
+                &patterns,
+                &slots,
+                &SimOptions {
+                    threads: 4,
+                    ..SimOptions::default()
+                },
+            )
             .unwrap();
         for (a, b) in single.slots.iter().zip(&multi.slots) {
             assert_eq!(a.responses, b.responses);
@@ -695,14 +985,22 @@ mod tests {
             .run(
                 &patterns,
                 &at_voltage(1, 0.8),
-                &SimOptions { threads: 1, launch_time_ps: 0.0, ..SimOptions::default() },
+                &SimOptions {
+                    threads: 1,
+                    launch_time_ps: 0.0,
+                    ..SimOptions::default()
+                },
             )
             .unwrap();
         let shifted = engine
             .run(
                 &patterns,
                 &at_voltage(1, 0.8),
-                &SimOptions { threads: 1, launch_time_ps: 250.0, ..SimOptions::default() },
+                &SimOptions {
+                    threads: 1,
+                    launch_time_ps: 250.0,
+                    ..SimOptions::default()
+                },
             )
             .unwrap();
         let (t0, t1) = (
@@ -726,25 +1024,46 @@ mod tests {
         for (id, node) in n.iter() {
             if matches!(node.kind(), NodeKind::Gate(_)) {
                 for pin in 0..node.fanin().len() {
-                    ann.node_delays_mut(id)[pin] = PinDelays { rise: 6.0, fall: 7.0 };
+                    ann.node_delays_mut(id)[pin] = PinDelays {
+                        rise: 6.0,
+                        fall: 7.0,
+                    };
                 }
             }
         }
         let engine = Engine::new(
             Arc::clone(&n),
             Arc::new(ann),
-            Arc::new(avfs_delay::AlphaPowerModel::new(0.24, 1.35, ParameterSpace::paper())),
+            Arc::new(avfs_delay::AlphaPowerModel::new(
+                0.24,
+                1.35,
+                ParameterSpace::paper(),
+            )),
         )
         .unwrap();
         let domains = crate::domains::VoltageDomains::by_output_cones(&n, 2);
         let patterns = PatternSet::lfsr(n.inputs().len(), 2, 8);
-        let opts = SimOptions { threads: 1, ..SimOptions::default() };
+        let opts = SimOptions {
+            threads: 1,
+            ..SimOptions::default()
+        };
         let mixed = vec![
-            crate::domains::DomainSlotSpec { pattern: 0, voltages: vec![0.8, 0.8] },
-            crate::domains::DomainSlotSpec { pattern: 1, voltages: vec![0.6, 1.0] },
-            crate::domains::DomainSlotSpec { pattern: 0, voltages: vec![0.6, 1.0] },
+            crate::domains::DomainSlotSpec {
+                pattern: 0,
+                voltages: vec![0.8, 0.8],
+            },
+            crate::domains::DomainSlotSpec {
+                pattern: 1,
+                voltages: vec![0.6, 1.0],
+            },
+            crate::domains::DomainSlotSpec {
+                pattern: 0,
+                voltages: vec![0.6, 1.0],
+            },
         ];
-        let run = engine.run_domains(&patterns, &domains, &mixed, &opts).unwrap();
+        let run = engine
+            .run_domains(&patterns, &domains, &mixed, &opts)
+            .unwrap();
         assert_eq!(run.slots.len(), 3);
         for (spec, slot) in mixed.iter().zip(&run.slots) {
             let solo = engine
@@ -770,20 +1089,28 @@ mod tests {
         assert!(matches!(
             engine.run(
                 &patterns,
-                &[SlotSpec { pattern: 7, voltage: 0.8 }],
+                &[SlotSpec {
+                    pattern: 7,
+                    voltage: 0.8
+                }],
                 &SimOptions::default()
             ),
-            Err(SimError::BadPatternIndex { index: 7, available: 1 })
+            Err(SimError::BadPatternIndex {
+                index: 7,
+                available: 1
+            })
         ));
         // Wrong-width pattern.
         use avfs_atpg::pattern::{Pattern, PatternPair};
-        let wide: PatternSet = std::iter::once(
-            PatternPair::new(Pattern::zeros(3), Pattern::zeros(3)).unwrap(),
-        )
-        .collect();
+        let wide: PatternSet =
+            std::iter::once(PatternPair::new(Pattern::zeros(3), Pattern::zeros(3)).unwrap())
+                .collect();
         assert!(matches!(
             engine.run(&wide, &at_voltage(1, 0.8), &SimOptions::default()),
-            Err(SimError::PatternWidth { expected: 1, got: 3 })
+            Err(SimError::PatternWidth {
+                expected: 1,
+                got: 3
+            })
         ));
     }
 
@@ -805,6 +1132,393 @@ mod tests {
         ));
     }
 
+    /// A delay model that panics for operating points at the top of the
+    /// normalized voltage range — the fault-injection vehicle for the
+    /// panic-containment tests (distinct voltages form distinct kernel
+    /// groups, so the panic hits exactly the marker slot).
+    #[derive(Debug)]
+    struct PanickyModel {
+        inner: StaticModel,
+    }
+
+    impl avfs_delay::model::DelayModel for PanickyModel {
+        fn factor(
+            &self,
+            cell: avfs_netlist::CellId,
+            pin: usize,
+            polarity: avfs_netlist::library::Polarity,
+            p: NormalizedPoint,
+        ) -> Result<f64, avfs_delay::DelayError> {
+            assert!(p.v < 0.999, "injected fault: poisoned operating point");
+            self.inner.factor(cell, pin, polarity, p)
+        }
+        fn name(&self) -> &str {
+            "panicky"
+        }
+        fn space(&self) -> &ParameterSpace {
+            self.inner.space()
+        }
+    }
+
+    /// A delay model whose kernel output is garbage (non-finite factors):
+    /// exercises the online-delay-calculation guard.
+    #[derive(Debug)]
+    struct BrokenKernelModel {
+        space: ParameterSpace,
+    }
+
+    impl avfs_delay::model::DelayModel for BrokenKernelModel {
+        fn factor(
+            &self,
+            _cell: avfs_netlist::CellId,
+            _pin: usize,
+            _polarity: avfs_netlist::library::Polarity,
+            _p: NormalizedPoint,
+        ) -> Result<f64, avfs_delay::DelayError> {
+            Ok(f64::INFINITY)
+        }
+        fn name(&self) -> &str {
+            "broken-kernel"
+        }
+        fn space(&self) -> &ParameterSpace {
+            &self.space
+        }
+    }
+
+    /// A glitching netlist: reconvergent XOR whose output pulses on every
+    /// input transition (see `glitch_visible_in_activity`).
+    fn glitch_netlist() -> Arc<Netlist> {
+        let lib = CellLibrary::nangate15_like();
+        let mut b = NetlistBuilder::new("glitch", &lib);
+        let a = b.add_input("a").unwrap();
+        let inv = b.add_gate("inv", "INV_X1", &[a]).unwrap();
+        let x = b.add_gate("x", "XOR2_X1", &[a, inv]).unwrap();
+        b.add_output("y", x).unwrap();
+        Arc::new(b.finish().unwrap())
+    }
+
+    #[test]
+    fn invalid_operating_points_rejected() {
+        let n = chain_netlist();
+        let engine = static_engine(&n, 1.0, 1.0);
+        let patterns = one_pattern();
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -0.8] {
+            let slots = [
+                SlotSpec {
+                    pattern: 0,
+                    voltage: 0.8,
+                },
+                SlotSpec {
+                    pattern: 0,
+                    voltage: bad,
+                },
+            ];
+            match engine.run(&patterns, &slots, &SimOptions::default()) {
+                Err(SimError::InvalidOperatingPoint { slot: 1, voltage }) => {
+                    assert!(voltage.is_nan() || voltage == bad);
+                }
+                other => panic!("expected InvalidOperatingPoint, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_annotation_rejected() {
+        let n = chain_netlist();
+        let model: Arc<dyn DelayModel> = Arc::new(StaticModel::new(ParameterSpace::paper()));
+        // Non-finite load.
+        let mut ann = TimingAnnotation::zero(&n);
+        ann.set_load_ff(n.find("g1").unwrap(), f64::NAN);
+        assert!(matches!(
+            Engine::new(Arc::clone(&n), Arc::new(ann), Arc::clone(&model)),
+            Err(SimError::InvalidLoad { node, .. }) if node == "g1"
+        ));
+        // Negative load.
+        let mut ann = TimingAnnotation::zero(&n);
+        ann.set_load_ff(n.find("g2").unwrap(), -3.0);
+        assert!(matches!(
+            Engine::new(Arc::clone(&n), Arc::new(ann), Arc::clone(&model)),
+            Err(SimError::InvalidLoad { node, load }) if node == "g2" && load == -3.0
+        ));
+        // Non-finite delay.
+        let mut ann = TimingAnnotation::zero(&n);
+        ann.node_delays_mut(n.find("g1").unwrap())[0] = PinDelays {
+            rise: f64::NAN,
+            fall: 1.0,
+        };
+        assert!(matches!(
+            Engine::new(Arc::clone(&n), Arc::new(ann), Arc::clone(&model)),
+            Err(SimError::InvalidDelay { gate, pin: 0 }) if gate == "g1"
+        ));
+        // Negative delay.
+        let mut ann = TimingAnnotation::zero(&n);
+        ann.node_delays_mut(n.find("g2").unwrap())[0] = PinDelays {
+            rise: 1.0,
+            fall: -2.0,
+        };
+        assert!(matches!(
+            Engine::new(Arc::clone(&n), Arc::new(ann), Arc::clone(&model)),
+            Err(SimError::InvalidDelay { gate, pin: 0 }) if gate == "g2"
+        ));
+    }
+
+    #[test]
+    fn combinational_loop_rejected() {
+        let lib = CellLibrary::nangate15_like();
+        let mut b = NetlistBuilder::new("loop", &lib);
+        let a = b.add_input("a").unwrap();
+        let g1 = b.add_gate("g1", "NAND2_X1", &[a, a]).unwrap();
+        let g2 = b.add_gate("g2", "INV_X1", &[g1]).unwrap();
+        b.add_output("y", g2).unwrap();
+        b.rewire_unchecked(g1, 1, g2);
+        let n = Arc::new(b.finish_unchecked());
+        let ann = Arc::new(TimingAnnotation::zero(&n));
+        let model = Arc::new(StaticModel::new(ParameterSpace::paper()));
+        match Engine::new(n, ann, model) {
+            Err(SimError::Netlist(avfs_netlist::NetlistError::CombinationalLoop { nodes })) => {
+                let mut nodes = nodes;
+                nodes.sort();
+                assert_eq!(nodes, vec!["g1".to_owned(), "g2".to_owned()]);
+            }
+            other => panic!("expected a combinational-loop error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn model_error_propagates() {
+        /// Rejects every factor request.
+        #[derive(Debug)]
+        struct NoKernelModel {
+            space: ParameterSpace,
+        }
+        impl avfs_delay::model::DelayModel for NoKernelModel {
+            fn factor(
+                &self,
+                cell: avfs_netlist::CellId,
+                _pin: usize,
+                _polarity: avfs_netlist::library::Polarity,
+                _p: NormalizedPoint,
+            ) -> Result<f64, avfs_delay::DelayError> {
+                Err(avfs_delay::DelayError::MissingCell {
+                    cell_index: cell.index(),
+                })
+            }
+            fn name(&self) -> &str {
+                "no-kernel"
+            }
+            fn space(&self) -> &ParameterSpace {
+                &self.space
+            }
+        }
+        let n = chain_netlist();
+        let engine = Engine::new(
+            Arc::clone(&n),
+            Arc::new(TimingAnnotation::zero(&n)),
+            Arc::new(NoKernelModel {
+                space: ParameterSpace::paper(),
+            }),
+        )
+        .unwrap();
+        assert!(matches!(
+            engine.run(&one_pattern(), &at_voltage(1, 0.8), &SimOptions::default()),
+            Err(SimError::Model(avfs_delay::DelayError::MissingCell { .. }))
+        ));
+    }
+
+    #[test]
+    fn overflow_quarantine_and_retry_converges() {
+        // The glitch pulse needs 2 transitions per net; a capacity-1 arena
+        // must overflow, quarantine the slot and retry at capacity 4.
+        let n = glitch_netlist();
+        let engine = static_engine(&n, 10.0, 10.0);
+        let patterns = one_pattern();
+        let tight = SimOptions {
+            threads: 1,
+            keep_waveforms: true,
+            arena_capacity: 1,
+            ..SimOptions::default()
+        };
+        let run = engine.run(&patterns, &at_voltage(1, 0.8), &tight).unwrap();
+        assert!(run.is_complete());
+        assert_eq!(run.slots[0].status, SlotStatus::Completed { retries: 1 });
+        assert_eq!(run.diagnostics.overflowed_slots, vec![0]);
+        assert_eq!(run.diagnostics.slot_retries, 1);
+        assert!(run.diagnostics.failed_slots.is_empty());
+        assert_eq!(run.diagnostics.peak_arena_occupancy, 2);
+        // Retries are visible in the throughput accounting.
+        assert_eq!(run.node_evaluations, 2 * n.num_nodes() as u64);
+        // The retried result is identical to an untroubled run.
+        let easy = engine
+            .run(
+                &patterns,
+                &at_voltage(1, 0.8),
+                &SimOptions {
+                    threads: 1,
+                    keep_waveforms: true,
+                    ..SimOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(run.slots[0].responses, easy.slots[0].responses);
+        assert_eq!(run.slots[0].activity, easy.slots[0].activity);
+        assert_eq!(run.slots[0].waveforms, easy.slots[0].waveforms);
+    }
+
+    #[test]
+    fn overflow_past_retry_limit_fails_only_that_slot() {
+        let n = glitch_netlist();
+        let engine = static_engine(&n, 10.0, 10.0);
+        // Pattern 0 glitches (input rises); pattern 1 is quiet.
+        use avfs_atpg::pattern::{Pattern, PatternPair};
+        let patterns: PatternSet = [
+            PatternPair::new(Pattern::from_bits([false]), Pattern::from_bits([true])).unwrap(),
+            PatternPair::new(Pattern::from_bits([false]), Pattern::from_bits([false])).unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        let slots = [
+            SlotSpec {
+                pattern: 0,
+                voltage: 0.8,
+            },
+            SlotSpec {
+                pattern: 1,
+                voltage: 0.8,
+            },
+        ];
+        let opts = SimOptions {
+            threads: 1,
+            arena_capacity: 1,
+            overflow_retries: 0,
+            ..SimOptions::default()
+        };
+        let run = engine.run(&patterns, &slots, &opts).unwrap();
+        assert!(!run.is_complete());
+        assert_eq!(run.slots[0].status, SlotStatus::Overflowed { capacity: 1 });
+        assert!(run.slots[0].responses.is_empty());
+        assert_eq!(run.slots[1].status, SlotStatus::Completed { retries: 0 });
+        assert_eq!(run.slots[1].responses, vec![true]); // quiet XOR: a ⊕ ā = 1
+        assert_eq!(run.diagnostics.failed_slots, vec![0]);
+        assert_eq!(run.diagnostics.overflowed_slots, vec![0]);
+        assert_eq!(run.diagnostics.slot_retries, 0);
+    }
+
+    #[test]
+    fn all_slots_failed_is_an_error() {
+        let n = glitch_netlist();
+        let engine = static_engine(&n, 10.0, 10.0);
+        let opts = SimOptions {
+            threads: 1,
+            arena_capacity: 1,
+            overflow_retries: 0,
+            ..SimOptions::default()
+        };
+        assert!(matches!(
+            engine.run(&one_pattern(), &at_voltage(1, 0.8), &opts),
+            Err(SimError::AllSlotsFailed { slots: 1 })
+        ));
+    }
+
+    #[test]
+    fn panicking_slot_is_contained() {
+        let n = chain_netlist();
+        let engine = Engine::new(
+            Arc::clone(&n),
+            Arc::new(static_engine(&n, 10.0, 10.0).annotation().as_ref().clone()),
+            Arc::new(PanickyModel {
+                inner: StaticModel::new(ParameterSpace::paper()),
+            }),
+        )
+        .unwrap();
+        let patterns = one_pattern();
+        // 1.1 V normalizes to 1.0 — the poisoned operating point.
+        let slots = cross(1, &[0.8, 1.1, 0.9]);
+        for threads in [1, 4] {
+            let opts = SimOptions {
+                threads,
+                ..SimOptions::default()
+            };
+            let run = engine.run(&patterns, &slots, &opts).unwrap();
+            assert!(!run.is_complete());
+            assert_eq!(run.slots[1].status, SlotStatus::Panicked);
+            assert!(run.slots[1].responses.is_empty());
+            assert_eq!(run.diagnostics.panicked_slots, vec![1]);
+            assert_eq!(run.diagnostics.failed_slots, vec![1]);
+            // The healthy slots are unaffected.
+            for i in [0, 2] {
+                assert_eq!(run.slots[i].status, SlotStatus::Completed { retries: 0 });
+                assert_eq!(run.slots[i].latest_output_transition_ps, Some(20.0));
+                assert_eq!(run.slots[i].responses, vec![true]);
+            }
+        }
+        // All slots at the poisoned point → the run itself errors.
+        assert!(matches!(
+            engine.run(&patterns, &at_voltage(1, 1.1), &SimOptions::default()),
+            Err(SimError::AllSlotsFailed { slots: 1 })
+        ));
+    }
+
+    #[test]
+    fn kernel_fallback_guards_nonfinite_delays() {
+        let n = chain_netlist();
+        let mut ann = TimingAnnotation::zero(&n);
+        for (id, node) in n.iter() {
+            if matches!(node.kind(), NodeKind::Gate(_)) {
+                ann.node_delays_mut(id)[0] = PinDelays {
+                    rise: 10.0,
+                    fall: 10.0,
+                };
+            }
+        }
+        let broken = Engine::new(
+            Arc::clone(&n),
+            Arc::new(ann),
+            Arc::new(BrokenKernelModel {
+                space: ParameterSpace::paper(),
+            }),
+        )
+        .unwrap();
+        let opts = SimOptions {
+            threads: 1,
+            ..SimOptions::default()
+        };
+        let run = broken
+            .run(&one_pattern(), &at_voltage(1, 0.8), &opts)
+            .unwrap();
+        // Every scaled delay was non-finite; all fell back to nominal.
+        assert!(run.diagnostics.kernel_fallbacks > 0);
+        assert!(run.is_complete());
+        let nominal = static_engine(&n, 10.0, 10.0)
+            .run(&one_pattern(), &at_voltage(1, 0.8), &opts)
+            .unwrap();
+        assert_eq!(run.slots[0].responses, nominal.slots[0].responses);
+        assert_eq!(
+            run.slots[0].latest_output_transition_ps,
+            nominal.slots[0].latest_output_transition_ps
+        );
+        // A healthy kernel reports no fallbacks.
+        assert_eq!(nominal.diagnostics.kernel_fallbacks, 0);
+    }
+
+    #[test]
+    fn dangling_net_clamp_reported() {
+        // TimingAnnotation::zero leaves dangling nets at 0 fF, below the
+        // paper space's 0.5 fF minimum — the engine clamps and reports.
+        let n = chain_netlist();
+        let engine = static_engine(&n, 1.0, 1.0);
+        let run = engine
+            .run(
+                &one_pattern(),
+                &at_voltage(1, 0.8),
+                &SimOptions {
+                    threads: 1,
+                    ..SimOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(run.diagnostics.clamped_loads > 0);
+    }
+
     #[test]
     fn glitch_visible_in_activity() {
         // Reconvergent XOR: a ─┬────────► x
@@ -822,7 +1536,11 @@ mod tests {
             .run(
                 &one_pattern(),
                 &at_voltage(1, 0.8),
-                &SimOptions { threads: 1, keep_waveforms: true, ..SimOptions::default() },
+                &SimOptions {
+                    threads: 1,
+                    keep_waveforms: true,
+                    ..SimOptions::default()
+                },
             )
             .unwrap();
         let slot = &run.slots[0];

@@ -15,7 +15,7 @@
 //! per operating point, which is precisely the scalability wall the paper
 //! attacks.
 
-use crate::results::{SimRun, SlotResult};
+use crate::results::{RunDiagnostics, SimRun, SlotResult, SlotStatus};
 use crate::slots::SlotSpec;
 use crate::SimError;
 use avfs_atpg::{zero_delay_values, PatternSet};
@@ -89,7 +89,7 @@ impl EventDrivenSimulator {
                 }
             }
         }
-        let levels = Arc::new(Levelization::of(&netlist));
+        let levels = Arc::new(Levelization::of(&netlist)?);
         Ok(EventDrivenSimulator {
             netlist,
             levels,
@@ -145,6 +145,7 @@ impl EventDrivenSimulator {
             let activity = SwitchingActivity::of(outcome.waveforms.iter());
             results.push(SlotResult {
                 spec: *spec,
+                status: SlotStatus::default(),
                 responses,
                 latest_output_transition_ps: latest,
                 activity,
@@ -155,6 +156,7 @@ impl EventDrivenSimulator {
             slots: results,
             elapsed: start.elapsed(),
             node_evaluations: (self.netlist.num_nodes() as u64) * (slots.len() as u64),
+            diagnostics: RunDiagnostics::default(),
         })
     }
 
@@ -185,35 +187,34 @@ impl EventDrivenSimulator {
         let mut heap: BinaryHeap<Reverse<(Time, usize, u64)>> = BinaryHeap::new();
         let mut events: u64 = 0;
 
-        let schedule =
-            |node: usize,
-             tt: f64,
-             new_out: bool,
-             pending: &mut Vec<Vec<(f64, u64)>>,
-             scheduled_value: &mut Vec<bool>,
-             alive: &mut Vec<bool>,
-             heap: &mut BinaryHeap<Reverse<(Time, usize, u64)>>| {
-                if new_out == scheduled_value[node] {
-                    return;
+        let schedule = |node: usize,
+                        tt: f64,
+                        new_out: bool,
+                        pending: &mut Vec<Vec<(f64, u64)>>,
+                        scheduled_value: &mut Vec<bool>,
+                        alive: &mut Vec<bool>,
+                        heap: &mut BinaryHeap<Reverse<(Time, usize, u64)>>| {
+            if new_out == scheduled_value[node] {
+                return;
+            }
+            // Inertial cancellation: drop overtaken transitions.
+            while let Some(&(t_last, id_last)) = pending[node].last() {
+                if t_last >= tt {
+                    pending[node].pop();
+                    alive[id_last as usize] = false;
+                    scheduled_value[node] = !scheduled_value[node];
+                } else {
+                    break;
                 }
-                // Inertial cancellation: drop overtaken transitions.
-                while let Some(&(t_last, id_last)) = pending[node].last() {
-                    if t_last >= tt {
-                        pending[node].pop();
-                        alive[id_last as usize] = false;
-                        scheduled_value[node] = !scheduled_value[node];
-                    } else {
-                        break;
-                    }
-                }
-                if scheduled_value[node] != new_out {
-                    let id = alive.len() as u64;
-                    alive.push(true);
-                    pending[node].push((tt, id));
-                    heap.push(Reverse((Time(tt), node, id)));
-                    scheduled_value[node] = new_out;
-                }
-            };
+            }
+            if scheduled_value[node] != new_out {
+                let id = alive.len() as u64;
+                alive.push(true);
+                pending[node].push((tt, id));
+                heap.push(Reverse((Time(tt), node, id)));
+                scheduled_value[node] = new_out;
+            }
+        };
 
         // Launch events: PIs that differ between the two vectors.
         for (k, &pi) in self.netlist.inputs().iter().enumerate() {
@@ -270,9 +271,7 @@ impl EventDrivenSimulator {
                             // gate; deliver to every matching pin (the
                             // duplicate fanout entries collapse in the
                             // dedup below).
-                            for (pin, &f) in
-                                self.netlist.node(sink).fanin().iter().enumerate()
-                            {
+                            for (pin, &f) in self.netlist.node(sink).fanin().iter().enumerate() {
                                 if f.index() == src {
                                     affected.push((sink.index(), pin));
                                 }
@@ -420,9 +419,7 @@ mod tests {
                 depth: 8,
                 two_input_fraction: 0.7,
             };
-            let n = Arc::new(
-                avfs_circuits::random_netlist("xval", &cfg, &lib, seed).unwrap(),
-            );
+            let n = Arc::new(avfs_circuits::random_netlist("xval", &cfg, &lib, seed).unwrap());
             let ann = Arc::new(annotate_static(&n, seed.wrapping_mul(77).wrapping_add(1)));
             let ed = EventDrivenSimulator::new(Arc::clone(&n), Arc::clone(&ann)).unwrap();
             let engine = Engine::new(

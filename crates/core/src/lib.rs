@@ -45,7 +45,7 @@ pub use domains::{DomainSlotSpec, VoltageDomains};
 pub use engine::{Engine, SimOptions};
 pub use event_driven::EventDrivenSimulator;
 pub use power::{energy_by_voltage, slot_energy, EnergyEstimate};
-pub use results::{SimRun, SlotResult};
+pub use results::{RunDiagnostics, SimRun, SlotResult, SlotStatus};
 pub use slots::{cross, SlotSpec};
 
 use std::error::Error;
@@ -81,6 +81,35 @@ pub enum SimError {
         /// Name of the offending gate.
         gate: String,
     },
+    /// The netlist failed a structural check (e.g. a combinational loop).
+    Netlist(avfs_netlist::NetlistError),
+    /// A slot requested a non-finite or non-positive supply voltage.
+    InvalidOperatingPoint {
+        /// Index of the offending slot.
+        slot: usize,
+        /// The rejected voltage (volts).
+        voltage: f64,
+    },
+    /// An annotated output load is non-finite or negative.
+    InvalidLoad {
+        /// Name of the offending node.
+        node: String,
+        /// The rejected load (femtofarads).
+        load: f64,
+    },
+    /// An annotated pin delay is non-finite or negative.
+    InvalidDelay {
+        /// Name of the offending gate.
+        gate: String,
+        /// Input pin index of the offending delay.
+        pin: usize,
+    },
+    /// Every slot of a run failed (overflowed past the retry limit or
+    /// panicked); no usable result exists.
+    AllSlotsFailed {
+        /// Number of slots that failed (= number requested).
+        slots: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -98,7 +127,26 @@ impl fmt::Display for SimError {
             SimError::EmptySlots => write!(f, "no simulation slots requested"),
             SimError::Model(e) => write!(f, "delay model error: {e}"),
             SimError::NonPositiveDelay { gate } => {
-                write!(f, "event-driven simulation requires positive delays (gate `{gate}`)")
+                write!(
+                    f,
+                    "event-driven simulation requires positive delays (gate `{gate}`)"
+                )
+            }
+            SimError::Netlist(e) => write!(f, "netlist error: {e}"),
+            SimError::InvalidOperatingPoint { slot, voltage } => {
+                write!(f, "slot {slot} requests invalid supply voltage {voltage} V")
+            }
+            SimError::InvalidLoad { node, load } => {
+                write!(f, "node `{node}` has invalid annotated load {load} fF")
+            }
+            SimError::InvalidDelay { gate, pin } => {
+                write!(
+                    f,
+                    "gate `{gate}` pin {pin} has a non-finite or negative delay"
+                )
+            }
+            SimError::AllSlotsFailed { slots } => {
+                write!(f, "all {slots} simulation slots failed; no usable result")
             }
         }
     }
@@ -108,6 +156,7 @@ impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SimError::Model(e) => Some(e),
+            SimError::Netlist(e) => Some(e),
             _ => None,
         }
     }
@@ -116,5 +165,11 @@ impl Error for SimError {
 impl From<avfs_delay::DelayError> for SimError {
     fn from(e: avfs_delay::DelayError) -> Self {
         SimError::Model(e)
+    }
+}
+
+impl From<avfs_netlist::NetlistError> for SimError {
+    fn from(e: avfs_netlist::NetlistError) -> Self {
+        SimError::Netlist(e)
     }
 }

@@ -134,7 +134,10 @@ mod tests {
         let mut ann = TimingAnnotation::zero(&n);
         for (id, node) in n.iter() {
             if matches!(node.kind(), NodeKind::Gate(_)) {
-                ann.node_delays_mut(id)[0] = PinDelays { rise: 5.0, fall: 6.0 };
+                ann.node_delays_mut(id)[0] = PinDelays {
+                    rise: 5.0,
+                    fall: 6.0,
+                };
             }
         }
         let ann = Arc::new(ann);
@@ -212,7 +215,10 @@ mod tests {
         for (id, node) in n.iter() {
             if matches!(node.kind(), NodeKind::Gate(_)) {
                 for p in 0..node.fanin().len() {
-                    ann.node_delays_mut(id)[p] = PinDelays { rise: 10.0, fall: 10.0 };
+                    ann.node_delays_mut(id)[p] = PinDelays {
+                        rise: 10.0,
+                        fall: 10.0,
+                    };
                 }
             }
         }

@@ -1,14 +1,87 @@
-//! Simulation results and throughput accounting.
+//! Simulation results, per-slot fault status and throughput accounting.
 
 use crate::slots::SlotSpec;
 use avfs_waveform::{SwitchingActivity, Waveform};
 use std::time::Duration;
+
+/// Completion status of one slot — the fault-isolation verdict.
+///
+/// The engine never aborts a run for a single misbehaving slot: a slot
+/// whose waveforms outgrow the bounded arena is quarantined and retried at
+/// larger capacity, and a slot whose worker panics is contained. This enum
+/// records how each slot ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotStatus {
+    /// The slot simulated to completion; `retries` counts how many times it
+    /// had to be re-simulated after a waveform-capacity overflow (0 = first
+    /// attempt succeeded).
+    Completed {
+        /// Capacity-growth re-simulations this slot needed.
+        retries: u32,
+    },
+    /// The slot still overflowed at the final retry capacity; its result
+    /// fields are empty.
+    Overflowed {
+        /// The per-net transition capacity of the last attempt.
+        capacity: usize,
+    },
+    /// The slot's worker panicked; the panic was contained and the slot's
+    /// result fields are empty.
+    Panicked,
+}
+
+impl SlotStatus {
+    /// Whether the slot produced a usable result.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, SlotStatus::Completed { .. })
+    }
+}
+
+impl Default for SlotStatus {
+    /// Completed on the first attempt.
+    fn default() -> Self {
+        SlotStatus::Completed { retries: 0 }
+    }
+}
+
+/// Aggregated robustness diagnostics of one run.
+///
+/// The counters answer "did the engine have to defend itself, and how?" —
+/// the CPU analogue of reading back the GPU's overflow flags after a
+/// launch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunDiagnostics {
+    /// Slots (by index into [`SimRun::slots`]) that overflowed the
+    /// waveform arena at least once, including those that completed after
+    /// a retry.
+    pub overflowed_slots: Vec<usize>,
+    /// Total capacity-growth re-simulations across all slots.
+    pub slot_retries: u64,
+    /// Slots whose worker panicked (contained; marked
+    /// [`SlotStatus::Panicked`]).
+    pub panicked_slots: Vec<usize>,
+    /// Slots that produced no usable result (panicked, or still overflowing
+    /// at the retry limit).
+    pub failed_slots: Vec<usize>,
+    /// Annotated output loads outside the delay model's characterized
+    /// interval, silently clamped to its boundary during engine setup.
+    pub clamped_loads: usize,
+    /// Gate-delay scalings whose result was non-finite and fell back to
+    /// the nominal delay (see the online delay calculation guard).
+    pub kernel_fallbacks: u64,
+    /// Largest per-`(slot, net)` transition count observed in the arena —
+    /// compare against the configured capacity to judge headroom.
+    pub peak_arena_occupancy: usize,
+}
 
 /// The outcome of one slot (one stimulus under one operating point).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SlotResult {
     /// The slot assignment this result belongs to.
     pub spec: SlotSpec,
+    /// How the slot ended: completed (with retry count), overflowed, or
+    /// panicked. Non-completed slots have empty result fields.
+    pub status: SlotStatus,
     /// Final value of every primary output (the test response).
     pub responses: Vec<bool>,
     /// Latest transition observed at any primary output, ps — the
@@ -22,6 +95,20 @@ pub struct SlotResult {
     pub waveforms: Option<Vec<Waveform>>,
 }
 
+impl SlotResult {
+    /// An empty result recording a failed slot.
+    pub(crate) fn failed(spec: SlotSpec, status: SlotStatus) -> SlotResult {
+        SlotResult {
+            spec,
+            status,
+            responses: Vec::new(),
+            latest_output_transition_ps: None,
+            activity: SwitchingActivity::default(),
+            waveforms: None,
+        }
+    }
+}
+
 /// A completed simulation run.
 #[derive(Debug, Clone)]
 pub struct SimRun {
@@ -30,8 +117,11 @@ pub struct SimRun {
     /// Wall-clock simulation time (excludes setup, as in the paper's
     /// "only the bare simulation times were considered").
     pub elapsed: Duration,
-    /// Total node evaluations (nodes × slots).
+    /// Total node evaluations (nodes × slots, retries included).
     pub node_evaluations: u64,
+    /// Robustness diagnostics: overflows, retries, contained panics,
+    /// clamped inputs and arena headroom.
+    pub diagnostics: RunDiagnostics,
 }
 
 impl SimRun {
@@ -65,6 +155,11 @@ impl SimRun {
         }
         out
     }
+
+    /// Whether every slot produced a usable result.
+    pub fn is_complete(&self) -> bool {
+        self.diagnostics.failed_slots.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -73,7 +168,11 @@ mod tests {
 
     fn slot(voltage: f64, latest: Option<f64>) -> SlotResult {
         SlotResult {
-            spec: SlotSpec { pattern: 0, voltage },
+            spec: SlotSpec {
+                pattern: 0,
+                voltage,
+            },
+            status: SlotStatus::default(),
             responses: vec![],
             latest_output_transition_ps: latest,
             activity: SwitchingActivity::default(),
@@ -87,12 +186,14 @@ mod tests {
             slots: vec![],
             elapsed: Duration::from_millis(100),
             node_evaluations: 5_000_000,
+            diagnostics: RunDiagnostics::default(),
         };
         assert!((run.meps() - 50.0).abs() < 1e-9);
         let zero = SimRun {
             slots: vec![],
             elapsed: Duration::ZERO,
             node_evaluations: 1,
+            diagnostics: RunDiagnostics::default(),
         };
         assert_eq!(zero.meps(), 0.0);
     }
@@ -108,10 +209,34 @@ mod tests {
             ],
             elapsed: Duration::from_secs(1),
             node_evaluations: 1,
+            diagnostics: RunDiagnostics::default(),
         };
         assert_eq!(run.latest_arrival_at(0.8), Some(250.0));
         assert_eq!(run.latest_arrival_at(1.1), Some(80.0));
         assert_eq!(run.latest_arrival_at(0.55), None);
         assert_eq!(run.voltages(), vec![0.8, 1.1]);
+    }
+
+    #[test]
+    fn status_and_completeness() {
+        assert!(SlotStatus::default().is_completed());
+        assert!(SlotStatus::Completed { retries: 3 }.is_completed());
+        assert!(!SlotStatus::Overflowed { capacity: 64 }.is_completed());
+        assert!(!SlotStatus::Panicked.is_completed());
+        let clean = SimRun {
+            slots: vec![slot(0.8, None)],
+            elapsed: Duration::ZERO,
+            node_evaluations: 0,
+            diagnostics: RunDiagnostics::default(),
+        };
+        assert!(clean.is_complete());
+        let failed = SimRun {
+            diagnostics: RunDiagnostics {
+                failed_slots: vec![0],
+                ..RunDiagnostics::default()
+            },
+            ..clean
+        };
+        assert!(!failed.is_complete());
     }
 }

@@ -69,10 +69,34 @@ mod tests {
     fn cross_product_order() {
         let specs = cross(2, &[0.8, 1.0]);
         assert_eq!(specs.len(), 4);
-        assert_eq!(specs[0], SlotSpec { pattern: 0, voltage: 0.8 });
-        assert_eq!(specs[1], SlotSpec { pattern: 1, voltage: 0.8 });
-        assert_eq!(specs[2], SlotSpec { pattern: 0, voltage: 1.0 });
-        assert_eq!(specs[3], SlotSpec { pattern: 1, voltage: 1.0 });
+        assert_eq!(
+            specs[0],
+            SlotSpec {
+                pattern: 0,
+                voltage: 0.8
+            }
+        );
+        assert_eq!(
+            specs[1],
+            SlotSpec {
+                pattern: 1,
+                voltage: 0.8
+            }
+        );
+        assert_eq!(
+            specs[2],
+            SlotSpec {
+                pattern: 0,
+                voltage: 1.0
+            }
+        );
+        assert_eq!(
+            specs[3],
+            SlotSpec {
+                pattern: 1,
+                voltage: 1.0
+            }
+        );
     }
 
     #[test]

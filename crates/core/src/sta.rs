@@ -82,12 +82,15 @@ mod tests {
         let join = b.add_gate("join", "AND2_X1", &[fast, slow2]).unwrap();
         b.add_output("y", join).unwrap();
         let n = b.finish().unwrap();
-        let levels = Levelization::of(&n);
+        let levels = Levelization::of(&n).expect("acyclic");
         let mut ann = avfs_delay::TimingAnnotation::zero(&n);
         for (id, node) in n.iter() {
             if matches!(node.kind(), NodeKind::Gate(_)) {
                 for pin in 0..node.fanin().len() {
-                    ann.node_delays_mut(id)[pin] = PinDelays { rise: 10.0, fall: 12.0 };
+                    ann.node_delays_mut(id)[pin] = PinDelays {
+                        rise: 10.0,
+                        fall: 12.0,
+                    };
                 }
             }
         }
@@ -110,7 +113,7 @@ mod tests {
         let g = b.add_gate("g", "INV_X1", &[a]).unwrap();
         b.add_output("y", g).unwrap();
         let n = b.finish().unwrap();
-        let levels = Levelization::of(&n);
+        let levels = Levelization::of(&n).expect("acyclic");
         let ann = avfs_delay::TimingAnnotation::zero(&n);
         let report = longest_path(&n, &levels, &ann);
         assert_eq!(report.longest_path_ps, 0.0);

@@ -1,0 +1,253 @@
+//! Minimal in-tree benchmarking shim.
+//!
+//! Implements the API-compatible subset of the `criterion` crate the
+//! workspace's benches use — [`Criterion`], benchmark groups,
+//! [`BenchmarkId`], [`Throughput`], [`black_box`], and the
+//! `criterion_group!` / `criterion_main!` macros — so `cargo bench`
+//! compiles and runs with **no registry access**. Measurement is
+//! intentionally simple: a short warm-up followed by `sample_size`
+//! timed samples, reporting mean time per iteration (and derived
+//! element throughput when declared). No statistics, plots, or saved
+//! baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting
+/// benchmarked work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared work per iteration, used to derive throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+/// The per-benchmark timing loop handed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean duration of one iteration over all samples.
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean iteration time.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up (also primes caches and lazy statics).
+        black_box(routine());
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.mean = if iters == 0 {
+            Duration::ZERO
+        } else {
+            total / iters as u32
+        };
+    }
+}
+
+fn report(group: &str, id: &str, mean: Duration, throughput: Option<Throughput>) {
+    let label = if group.is_empty() {
+        id.to_owned()
+    } else {
+        format!("{group}/{id}")
+    };
+    let per_iter = mean.as_secs_f64();
+    match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            let meps = n as f64 / per_iter / 1e6;
+            println!("bench {label:<40} {mean:>12.3?}/iter  {meps:>10.2} Melem/s");
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            let mbps = n as f64 / per_iter / 1e6;
+            println!("bench {label:<40} {mean:>12.3?}/iter  {mbps:>10.2} MB/s");
+        }
+        _ => println!("bench {label:<40} {mean:>12.3?}/iter"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    criterion: &'c Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark of this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mean = self.criterion.measure(self.sample_size, f);
+        report(&self.name, &id.label, mean, self.throughput);
+        self
+    }
+
+    /// Runs one parameterized benchmark of this group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mean = self.criterion.measure(self.sample_size, |b| f(b, input));
+        report(&self.name, &id.label, mean, self.throughput);
+        self
+    }
+
+    /// Finishes the group (reporting happens eagerly; this is a no-op
+    /// kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mean = self.measure(10, f);
+        report("", &id.label, mean, None);
+        self
+    }
+
+    fn measure(&self, samples: usize, mut f: impl FnMut(&mut Bencher)) -> Duration {
+        let mut bencher = Bencher {
+            samples,
+            mean: Duration::ZERO,
+        };
+        f(&mut bencher);
+        bencher.mean
+    }
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_api_compiles_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        let mut runs = 0usize;
+        group.bench_function("counts_iterations", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+        // warm-up + 3 samples
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn standalone_bench_function() {
+        let mut c = Criterion::default();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

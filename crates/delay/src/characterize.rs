@@ -439,11 +439,12 @@ pub fn fit_deviation_grid(
     let samples: Vec<(f64, f64)> = refined.samples().map(|(v, c, _)| (v, c)).collect();
     let targets: Vec<f64> = refined.samples().map(|(_, _, d)| d).collect();
     let t0 = Instant::now();
-    let beta =
-        fit_least_squares(&basis, &samples, &targets).map_err(|e| DelayError::Characterization {
+    let beta = fit_least_squares(&basis, &samples, &targets).map_err(|e| {
+        DelayError::Characterization {
             cell: String::new(),
             message: e.to_string(),
-        })?;
+        }
+    })?;
     let fit_millis = t0.elapsed().as_secs_f64() * 1e3;
     let poly = SurfacePolynomial::new(order, beta)?;
 
@@ -544,9 +545,8 @@ pub fn characterize_library(
 
                 // Nominal curve (the SDF view).
                 let loads = surface.loads_ff.clone();
-                let nominal_delays: Vec<f64> = (0..loads.len())
-                    .map(|j| surface.at(nom_idx, j))
-                    .collect();
+                let nominal_delays: Vec<f64> =
+                    (0..loads.len()).map(|j| surface.at(nom_idx, j)).collect();
 
                 // Steps B–D plus the Fig. 4 error evaluation.
                 let grid = deviation_grid(&surface, &space).map_err(|e| match e {
@@ -573,8 +573,8 @@ pub fn characterize_library(
                     delays_ps: nominal_delays,
                 });
             }
-            let [s_rise, s_fall] = <[SurfacePolynomial; 2]>::try_from(pin_surfaces)
-                .expect("exactly two polarities");
+            let [s_rise, s_fall] =
+                <[SurfacePolynomial; 2]>::try_from(pin_surfaces).expect("exactly two polarities");
             surfaces.push([s_rise, s_fall]);
             let [g_rise, g_fall] =
                 <[DataGrid; 2]>::try_from(pin_grids).expect("exactly two polarities");
@@ -613,7 +613,10 @@ mod tests {
     use avfs_netlist::bench::{parse_bench, BenchOptions, C17_BENCH};
 
     fn subset(lib: &CellLibrary, names: &[&str]) -> Vec<CellId> {
-        names.iter().map(|n| lib.find(n).expect("cell exists")).collect()
+        names
+            .iter()
+            .map(|n| lib.find(n).expect("cell exists"))
+            .collect()
     }
 
     #[test]
@@ -629,7 +632,11 @@ mod tests {
         assert_eq!(report.cell, "INV_X1");
         // The surface is smooth; even a coarse fit should be within a few
         // percent on average.
-        assert!(report.stats.mean < 0.05, "mean rel err {}", report.stats.mean);
+        assert!(
+            report.stats.mean < 0.05,
+            "mean rel err {}",
+            report.stats.mean
+        );
         assert!(report.fit_millis >= 0.0);
 
         // Factor ≈ 1 at nominal voltage for any load.
@@ -640,7 +647,10 @@ mod tests {
             assert!((f - 1.0).abs() < 0.05, "nominal factor {f} at c={c}");
         }
         // Factor > 1 at low voltage, < 1 at high voltage.
-        let lo = ch.space().normalize(OperatingPoint::new(0.55, 4.0)).unwrap();
+        let lo = ch
+            .space()
+            .normalize(OperatingPoint::new(0.55, 4.0))
+            .unwrap();
         let hi = ch.space().normalize(OperatingPoint::new(1.1, 4.0)).unwrap();
         assert!(ch.model().factor(id, 0, Polarity::Fall, lo).unwrap() > 1.15);
         assert!(ch.model().factor(id, 0, Polarity::Fall, hi).unwrap() < 0.95);

@@ -174,7 +174,8 @@ fn parse_hex_floats(text: &str) -> Result<Vec<f64>, String> {
                     .map(f64::from_bits)
                     .map_err(|e| format!("bad hex float `{w}`: {e}"))
             } else {
-                w.parse::<f64>().map_err(|e| format!("bad float `{w}`: {e}"))
+                w.parse::<f64>()
+                    .map_err(|e| format!("bad float `{w}`: {e}"))
             }
         })
         .collect()
@@ -259,7 +260,10 @@ end
 ";
         let package = read_kernels(text).unwrap();
         assert_eq!(package.order, 1);
-        assert_eq!(package.cells[0].pins[0].rise_coeffs, vec![0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(
+            package.cells[0].pins[0].rise_coeffs,
+            vec![0.1, 0.2, 0.3, 0.4]
+        );
         let lib = CellLibrary::nangate15_like();
         let restored = CharacterizedLibrary::from_package(&package, &lib).unwrap();
         assert_eq!(restored.order(), 1);

@@ -33,10 +33,10 @@
 
 pub mod annotation;
 pub mod characterize;
+pub mod io;
 pub mod model;
 pub mod op;
 pub mod polynomial;
-pub mod io;
 pub mod table;
 pub mod variation;
 
@@ -86,7 +86,10 @@ impl fmt::Display for DelayError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DelayError::OutOfRange { voltage, load_ff } => {
-                write!(f, "operating point ({voltage} V, {load_ff} fF) outside parameter space")
+                write!(
+                    f,
+                    "operating point ({voltage} V, {load_ff} fF) outside parameter space"
+                )
             }
             DelayError::BadCoefficients { expected, got } => {
                 write!(f, "expected {expected} coefficients, got {got}")

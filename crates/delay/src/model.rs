@@ -282,7 +282,12 @@ mod tests {
         assert_eq!(m.name(), "static");
         for &(v, c) in &[(0.0, 0.0), (0.3, 0.9), (1.0, 1.0)] {
             let f = m
-                .factor(CellId::from_index(0), 0, Polarity::Rise, NormalizedPoint { v, c })
+                .factor(
+                    CellId::from_index(0),
+                    0,
+                    Polarity::Rise,
+                    NormalizedPoint { v, c },
+                )
                 .unwrap();
             assert_eq!(f, 1.0);
         }
@@ -312,8 +317,8 @@ mod tests {
     fn lut_model_interpolates() {
         let mut m = LutModel::new(1, space());
         // Deviation grid: +0.5 at v=0 shrinking to 0 at v=1, flat in c.
-        let grid = DataGrid::from_fn(vec![0.0, 1.0], vec![0.0, 1.0], |v, _| 0.5 * (1.0 - v))
-            .unwrap();
+        let grid =
+            DataGrid::from_fn(vec![0.0, 1.0], vec![0.0, 1.0], |v, _| 0.5 * (1.0 - v)).unwrap();
         m.insert(CellId::from_index(0), vec![[grid.clone(), grid]])
             .unwrap();
         let f = m
@@ -333,8 +338,12 @@ mod tests {
         assert!(m.factor_at_voltage(0.55) > 1.0, "slower below nominal");
         assert!(m.factor_at_voltage(1.1) < 1.0, "faster above nominal");
         // Through the trait, normalized v=~0.4545 is raw 0.8.
-        let p_nom = space().normalize(crate::op::OperatingPoint::new(0.8, 4.0)).unwrap();
-        let f = m.factor(CellId::from_index(0), 0, Polarity::Rise, p_nom).unwrap();
+        let p_nom = space()
+            .normalize(crate::op::OperatingPoint::new(0.8, 4.0))
+            .unwrap();
+        let f = m
+            .factor(CellId::from_index(0), 0, Polarity::Rise, p_nom)
+            .unwrap();
         assert!((f - 1.0).abs() < 1e-9);
     }
 

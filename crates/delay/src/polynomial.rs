@@ -93,7 +93,10 @@ mod tests {
         assert!(SurfacePolynomial::new(3, vec![0.0; 16]).is_ok());
         assert!(matches!(
             SurfacePolynomial::new(3, vec![0.0; 15]),
-            Err(DelayError::BadCoefficients { expected: 16, got: 15 })
+            Err(DelayError::BadCoefficients {
+                expected: 16,
+                got: 15
+            })
         ));
     }
 

@@ -137,7 +137,9 @@ impl CoefficientTable {
         p: crate::op::NormalizedPoint,
     ) -> Result<f64, DelayError> {
         let beta = self.coefficients(cell, pin, polarity)?;
-        Ok(avfs_regression::poly::eval_horner(self.order, beta, p.v, p.c))
+        Ok(avfs_regression::poly::eval_horner(
+            self.order, beta, p.v, p.c,
+        ))
     }
 }
 
@@ -179,15 +181,16 @@ mod tests {
             t.deviation(cell0, 0, Polarity::Rise, p),
             Err(DelayError::MissingCell { cell_index: 0 })
         ));
-        t.insert(cell0, &[[constant_surface(1, 0.0), constant_surface(1, 0.0)]])
-            .unwrap();
+        t.insert(
+            cell0,
+            &[[constant_surface(1, 0.0), constant_surface(1, 0.0)]],
+        )
+        .unwrap();
         assert!(t.deviation(cell0, 0, Polarity::Rise, p).is_ok());
         // Pin 1 was never installed.
         assert!(t.deviation(cell0, 1, Polarity::Rise, p).is_err());
         // Cell index out of table range.
-        assert!(t
-            .insert(CellId::from_index(9), &[])
-            .is_err());
+        assert!(t.insert(CellId::from_index(9), &[]).is_err());
     }
 
     #[test]

@@ -64,15 +64,20 @@ impl VariationConfig {
 /// # Ok(())
 /// # }
 /// ```
-pub fn apply_variation(annotation: &TimingAnnotation, config: &VariationConfig) -> TimingAnnotation {
+pub fn apply_variation(
+    annotation: &TimingAnnotation,
+    config: &VariationConfig,
+) -> TimingAnnotation {
     let mut rng = SplitMix64::new(config.seed);
     let mut varied = annotation.clone();
     for node in 0..annotation.len() {
         let id = avfs_netlist::NodeId::from_index(node);
         let pins = varied.node_delays_mut(id);
         for d in pins.iter_mut() {
-            let dev_r = gaussian(&mut rng, config.sigma).clamp(-config.max_deviation, config.max_deviation);
-            let dev_f = gaussian(&mut rng, config.sigma).clamp(-config.max_deviation, config.max_deviation);
+            let dev_r =
+                gaussian(&mut rng, config.sigma).clamp(-config.max_deviation, config.max_deviation);
+            let dev_f =
+                gaussian(&mut rng, config.sigma).clamp(-config.max_deviation, config.max_deviation);
             *d = PinDelays {
                 rise: (d.rise * (1.0 + dev_r)).max(0.0),
                 fall: (d.fall * (1.0 + dev_f)).max(0.0),
@@ -131,7 +136,10 @@ mod tests {
         let mut ann = TimingAnnotation::zero(&n);
         for (id, node) in n.iter() {
             if matches!(node.kind(), NodeKind::Gate(_)) {
-                ann.node_delays_mut(id)[0] = PinDelays { rise: 10.0, fall: 12.0 };
+                ann.node_delays_mut(id)[0] = PinDelays {
+                    rise: 10.0,
+                    fall: 12.0,
+                };
             }
         }
         (n, ann)
@@ -177,7 +185,8 @@ mod tests {
         }
         // Sample mean near zero, sample sigma near 5 %.
         let mean: f64 = devs.iter().sum::<f64>() / devs.len() as f64;
-        let var: f64 = devs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / devs.len() as f64;
+        let var: f64 =
+            devs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / devs.len() as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var.sqrt() - 0.05).abs() < 0.02, "sigma {}", var.sqrt());
     }

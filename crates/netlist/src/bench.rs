@@ -86,9 +86,9 @@ pub fn parse_bench(
         } else if let Some((lhs, rhs)) = stripped.split_once('=') {
             let output = lhs.trim().to_owned();
             let rhs = rhs.trim();
-            let open = rhs.find('(').ok_or_else(|| {
-                parse_err(line, format!("expected `func(args)` in `{rhs}`"))
-            })?;
+            let open = rhs
+                .find('(')
+                .ok_or_else(|| parse_err(line, format!("expected `func(args)` in `{rhs}`")))?;
             if !rhs.ends_with(')') {
                 return Err(parse_err(line, format!("missing `)` in `{rhs}`")));
             }
@@ -185,9 +185,7 @@ pub fn parse_bench(
                             stack.push((di, 0));
                         }
                         Mark::OnStack => {
-                            return Err(NetlistError::CombinationalCycle {
-                                node: dep.clone(),
-                            });
+                            return Err(NetlistError::CombinationalCycle { node: dep.clone() });
                         }
                         Mark::Done => {}
                     },
@@ -201,11 +199,7 @@ pub fn parse_bench(
                 // All fanins resolved: emit the gate.
                 let cell_name = map_primitive(&g.func, g.inputs.len(), drive_suffix)
                     .ok_or_else(|| parse_err(g.line, format!("unknown primitive `{}`", g.func)))?;
-                let fanin: Vec<NodeId> = g
-                    .inputs
-                    .iter()
-                    .map(|s| ids[s.as_str()])
-                    .collect();
+                let fanin: Vec<NodeId> = g.inputs.iter().map(|s| ids[s.as_str()]).collect();
                 let id = builder.add_gate(g.output.clone(), &cell_name, &fanin)?;
                 ids.insert(g.output.clone(), id);
                 marks[gi] = Mark::Done;
@@ -345,7 +339,7 @@ mod tests {
         assert_eq!(n.outputs().len(), 2);
         assert_eq!(n.num_gates(), 6);
         assert_eq!(n.num_nodes(), 13);
-        let lv = Levelization::of(&n);
+        let lv = Levelization::of(&n).expect("acyclic");
         assert_eq!(lv.depth(), 5); // PI, 10/11, 16/19, 22/23, PO
     }
 

@@ -363,7 +363,9 @@ impl FromStr for CellKind {
             }
         }
         // Variable-arity names: base + digits.
-        let split = head.find(|ch: char| ch.is_ascii_digit()).ok_or_else(unknown)?;
+        let split = head
+            .find(|ch: char| ch.is_ascii_digit())
+            .ok_or_else(unknown)?;
         let (base, digits) = head.split_at(split);
         let arity: usize = digits.parse().map_err(|_| unknown())?;
         let function = match base {
@@ -475,11 +477,10 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for bad in ["", "NAND2", "NAND2_X3", "FOO2_X1", "NAND_X1", "NAND9_X1", "X1_NAND2"] {
-            assert!(
-                bad.parse::<CellKind>().is_err(),
-                "`{bad}` should not parse"
-            );
+        for bad in [
+            "", "NAND2", "NAND2_X3", "FOO2_X1", "NAND_X1", "NAND9_X1", "X1_NAND2",
+        ] {
+            assert!(bad.parse::<CellKind>().is_err(), "`{bad}` should not parse");
         }
     }
 

@@ -235,7 +235,12 @@ impl NetlistBuilder {
         }
     }
 
-    fn add_node(&mut self, name: String, kind: NodeKind, fanin: Vec<NodeId>) -> Result<NodeId, NetlistError> {
+    fn add_node(
+        &mut self,
+        name: String,
+        kind: NodeKind,
+        fanin: Vec<NodeId>,
+    ) -> Result<NodeId, NetlistError> {
         if self.by_name.contains_key(&name) {
             return Err(NetlistError::DuplicateName { name });
         }
@@ -342,25 +347,11 @@ impl NetlistBuilder {
     /// * [`NetlistError::CombinationalCycle`] on a cycle (impossible when
     ///   nodes were added in forward order, possible for parsers that
     ///   resolve names lazily).
-    pub fn finish(mut self) -> Result<Netlist, NetlistError> {
+    pub fn finish(self) -> Result<Netlist, NetlistError> {
         if self.inputs.is_empty() || self.outputs.is_empty() {
             return Err(NetlistError::EmptyInterface);
         }
-        // Compute fanouts.
-        for i in 0..self.nodes.len() {
-            let fanin = self.nodes[i].fanin.clone();
-            for f in fanin {
-                self.nodes[f.index()].fanout.push(NodeId(i as u32));
-            }
-        }
-        let netlist = Netlist {
-            name: self.name,
-            library: self.library,
-            nodes: self.nodes,
-            inputs: self.inputs,
-            outputs: self.outputs,
-            by_name: self.by_name,
-        };
+        let netlist = self.assemble();
         // Kahn's algorithm to detect cycles.
         let n = netlist.nodes.len();
         let mut indegree: Vec<u32> = netlist.nodes.iter().map(|x| x.fanin.len() as u32).collect();
@@ -384,6 +375,49 @@ impl NetlistBuilder {
             return Err(NetlistError::CombinationalCycle { node });
         }
         Ok(netlist)
+    }
+
+    /// Finishes the netlist without the acyclicity check.
+    ///
+    /// Exists so robustness tests can construct cyclic graphs and exercise
+    /// the downstream loop detection in
+    /// [`crate::Levelization::of`]; production code should always use
+    /// [`NetlistBuilder::finish`].
+    #[doc(hidden)]
+    pub fn finish_unchecked(self) -> Netlist {
+        self.assemble()
+    }
+
+    /// Rewires input pin `pin` of `sink` to `driver` without validation.
+    ///
+    /// Test hook paired with [`NetlistBuilder::finish_unchecked`] for
+    /// constructing cyclic graphs (the normal `add_gate` path cannot make
+    /// forward references); production code has no use for it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sink` or `pin` is out of range.
+    #[doc(hidden)]
+    pub fn rewire_unchecked(&mut self, sink: NodeId, pin: usize, driver: NodeId) {
+        self.nodes[sink.index()].fanin[pin] = driver;
+    }
+
+    /// Computes fanouts and moves the builder's parts into a `Netlist`.
+    fn assemble(mut self) -> Netlist {
+        for i in 0..self.nodes.len() {
+            let fanin = self.nodes[i].fanin.clone();
+            for f in fanin {
+                self.nodes[f.index()].fanout.push(NodeId(i as u32));
+            }
+        }
+        Netlist {
+            name: self.name,
+            library: self.library,
+            nodes: self.nodes,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            by_name: self.by_name,
+        }
     }
 }
 
@@ -448,7 +482,11 @@ mod tests {
         let a = b.add_input("a").unwrap();
         assert!(matches!(
             b.add_gate("g", "NAND2_X1", &[a]),
-            Err(NetlistError::ArityMismatch { expected: 2, got: 1, .. })
+            Err(NetlistError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            })
         ));
     }
 
@@ -503,9 +541,7 @@ mod tests {
         assert!((caps[g1.index()] - expected).abs() < 1e-12);
         // Net feeding the output port.
         let g2 = n.find("g2").unwrap();
-        assert!(
-            (caps[g2.index()] - (WIRE_CAP_PER_FANOUT_FF + OUTPUT_PORT_CAP_FF)).abs() < 1e-12
-        );
+        assert!((caps[g2.index()] - (WIRE_CAP_PER_FANOUT_FF + OUTPUT_PORT_CAP_FF)).abs() < 1e-12);
         // Output node drives nothing.
         let y = n.find("y").unwrap();
         assert_eq!(caps[y.index()], 0.0);

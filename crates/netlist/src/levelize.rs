@@ -6,6 +6,7 @@
 //! through level-wise processing"). This module computes that partition.
 
 use crate::graph::{Netlist, NodeId};
+use crate::NetlistError;
 
 /// The level assignment of a netlist.
 ///
@@ -25,7 +26,7 @@ use crate::graph::{Netlist, NodeId};
 /// let g2 = b.add_gate("g2", "INV_X1", &[g1])?;
 /// b.add_output("y", g2)?;
 /// let netlist = b.finish()?;
-/// let levels = Levelization::of(&netlist);
+/// let levels = Levelization::of(&netlist)?;
 /// assert_eq!(levels.depth(), 4); // PI, g1, g2, PO
 /// assert_eq!(levels.level_of(g2), 2);
 /// # Ok(())
@@ -38,8 +39,16 @@ pub struct Levelization {
 }
 
 impl Levelization {
-    /// Computes the levelization of a (guaranteed acyclic) netlist.
-    pub fn of(netlist: &Netlist) -> Levelization {
+    /// Computes the levelization of a netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalLoop`] with a cycle witness if
+    /// the netlist contains a combinational feedback loop. Netlists built
+    /// through [`crate::NetlistBuilder::finish`] are already acyclic, but
+    /// levelization is the simulator's last line of defense against graphs
+    /// produced by other means.
+    pub fn of(netlist: &Netlist) -> Result<Levelization, NetlistError> {
         let n = netlist.num_nodes();
         let mut level_of = vec![0u32; n];
         let mut max_level = 0u32;
@@ -70,12 +79,16 @@ impl Levelization {
                 }
             }
         }
-        debug_assert_eq!(queue.len(), n, "netlist must be acyclic");
+        if queue.len() != n {
+            return Err(NetlistError::CombinationalLoop {
+                nodes: cycle_witness(netlist, &indegree),
+            });
+        }
         let mut levels = vec![Vec::new(); (max_level + 1) as usize];
         for (id, _) in netlist.iter() {
             levels[level_of[id.index()] as usize].push(id);
         }
-        Levelization { level_of, levels }
+        Ok(Levelization { level_of, levels })
     }
 
     /// The level of a node.
@@ -118,6 +131,41 @@ impl Levelization {
     }
 }
 
+/// Extracts one concrete cycle from the nodes Kahn's algorithm could not
+/// resolve (`indegree > 0`). Every such node has at least one unresolved
+/// fan-in, so walking unresolved fan-ins must revisit a node — the walk
+/// from that first revisit is a cycle.
+fn cycle_witness(netlist: &Netlist, indegree: &[u32]) -> Vec<String> {
+    let start = match indegree.iter().position(|&d| d > 0) {
+        Some(i) => i,
+        None => return Vec::new(),
+    };
+    let mut visited_at = vec![usize::MAX; indegree.len()];
+    let mut walk: Vec<usize> = Vec::new();
+    let mut cur = start;
+    loop {
+        if visited_at[cur] != usize::MAX {
+            // Cycle closed: walk[visited_at[cur]..] loops back to `cur`.
+            let mut nodes: Vec<String> = walk[visited_at[cur]..]
+                .iter()
+                .map(|&i| netlist.node(NodeId::from_index(i)).name().to_owned())
+                .collect();
+            // Fan-in order reads driver -> sink along the feedback path.
+            nodes.reverse();
+            return nodes;
+        }
+        visited_at[cur] = walk.len();
+        walk.push(cur);
+        cur = netlist
+            .node(NodeId::from_index(cur))
+            .fanin()
+            .iter()
+            .map(|f| f.index())
+            .find(|&f| indegree[f] > 0)
+            .expect("unresolved node must have an unresolved fan-in");
+    }
+}
+
 /// Verifies the level invariant: every node's level exceeds all of its
 /// fan-ins' levels. Exposed for property tests and debugging.
 pub fn check_level_invariant(netlist: &Netlist, levels: &Levelization) -> bool {
@@ -150,7 +198,7 @@ mod tests {
     #[test]
     fn diamond_levels() {
         let n = diamond();
-        let lv = Levelization::of(&n);
+        let lv = Levelization::of(&n).expect("acyclic");
         assert_eq!(lv.depth(), 4);
         assert_eq!(lv.level_of(n.find("a").unwrap()), 0);
         assert_eq!(lv.level_of(n.find("g1").unwrap()), 1);
@@ -174,7 +222,7 @@ mod tests {
         let j = b.add_gate("j", "AND2_X1", &[fast, s3]).unwrap();
         b.add_output("y", j).unwrap();
         let n = b.finish().unwrap();
-        let lv = Levelization::of(&n);
+        let lv = Levelization::of(&n).expect("acyclic");
         assert_eq!(lv.level_of(n.find("j").unwrap()), 4);
         assert!(check_level_invariant(&n, &lv));
     }
@@ -182,7 +230,7 @@ mod tests {
     #[test]
     fn levels_partition_all_nodes() {
         let n = diamond();
-        let lv = Levelization::of(&n);
+        let lv = Levelization::of(&n).expect("acyclic");
         let total: usize = lv.iter().map(<[NodeId]>::len).sum();
         assert_eq!(total, n.num_nodes());
         let ordered: Vec<NodeId> = lv.topological_order().collect();
@@ -198,9 +246,54 @@ mod tests {
     }
 
     #[test]
+    fn combinational_loop_yields_witness() {
+        // a ──► g1 ──► g2 ──► y   with g2 rewired back into g1:
+        //        ▲______│
+        let lib = CellLibrary::nangate15_like();
+        let mut b = NetlistBuilder::new("looped", &lib);
+        let a = b.add_input("a").unwrap();
+        let g1 = b.add_gate("g1", "NAND2_X1", &[a, a]).unwrap();
+        let g2 = b.add_gate("g2", "INV_X1", &[g1]).unwrap();
+        b.add_output("y", g2).unwrap();
+        b.rewire_unchecked(g1, 1, g2);
+        let n = b.finish_unchecked();
+        let err = Levelization::of(&n).unwrap_err();
+        match err {
+            crate::NetlistError::CombinationalLoop { nodes } => {
+                let mut sorted = nodes.clone();
+                sorted.sort();
+                assert_eq!(
+                    sorted,
+                    ["g1", "g2"],
+                    "witness must be the cycle, got {nodes:?}"
+                );
+            }
+            other => panic!("expected CombinationalLoop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_loop_yields_witness() {
+        let lib = CellLibrary::nangate15_like();
+        let mut b = NetlistBuilder::new("self_loop", &lib);
+        let a = b.add_input("a").unwrap();
+        let g = b.add_gate("g", "NAND2_X1", &[a, a]).unwrap();
+        b.add_output("y", g).unwrap();
+        b.rewire_unchecked(g, 1, g);
+        let n = b.finish_unchecked();
+        let err = Levelization::of(&n).unwrap_err();
+        assert_eq!(
+            err,
+            crate::NetlistError::CombinationalLoop {
+                nodes: vec!["g".to_owned()]
+            }
+        );
+    }
+
+    #[test]
     fn inputs_are_level_zero_only() {
         let n = diamond();
-        let lv = Levelization::of(&n);
+        let lv = Levelization::of(&n).expect("acyclic");
         for &id in lv.level(0) {
             assert!(matches!(n.node(id).kind(), NodeKind::Input));
         }

@@ -224,9 +224,7 @@ fn pin_name(func: LogicFunction, index: usize, arity: usize) -> String {
         LogicFunction::Buf | LogicFunction::Inv => "A".to_owned(),
         LogicFunction::Mux2 => ["A", "B", "S"][index].to_owned(),
         LogicFunction::Aoi21 | LogicFunction::Oai21 => ["A1", "A2", "B"][index].to_owned(),
-        LogicFunction::Aoi22 | LogicFunction::Oai22 => {
-            ["A1", "A2", "B1", "B2"][index].to_owned()
-        }
+        LogicFunction::Aoi22 | LogicFunction::Oai22 => ["A1", "A2", "B1", "B2"][index].to_owned(),
         _ if arity == 1 => "A".to_owned(),
         _ => format!("A{}", index + 1),
     }

@@ -42,8 +42,13 @@ pub struct NetlistStats {
 
 impl NetlistStats {
     /// Computes statistics for a netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist contains a combinational loop (impossible for
+    /// netlists built through `NetlistBuilder::finish`).
     pub fn of(netlist: &Netlist) -> NetlistStats {
-        let levels = Levelization::of(netlist);
+        let levels = Levelization::of(netlist).expect("netlist must be acyclic");
         NetlistStats::with_levels(netlist, &levels)
     }
 

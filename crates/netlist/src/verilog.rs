@@ -211,11 +211,7 @@ impl Parser {
         let mut aliases: Vec<(String, String, usize)> = Vec::new(); // (lhs, rhs, line)
 
         loop {
-            let line = self
-                .tokens
-                .get(self.pos)
-                .map(|(_, l)| *l)
-                .unwrap_or(0);
+            let line = self.tokens.get(self.pos).map(|(_, l)| *l).unwrap_or(0);
             match self.next_token() {
                 Some(Token::Ident(kw)) if kw == "endmodule" => break,
                 Some(Token::Ident(kw)) if kw == "input" => {
@@ -258,9 +254,7 @@ impl Parser {
                             }
                             Some(Token::Ident(net)) => inst.positional.push(net),
                             other => {
-                                return Err(
-                                    self.err(format!("bad connection token {other:?}"))
-                                )
+                                return Err(self.err(format!("bad connection token {other:?}")))
                             }
                         }
                     }
@@ -316,15 +310,15 @@ impl Parser {
                 })?;
                 let mut input_nets = Vec::with_capacity(cell.num_inputs());
                 for pin in cell.input_pins() {
-                    let net = by_pin.get(pin.name.as_str()).ok_or_else(|| {
-                        NetlistError::Parse {
+                    let net = by_pin
+                        .get(pin.name.as_str())
+                        .ok_or_else(|| NetlistError::Parse {
                             line: inst.line,
                             message: format!(
                                 "instance `{}` lacks input pin `{}`",
                                 inst.name, pin.name
                             ),
-                        }
-                    })?;
+                        })?;
                     input_nets.push((*net).to_owned());
                 }
                 (output_net, input_nets)
@@ -338,10 +332,7 @@ impl Parser {
                         got: inst.positional.len(),
                     });
                 }
-                (
-                    inst.positional[0].clone(),
-                    inst.positional[1..].to_vec(),
-                )
+                (inst.positional[0].clone(), inst.positional[1..].to_vec())
             };
             gates.push(GateDef {
                 line: inst.line,
@@ -425,11 +416,8 @@ impl Parser {
                         None => return Err(NetlistError::UnknownSignal { signal: dep }),
                     }
                 } else {
-                    let fanin: Vec<NodeId> = g
-                        .input_nets
-                        .iter()
-                        .map(|s| ids[&resolve(s)])
-                        .collect();
+                    let fanin: Vec<NodeId> =
+                        g.input_nets.iter().map(|s| ids[&resolve(s)]).collect();
                     let id = builder.add_gate(g.output_net.clone(), &g.cell, &fanin)?;
                     ids.insert(g.output_net.clone(), id);
                     marks[gi] = Mark::Done;
@@ -461,7 +449,12 @@ pub fn write_verilog(netlist: &Netlist) -> String {
         .chain(netlist.outputs())
         .map(|&id| netlist.node(id).name())
         .collect();
-    let _ = writeln!(out, "module {} ({});", sanitize(netlist.name()), ports.join(", "));
+    let _ = writeln!(
+        out,
+        "module {} ({});",
+        sanitize(netlist.name()),
+        ports.join(", ")
+    );
     for &pi in netlist.inputs() {
         let _ = writeln!(out, "  input {};", netlist.node(pi).name());
     }
@@ -504,7 +497,13 @@ pub fn write_verilog(netlist: &Netlist) -> String {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -554,10 +553,7 @@ endmodule
 ";
         let n = parse_verilog(text, &lib()).unwrap();
         assert_eq!(n.num_gates(), 1);
-        assert_eq!(
-            n.cell_of(n.find("y").unwrap()).unwrap().name(),
-            "NOR2_X1"
-        );
+        assert_eq!(n.cell_of(n.find("y").unwrap()).unwrap().name(), "NOR2_X1");
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Tiny deterministic pseudo-random number generation.
+//!
+//! A minimal, dependency-free replacement for the small slice of the
+//! `rand` crate API this workspace uses ([`Rng`], [`SeedableRng`],
+//! [`SmallRng`]). Keeping it in-tree makes the workspace build
+//! hermetically with no registry access, and the generators are fully
+//! deterministic per seed — a property the pattern generators and
+//! benchmark circuits rely on for reproducibility.
+//!
+//! The core generator is xoshiro256++ seeded through SplitMix64, the
+//! same construction `rand`'s `SmallRng` uses on 64-bit targets: fast,
+//! tiny state, and more than good enough for test stimuli and synthetic
+//! netlists (this is not a cryptographic generator).
+//!
+//! # Example
+//!
+//! ```
+//! use avfs_prng::{Rng, SeedableRng, SmallRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(42);
+//! let word: u64 = rng.gen();
+//! let unit: f64 = rng.gen(); // uniform in [0, 1)
+//! let die = rng.gen_range(1..7usize);
+//! assert!((0.0..1.0).contains(&unit));
+//! assert!((1..7).contains(&die));
+//! let mut again = SmallRng::seed_from_u64(42);
+//! assert_eq!(word, again.gen::<u64>());
+//! ```
+
+use std::ops::Range;
+
+/// A source of pseudo-random numbers (the subset of `rand::Rng` the
+/// workspace uses).
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed value of a primitive type (`u64`, `u32`,
+    /// `u8`, `usize`, `bool`, or `f64` in `[0, 1)`).
+    fn gen<T: Sample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniform value in `range` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+/// Construction of a generator from a 64-bit seed (the subset of
+/// `rand::SeedableRng` the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from an [`Rng`].
+pub trait Sample: Sized {
+    /// Draws one uniform value.
+    fn sample(rng: &mut impl Rng) -> Self;
+}
+
+impl Sample for u64 {
+    fn sample(rng: &mut impl Rng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    fn sample(rng: &mut impl Rng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Sample for u8 {
+    fn sample(rng: &mut impl Rng) -> u8 {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Sample for usize {
+    fn sample(rng: &mut impl Rng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Sample for bool {
+    fn sample(rng: &mut impl Rng) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample(rng: &mut impl Rng) -> f64 {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Integer types usable with [`Rng::gen_range`].
+pub trait SampleRange: Sized {
+    /// Draws a uniform value from the half-open `range`.
+    fn sample_range(rng: &mut impl Rng, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample_range(rng: &mut impl Rng, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "gen_range called with empty range");
+                let span = (range.end - range.start) as u64;
+                // Modulo bias is < 2^-32 for the spans used here (test
+                // stimuli, netlist shapes) — irrelevant for simulation.
+                range.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// A small, fast generator: xoshiro256++ with SplitMix64 seeding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> SmallRng {
+        // Expand the seed with SplitMix64 so nearby seeds give unrelated
+        // streams (the standard xoshiro seeding procedure).
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SmallRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl Rng for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            let v = rng.gen_range(0..6usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range hit");
+        for _ in 0..100 {
+            assert!((5..7u8).contains(&rng.gen_range(5..7u8)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = rng.gen_range(3..3usize);
+    }
+
+    #[test]
+    fn bool_and_bytes_plausibly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let trues = (0..4000).filter(|_| rng.gen::<bool>()).count();
+        assert!((1600..2400).contains(&trues), "bool bias: {trues}/4000");
+        let mean: f64 = (0..4000).map(|_| rng.gen::<u8>() as f64).sum::<f64>() / 4000.0;
+        assert!((107.0..147.0).contains(&mean), "u8 mean {mean}");
+    }
+}

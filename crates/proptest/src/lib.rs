@@ -1,0 +1,387 @@
+//! Minimal in-tree property-testing shim.
+//!
+//! Implements the small, API-compatible subset of the `proptest` crate
+//! this workspace uses — the [`proptest!`] macro, `prop_assert!` /
+//! `prop_assert_eq!`, range and `any::<T>()` strategies,
+//! [`collection::vec`], and the explicit [`test_runner::TestRunner`] —
+//! so the existing property tests compile and run with **no registry
+//! access**. Cases are drawn from a deterministic in-tree PRNG
+//! ([`avfs_prng::SmallRng`]) with a fixed seed per test, so failures
+//! reproduce exactly; there is no shrinking (a failing case reports its
+//! inputs via the standard assertion message instead).
+
+use avfs_prng::{Rng, SeedableRng, SmallRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Generation strategies: how to draw one value of a type.
+pub mod strategy {
+    use super::*;
+
+    /// A source of random test values.
+    pub trait Strategy {
+        /// The value type this strategy produces.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut SmallRng) -> f64 {
+            self.start + rng.gen::<f64>() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<usize> {
+        type Value = usize;
+        fn sample(&self, rng: &mut SmallRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for Range<u64> {
+        type Value = u64;
+        fn sample(&self, rng: &mut SmallRng) -> u64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for Range<u32> {
+        type Value = u32;
+        fn sample(&self, rng: &mut SmallRng) -> u32 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for RangeInclusive<usize> {
+        type Value = usize;
+        fn sample(&self, rng: &mut SmallRng) -> usize {
+            rng.gen_range(*self.start()..self.end() + 1)
+        }
+    }
+
+    /// Types with a canonical "draw anything" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut SmallRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut SmallRng) -> bool {
+            rng.gen()
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut SmallRng) -> u64 {
+            rng.gen()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut SmallRng) -> u32 {
+            rng.gen()
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut SmallRng) -> u8 {
+            rng.gen()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The unconstrained strategy for `T` (`any::<u64>()`, …).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// A length specification: a fixed size or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: r.end() + 1,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy: `size` elements (fixed count or range) drawn from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Explicit test running (the `TestRunner::new(Config::..)` form).
+pub mod test_runner {
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// Runner configuration.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases to draw per property.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            // Modest by default: these run in `cargo test -q` on every
+            // property of the workspace.
+            Config { cases: 64 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    /// Error type returned (via `prop_assert!`-style early exit) from a
+    /// test closure. The shim's assertion macros panic instead, so this
+    /// exists only to keep closure signatures compatible.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct TestCaseError(pub String);
+
+    /// A deterministic property-test runner.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        config: Config,
+        rng: SmallRng,
+    }
+
+    impl TestRunner {
+        /// Creates a runner with a fixed seed (deterministic runs).
+        pub fn new(config: Config) -> TestRunner {
+            TestRunner {
+                config,
+                rng: SmallRng::seed_from_u64(0x5EED_CAFE_F00D_D00D),
+            }
+        }
+
+        /// Number of cases this runner draws.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// The runner's RNG (used by the [`proptest!`] macro expansion).
+        pub fn rng(&mut self) -> &mut SmallRng {
+            &mut self.rng
+        }
+
+        /// Runs `test` over `cases` values drawn from `strategy`.
+        ///
+        /// # Errors
+        ///
+        /// Forwards the first `Err` the closure returns, annotated with
+        /// the case number.
+        pub fn run<S: Strategy>(
+            &mut self,
+            strategy: &S,
+            mut test: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+        ) -> Result<(), String> {
+            for case in 0..self.config.cases {
+                let value = strategy.sample(&mut self.rng);
+                test(value).map_err(|e| format!("case {case}: {}", e.0))?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Strategies choosing among explicit options.
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// The strategy returned by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            self.0[rng.gen_range(0..self.0.len())].clone()
+        }
+    }
+
+    /// A strategy drawing uniformly from `options`.
+    ///
+    /// # Panics
+    ///
+    /// Sampling panics if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select(options)
+    }
+}
+
+/// The items `use proptest::prelude::*` is expected to bring in.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property test (panics on failure, which
+/// the deterministic runner reports with the failing case's inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` drawing [`test_runner::Config::default`]-many
+/// cases from a deterministic generator.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new(
+                    $crate::test_runner::Config::default(),
+                );
+                for _case in 0..runner.cases() {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), runner.rng());)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut runner = crate::test_runner::TestRunner::new(Default::default());
+        for _ in 0..200 {
+            let x = (-2.0f64..2.0).sample(runner.rng());
+            assert!((-2.0..2.0).contains(&x));
+            let n = (1usize..=4).sample(runner.rng());
+            assert!((1..=4).contains(&n));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut runner = crate::test_runner::TestRunner::new(Default::default());
+        let fixed = crate::collection::vec(0.0f64..1.0, 26);
+        assert_eq!(fixed.sample(runner.rng()).len(), 26);
+        let ranged = crate::collection::vec(0.0f64..1.0, 0..12);
+        for _ in 0..100 {
+            assert!(ranged.sample(runner.rng()).len() < 12);
+        }
+    }
+
+    #[test]
+    fn explicit_runner_runs_all_cases() {
+        use crate::test_runner::{Config, TestRunner};
+        let mut runner = TestRunner::new(Config::with_cases(17));
+        let mut count = 0;
+        runner
+            .run(&(0.0f64..1.0), |v| {
+                prop_assert!((0.0..1.0).contains(&v));
+                count += 1;
+                Ok(())
+            })
+            .expect("property holds");
+        assert_eq!(count, 17);
+    }
+
+    proptest! {
+        #[test]
+        fn macro_draws_deterministic_values(a in 0.0f64..1.0, b in any::<u64>(), c in any::<bool>()) {
+            prop_assert!((0.0..1.0).contains(&a));
+            let _ = (b, c);
+        }
+    }
+}

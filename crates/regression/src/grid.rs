@@ -110,7 +110,10 @@ impl DataGrid {
     ///
     /// Panics if either index is out of bounds.
     pub fn at(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.xs.len() && j < self.ys.len(), "grid index out of bounds");
+        assert!(
+            i < self.xs.len() && j < self.ys.len(),
+            "grid index out of bounds"
+        );
         self.values[i * self.ys.len() + j]
     }
 
@@ -259,7 +262,11 @@ mod tests {
     #[test]
     fn rejects_non_finite() {
         assert!(matches!(
-            DataGrid::new(vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0, f64::NAN, 0.0, 0.0]),
+            DataGrid::new(
+                vec![0.0, 1.0],
+                vec![0.0, 1.0],
+                vec![0.0, f64::NAN, 0.0, 0.0]
+            ),
             Err(RegressionError::NonFiniteSample { index: 1 })
         ));
     }
@@ -289,12 +296,8 @@ mod tests {
 
     #[test]
     fn refine_preserves_original_points() {
-        let g = DataGrid::from_fn(
-            vec![0.0, 0.5, 1.0],
-            vec![0.0, 1.0, 2.0],
-            |x, y| 3.0 * x - y,
-        )
-        .unwrap();
+        let g = DataGrid::from_fn(vec![0.0, 0.5, 1.0], vec![0.0, 1.0, 2.0], |x, y| 3.0 * x - y)
+            .unwrap();
         let r = g.refine(4);
         assert_eq!(r.xs().len(), 9);
         assert_eq!(r.ys().len(), 9);

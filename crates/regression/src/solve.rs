@@ -237,10 +237,7 @@ mod tests {
     fn assert_vec_close(a: &[f64], b: &[f64], tol: f64) {
         assert_eq!(a.len(), b.len());
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
-            assert!(
-                (x - y).abs() < tol,
-                "element {i}: {x} vs {y} (tol {tol})"
-            );
+            assert!((x - y).abs() < tol, "element {i}: {x} vs {y} (tol {tol})");
         }
     }
 

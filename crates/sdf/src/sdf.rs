@@ -90,8 +90,12 @@ pub fn parse_sdf(netlist: &Netlist, text: &str) -> Result<TimingAnnotation, SdfE
     }
 
     for entry in &top[1..] {
-        let Sexp::List(items, line) = entry else { continue };
-        let Some(Sexp::Atom(kw, _)) = items.first() else { continue };
+        let Sexp::List(items, line) = entry else {
+            continue;
+        };
+        let Some(Sexp::Atom(kw, _)) = items.first() else {
+            continue;
+        };
         if kw != "CELL" {
             continue; // header entries: SDFVERSION, DESIGN, TIMESCALE, …
         }
@@ -111,7 +115,9 @@ fn parse_cell(
     let mut iopaths: Vec<(String, PinDelaysPartial, usize)> = Vec::new();
 
     for item in &items[1..] {
-        let Sexp::List(sub, sub_line) = item else { continue };
+        let Sexp::List(sub, sub_line) = item else {
+            continue;
+        };
         match sub.first() {
             Some(Sexp::Atom(kw, _)) if kw == "CELLTYPE" => {
                 if let Some(Sexp::Atom(name, _)) = sub.get(1) {
@@ -125,12 +131,16 @@ fn parse_cell(
             }
             Some(Sexp::Atom(kw, _)) if kw == "DELAY" => {
                 for abs in &sub[1..] {
-                    let Sexp::List(abs_items, _) = abs else { continue };
+                    let Sexp::List(abs_items, _) = abs else {
+                        continue;
+                    };
                     if !matches!(abs_items.first(), Some(Sexp::Atom(a, _)) if a == "ABSOLUTE") {
                         continue;
                     }
                     for io in &abs_items[1..] {
-                        let Sexp::List(io_items, io_line) = io else { continue };
+                        let Sexp::List(io_items, io_line) = io else {
+                            continue;
+                        };
                         if !matches!(io_items.first(), Some(Sexp::Atom(a, _)) if a == "IOPATH") {
                             continue;
                         }
@@ -253,7 +263,11 @@ fn parse_sexp(text: &str) -> Result<Sexp, SdfError> {
     let mut atom_line = 0usize;
     let mut in_string = false;
 
-    let flush = |atom: &mut String, atom_line: usize, stack: &mut Vec<(Vec<Sexp>, usize)>, root: &mut Option<Sexp>| -> Result<(), SdfError> {
+    let flush = |atom: &mut String,
+                 atom_line: usize,
+                 stack: &mut Vec<(Vec<Sexp>, usize)>,
+                 root: &mut Option<Sexp>|
+     -> Result<(), SdfError> {
         if atom.is_empty() {
             return Ok(());
         }
@@ -276,7 +290,11 @@ fn parse_sexp(text: &str) -> Result<Sexp, SdfError> {
     for (lineno, raw) in text.lines().enumerate() {
         let line = lineno + 1;
         // SDF comments: `//` to end of line.
-        let code = if in_string { raw } else { raw.split("//").next().unwrap_or("") };
+        let code = if in_string {
+            raw
+        } else {
+            raw.split("//").next().unwrap_or("")
+        };
         for ch in code.chars() {
             if in_string {
                 atom.push(ch);
@@ -420,7 +438,8 @@ mod tests {
     #[test]
     fn unknown_instance_rejected() {
         let n = c17();
-        let text = r#"(DELAYFILE (CELL (INSTANCE nope) (DELAY (ABSOLUTE (IOPATH A1 ZN (1) (1))))))"#;
+        let text =
+            r#"(DELAYFILE (CELL (INSTANCE nope) (DELAY (ABSOLUTE (IOPATH A1 ZN (1) (1))))))"#;
         assert!(matches!(
             parse_sdf(&n, text),
             Err(SdfError::UnknownInstance { .. })
@@ -431,7 +450,10 @@ mod tests {
     fn unknown_pin_rejected() {
         let n = c17();
         let text = r#"(DELAYFILE (CELL (INSTANCE 10) (DELAY (ABSOLUTE (IOPATH Q ZN (1) (1))))))"#;
-        assert!(matches!(parse_sdf(&n, text), Err(SdfError::UnknownPin { .. })));
+        assert!(matches!(
+            parse_sdf(&n, text),
+            Err(SdfError::UnknownPin { .. })
+        ));
     }
 
     #[test]
@@ -478,38 +500,35 @@ mod tests {
         let n = c17();
         let mut runner = TestRunner::new(Config::with_cases(64));
         runner
-            .run(
-                &proptest::collection::vec(0.0f64..1e4, 13 * 2),
-                |raw| {
-                    let mut ann = TimingAnnotation::zero(&n);
-                    let mut k = 0;
-                    for (id, node) in n.iter() {
-                        if matches!(node.kind(), NodeKind::Gate(_)) {
-                            for pin in 0..node.fanin().len() {
-                                ann.node_delays_mut(id)[pin] = PinDelays {
-                                    rise: raw[k % raw.len()],
-                                    fall: raw[(k + 1) % raw.len()],
-                                };
-                                k += 2;
-                            }
+            .run(&proptest::collection::vec(0.0f64..1e4, 13 * 2), |raw| {
+                let mut ann = TimingAnnotation::zero(&n);
+                let mut k = 0;
+                for (id, node) in n.iter() {
+                    if matches!(node.kind(), NodeKind::Gate(_)) {
+                        for pin in 0..node.fanin().len() {
+                            ann.node_delays_mut(id)[pin] = PinDelays {
+                                rise: raw[k % raw.len()],
+                                fall: raw[(k + 1) % raw.len()],
+                            };
+                            k += 2;
                         }
                     }
-                    let text = write_sdf(&n, &ann);
-                    let parsed = parse_sdf(&n, &text).expect("own output parses");
-                    for (id, node) in n.iter() {
-                        if matches!(node.kind(), NodeKind::Gate(_)) {
-                            for pin in 0..node.fanin().len() {
-                                let a = ann.pin_delays(id, pin);
-                                let b = parsed.pin_delays(id, pin);
-                                // Writer rounds to 1e-6 ps.
-                                prop_assert!((a.rise - b.rise).abs() < 1e-5);
-                                prop_assert!((a.fall - b.fall).abs() < 1e-5);
-                            }
+                }
+                let text = write_sdf(&n, &ann);
+                let parsed = parse_sdf(&n, &text).expect("own output parses");
+                for (id, node) in n.iter() {
+                    if matches!(node.kind(), NodeKind::Gate(_)) {
+                        for pin in 0..node.fanin().len() {
+                            let a = ann.pin_delays(id, pin);
+                            let b = parsed.pin_delays(id, pin);
+                            // Writer rounds to 1e-6 ps.
+                            prop_assert!((a.rise - b.rise).abs() < 1e-5);
+                            prop_assert!((a.fall - b.fall).abs() < 1e-5);
                         }
                     }
-                    Ok(())
-                },
-            )
+                }
+                Ok(())
+            })
             .expect("property holds");
     }
 

@@ -100,9 +100,9 @@ pub fn apply_spef(
     loads: &HashMap<String, f64>,
 ) -> Result<(), SdfError> {
     for (net, &cap) in loads {
-        let id = netlist.find(net).ok_or_else(|| SdfError::UnknownNet {
-            net: net.clone(),
-        })?;
+        let id = netlist
+            .find(net)
+            .ok_or_else(|| SdfError::UnknownNet { net: net.clone() })?;
         annotation.set_load_ff(id, cap);
     }
     Ok(())
@@ -144,10 +144,9 @@ mod tests {
 
     #[test]
     fn parse_ignores_headers_and_comments() {
-        let loads = parse_spef(
-            "*SPEF \"x\"\n*DESIGN \"y\"\n// comment\n\n*D_NET a 1.5 // inline\n*END\n",
-        )
-        .unwrap();
+        let loads =
+            parse_spef("*SPEF \"x\"\n*DESIGN \"y\"\n// comment\n\n*D_NET a 1.5 // inline\n*END\n")
+                .unwrap();
         assert_eq!(loads.len(), 1);
         assert_eq!(loads["a"], 1.5);
     }

@@ -42,7 +42,15 @@ pub fn pin_delay_ps(
 ) -> Result<f64, SpiceError> {
     let drive = cell.pin_drive(pin, polarity);
     let out_cap = c_load_ff + cell.parasitic_cap_ff();
-    let mut total = output_stage_delay_ps(tech, drive.width, drive.stack, drive.position, polarity, vdd, out_cap)?;
+    let mut total = output_stage_delay_ps(
+        tech,
+        drive.width,
+        drive.stack,
+        drive.position,
+        polarity,
+        vdd,
+        out_cap,
+    )?;
 
     if drive.stages > 1 {
         // First stage: inverting core driving the internal node. Its
@@ -120,7 +128,10 @@ mod tests {
         let fall = pin_delay_ps(&tech, inv, 0, Polarity::Fall, 0.8, 2.0).unwrap();
         let rise = pin_delay_ps(&tech, inv, 0, Polarity::Rise, 0.8, 2.0).unwrap();
         assert!(fall > 1.0 && fall < 60.0, "fall {fall}");
-        assert!(rise > fall, "rise should be slower (PMOS), {rise} vs {fall}");
+        assert!(
+            rise > fall,
+            "rise should be slower (PMOS), {rise} vs {fall}"
+        );
     }
 
     #[test]
@@ -214,8 +225,8 @@ mod tests {
             for pin in 0..cell.num_inputs() {
                 for polarity in Polarity::both() {
                     for &(v, c) in &[(0.55, 0.5), (1.1, 128.0)] {
-                        let d = pin_delay_ps(&tech, cell, pin, polarity, v, c)
-                            .unwrap_or_else(|e| {
+                        let d =
+                            pin_delay_ps(&tech, cell, pin, polarity, v, c).unwrap_or_else(|e| {
                                 panic!("{} pin {pin} {polarity} at ({v},{c}): {e}", cell.name())
                             });
                         assert!(d.is_finite() && d > 0.0);

@@ -82,7 +82,10 @@ impl fmt::Display for SpiceError {
                 write!(f, "invalid operating point vdd={vdd} V: {reason}")
             }
             SpiceError::NoConvergence { reached_ps } => {
-                write!(f, "transient did not converge within budget (t={reached_ps} ps)")
+                write!(
+                    f,
+                    "transient did not converge within budget (t={reached_ps} ps)"
+                )
             }
             SpiceError::InvalidSweep { reason } => write!(f, "invalid sweep: {reason}"),
         }

@@ -128,9 +128,10 @@ impl DelaySurface {
     /// Iterates `(vdd, c_ff, delay_ps)` samples.
     pub fn samples(&self) -> impl Iterator<Item = (f64, f64, f64)> + '_ {
         let w = self.loads_ff.len();
-        self.delays_ps.iter().enumerate().map(move |(k, &d)| {
-            (self.voltages[k / w], self.loads_ff[k % w], d)
-        })
+        self.delays_ps
+            .iter()
+            .enumerate()
+            .map(move |(k, &d)| (self.voltages[k / w], self.loads_ff[k % w], d))
     }
 }
 

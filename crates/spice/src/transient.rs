@@ -90,7 +90,9 @@ pub fn simulate_stage(tech: &Technology, stage: &Stage) -> Result<TransientResul
     // Step size from the stage time constant at full drive.
     let i_full = stage.device.saturation_current(tech, vdd).max(1e-9);
     let tau_ps = stage.cap_ff * vdd / (i_full * UA_PER_FF_TO_V_PER_PS);
-    let dt = (tau_ps / 400.0).min(stage.slew_ps.max(0.1) / 40.0).max(1e-4);
+    let dt = (tau_ps / 400.0)
+        .min(stage.slew_ps.max(0.1) / 40.0)
+        .max(1e-4);
     // Budget: enough for very slow near-threshold corners.
     let max_steps = 4_000_000usize;
 
@@ -139,8 +141,16 @@ pub fn simulate_stage(tech: &Technology, stage: &Stage) -> Result<TransientResul
         // Record threshold crossings with linear interpolation.
         let crossed = |mark: f64, slot: &mut Option<f64>| {
             if slot.is_none() {
-                let before = if falling { v_prev > mark } else { v_prev < mark };
-                let after = if falling { v_out <= mark } else { v_out >= mark };
+                let before = if falling {
+                    v_prev > mark
+                } else {
+                    v_prev < mark
+                };
+                let after = if falling {
+                    v_out <= mark
+                } else {
+                    v_out >= mark
+                };
                 if before && after {
                     let frac = if (v_out - v_prev).abs() < 1e-15 {
                         1.0
@@ -216,9 +226,15 @@ mod tests {
     #[test]
     fn delay_increases_at_low_voltage() {
         let t = tech();
-        let d_nom = simulate_stage(&t, &stage(0.8, 2.0, 1.0, true)).unwrap().delay_ps;
-        let d_low = simulate_stage(&t, &stage(0.55, 2.0, 1.0, true)).unwrap().delay_ps;
-        let d_high = simulate_stage(&t, &stage(1.1, 2.0, 1.0, true)).unwrap().delay_ps;
+        let d_nom = simulate_stage(&t, &stage(0.8, 2.0, 1.0, true))
+            .unwrap()
+            .delay_ps;
+        let d_low = simulate_stage(&t, &stage(0.55, 2.0, 1.0, true))
+            .unwrap()
+            .delay_ps;
+        let d_high = simulate_stage(&t, &stage(1.1, 2.0, 1.0, true))
+            .unwrap()
+            .delay_ps;
         assert!(d_low > d_nom && d_nom > d_high);
         // The paper's Table II shows ~30–40 % swing from 0.55 V to 0.8 V;
         // the model should be strongly non-linear in that range.
@@ -228,16 +244,24 @@ mod tests {
     #[test]
     fn delay_increases_with_load() {
         let t = tech();
-        let d_small = simulate_stage(&t, &stage(0.8, 0.5, 1.0, true)).unwrap().delay_ps;
-        let d_big = simulate_stage(&t, &stage(0.8, 128.0, 1.0, true)).unwrap().delay_ps;
+        let d_small = simulate_stage(&t, &stage(0.8, 0.5, 1.0, true))
+            .unwrap()
+            .delay_ps;
+        let d_big = simulate_stage(&t, &stage(0.8, 128.0, 1.0, true))
+            .unwrap()
+            .delay_ps;
         assert!(d_big > 10.0 * d_small);
     }
 
     #[test]
     fn delay_scales_inverse_with_width() {
         let t = tech();
-        let d1 = simulate_stage(&t, &stage(0.8, 8.0, 1.0, true)).unwrap().delay_ps;
-        let d4 = simulate_stage(&t, &stage(0.8, 8.0, 4.0, true)).unwrap().delay_ps;
+        let d1 = simulate_stage(&t, &stage(0.8, 8.0, 1.0, true))
+            .unwrap()
+            .delay_ps;
+        let d4 = simulate_stage(&t, &stage(0.8, 8.0, 4.0, true))
+            .unwrap()
+            .delay_ps;
         let ratio = d1 / d4;
         assert!(
             (3.0..5.0).contains(&ratio),
@@ -248,9 +272,16 @@ mod tests {
     #[test]
     fn rise_slower_than_fall_at_equal_width() {
         let t = tech();
-        let fall = simulate_stage(&t, &stage(0.8, 4.0, 1.0, true)).unwrap().delay_ps;
-        let rise = simulate_stage(&t, &stage(0.8, 4.0, 1.0, false)).unwrap().delay_ps;
-        assert!(rise > fall, "PMOS (k_p < k_n) must be slower: {rise} vs {fall}");
+        let fall = simulate_stage(&t, &stage(0.8, 4.0, 1.0, true))
+            .unwrap()
+            .delay_ps;
+        let rise = simulate_stage(&t, &stage(0.8, 4.0, 1.0, false))
+            .unwrap()
+            .delay_ps;
+        assert!(
+            rise > fall,
+            "PMOS (k_p < k_n) must be slower: {rise} vs {fall}"
+        );
     }
 
     #[test]

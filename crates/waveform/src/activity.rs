@@ -2,7 +2,7 @@
 //! step 4: "the waveforms are analyzed to extract the output information,
 //! such as test responses, switching activity and transition times").
 
-use crate::Waveform;
+use crate::{Waveform, WaveformRead};
 
 /// Per-waveform summary extracted after simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -21,15 +21,17 @@ pub struct WaveformStats {
 }
 
 impl WaveformStats {
-    /// Analyzes one waveform.
-    pub fn of(waveform: &Waveform) -> WaveformStats {
-        let transitions = waveform.num_transitions();
-        let functional = usize::from(waveform.initial_value() != waveform.final_value());
+    /// Analyzes one waveform (owned or a [`crate::WaveformView`]).
+    pub fn of<W: WaveformRead>(waveform: &W) -> WaveformStats {
+        let times = waveform.transitions();
+        let transitions = times.len();
+        let final_value = waveform.initial_value() ^ (transitions % 2 == 1);
+        let functional = usize::from(waveform.initial_value() != final_value);
         WaveformStats {
             transitions,
             glitch_transitions: transitions - functional,
-            latest_transition: waveform.last_transition(),
-            final_value: waveform.final_value(),
+            latest_transition: times.last().copied(),
+            final_value,
         }
     }
 }
@@ -70,10 +72,10 @@ pub struct SwitchingActivity {
 
 impl SwitchingActivity {
     /// Aggregates statistics over a collection of waveforms.
-    pub fn of<'a>(waveforms: impl IntoIterator<Item = &'a Waveform>) -> SwitchingActivity {
+    pub fn of<W: WaveformRead>(waveforms: impl IntoIterator<Item = W>) -> SwitchingActivity {
         let mut act = SwitchingActivity::default();
         for w in waveforms {
-            let s = WaveformStats::of(w);
+            let s = WaveformStats::of(&w);
             act.nets += 1;
             act.total_transitions += s.transitions;
             act.total_glitch_transitions += s.glitch_transitions;
@@ -157,7 +159,7 @@ mod tests {
 
     #[test]
     fn aggregate_activity() {
-        let wfs = vec![
+        let wfs = [
             wf(false, &[5.0]),
             Waveform::constant(true),
             wf(true, &[3.0, 9.0, 11.0]),
@@ -173,14 +175,14 @@ mod tests {
 
     #[test]
     fn empty_aggregate() {
-        let act = SwitchingActivity::of(std::iter::empty());
+        let act = SwitchingActivity::of(std::iter::empty::<&Waveform>());
         assert_eq!(act, SwitchingActivity::default());
         assert_eq!(act.avg_transitions(), 0.0);
     }
 
     #[test]
     fn weighted_switching_sums() {
-        let wfs = vec![wf(false, &[1.0]), wf(false, &[1.0, 2.0])];
+        let wfs = [wf(false, &[1.0]), wf(false, &[1.0, 2.0])];
         let caps = [3.0, 0.5];
         let e = SwitchingActivity::weighted_switching(wfs.iter(), &caps);
         assert!((e - (3.0 + 1.0)).abs() < 1e-12);

@@ -1,0 +1,235 @@
+//! A capacity-bounded `(slot, net)` waveform arena.
+//!
+//! The GPU algorithm of Holst et al. \[25\] stores all waveforms of a
+//! launch in one flat global-memory allocation: a fixed-size buffer per
+//! `(slot, net)` cell, with an overflow flag raised when a gate's output
+//! history would run past its buffer. This module is the CPU realization of
+//! that layout: storage for `entries` waveforms of at most `capacity`
+//! transitions each, dense in one `Vec<f64>`, with explicit overflow
+//! reporting instead of reallocation. The simulation engine sizes the
+//! arena from its memory budget, quarantines slots whose gates overflow,
+//! and re-runs them against a larger arena — so a glitch-heavy slot can
+//! never abort or bloat a whole batch.
+
+use crate::{CapacityOverflow, Waveform, WaveformRead};
+
+/// Flat bounded storage for a batch of waveforms.
+///
+/// Entry `i` occupies `times[i * capacity .. i * capacity + len[i]]`; the
+/// engine indexes entries as `slot_in_batch * nets + net`.
+#[derive(Debug, Clone)]
+pub struct WaveformArena {
+    capacity: usize,
+    initial: Vec<bool>,
+    len: Vec<u32>,
+    times: Vec<f64>,
+    peak: usize,
+}
+
+/// A borrowed waveform inside a [`WaveformArena`].
+#[derive(Debug, Clone, Copy)]
+pub struct WaveformView<'a> {
+    initial: bool,
+    times: &'a [f64],
+}
+
+impl WaveformRead for WaveformView<'_> {
+    fn initial_value(&self) -> bool {
+        self.initial
+    }
+    fn transitions(&self) -> &[f64] {
+        self.times
+    }
+}
+
+impl WaveformArena {
+    /// Allocates an arena of `entries` waveforms with room for `capacity`
+    /// transitions each. All entries start as constant-low signals.
+    pub fn new(entries: usize, capacity: usize) -> WaveformArena {
+        WaveformArena {
+            capacity,
+            initial: vec![false; entries],
+            len: vec![0; entries],
+            times: vec![0.0; entries * capacity],
+            peak: 0,
+        }
+    }
+
+    /// Number of waveform entries.
+    pub fn entries(&self) -> usize {
+        self.len.len()
+    }
+
+    /// Per-entry transition capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resets every entry to a constant-low signal (storage is retained;
+    /// the peak-occupancy watermark is kept for diagnostics).
+    pub fn reset(&mut self) {
+        self.initial.fill(false);
+        self.len.fill(0);
+    }
+
+    /// A read view of entry `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn view(&self, idx: usize) -> WaveformView<'_> {
+        let start = idx * self.capacity;
+        WaveformView {
+            initial: self.initial[idx],
+            times: &self.times[start..start + self.len[idx] as usize],
+        }
+    }
+
+    /// Writes a waveform into entry `idx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityOverflow`] (leaving the entry untouched) if the
+    /// waveform has more than [`Self::capacity`] transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn write(&mut self, idx: usize, waveform: &Waveform) -> Result<(), CapacityOverflow> {
+        let transitions = waveform.transitions();
+        if transitions.len() > self.capacity {
+            return Err(CapacityOverflow {
+                capacity: self.capacity,
+            });
+        }
+        let start = idx * self.capacity;
+        self.initial[idx] = waveform.initial_value();
+        self.len[idx] = transitions.len() as u32;
+        self.times[start..start + transitions.len()].copy_from_slice(transitions);
+        self.peak = self.peak.max(transitions.len());
+        Ok(())
+    }
+
+    /// Copies entry `idx` out into an owned [`Waveform`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn to_waveform(&self, idx: usize) -> Waveform {
+        let view = self.view(idx);
+        Waveform {
+            initial: view.initial,
+            transitions: view.times.to_vec(),
+        }
+    }
+
+    /// Transition count of entry `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn occupancy(&self, idx: usize) -> usize {
+        self.len[idx] as usize
+    }
+
+    /// The largest transition count ever written to any entry — the
+    /// watermark the engine reports as peak arena occupancy (survives
+    /// [`Self::reset`]).
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{evaluate_gate_bounded_scratch, GateScratch, PinDelays};
+
+    #[test]
+    fn round_trips_waveforms() {
+        let mut arena = WaveformArena::new(4, 8);
+        let w = Waveform::with_transitions(true, vec![1.0, 5.0, 9.0]).unwrap();
+        arena.write(2, &w).unwrap();
+        assert_eq!(arena.to_waveform(2), w);
+        let v = arena.view(2);
+        assert!(v.initial_value());
+        assert_eq!(v.transitions(), &[1.0, 5.0, 9.0]);
+        // Other entries are untouched constants.
+        assert_eq!(arena.to_waveform(0), Waveform::constant(false));
+        assert_eq!(arena.occupancy(2), 3);
+        assert_eq!(arena.peak_occupancy(), 3);
+    }
+
+    #[test]
+    fn write_rejects_oversized() {
+        let mut arena = WaveformArena::new(1, 2);
+        let w = Waveform::with_transitions(false, vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(arena.write(0, &w), Err(CapacityOverflow { capacity: 2 }));
+        // Entry unchanged.
+        assert_eq!(arena.to_waveform(0), Waveform::constant(false));
+    }
+
+    #[test]
+    fn reset_clears_entries_but_keeps_peak() {
+        let mut arena = WaveformArena::new(2, 4);
+        let w = Waveform::with_transitions(true, vec![1.0, 2.0]).unwrap();
+        arena.write(1, &w).unwrap();
+        arena.reset();
+        assert_eq!(arena.to_waveform(1), Waveform::constant(false));
+        assert_eq!(arena.occupancy(1), 0);
+        assert_eq!(arena.peak_occupancy(), 2);
+    }
+
+    #[test]
+    fn views_feed_the_bounded_kernel() {
+        let mut arena = WaveformArena::new(2, 4);
+        let a = Waveform::with_transitions(false, vec![100.0]).unwrap();
+        let b = Waveform::constant(true);
+        arena.write(0, &a).unwrap();
+        arena.write(1, &b).unwrap();
+        let d = [PinDelays {
+            rise: 10.0,
+            fall: 10.0,
+        }; 2];
+        let out = evaluate_gate_bounded_scratch(
+            &[arena.view(0), arena.view(1)],
+            &d,
+            |v| v[0] && v[1],
+            &mut GateScratch::new(),
+            4,
+        )
+        .unwrap();
+        assert_eq!(out.transitions(), &[110.0]);
+    }
+
+    #[test]
+    fn bounded_kernel_overflows_at_cap() {
+        // An XOR fed by two staggered 4-transition inputs produces more
+        // output transitions than a cap of 2 allows.
+        let a = Waveform::with_transitions(false, vec![100.0, 200.0, 300.0, 400.0]).unwrap();
+        let b = Waveform::with_transitions(false, vec![150.0, 250.0, 350.0, 450.0]).unwrap();
+        let d = [PinDelays {
+            rise: 1.0,
+            fall: 1.0,
+        }; 2];
+        let err = evaluate_gate_bounded_scratch(
+            &[&a, &b],
+            &d,
+            |v| v[0] ^ v[1],
+            &mut GateScratch::new(),
+            2,
+        )
+        .unwrap_err();
+        assert_eq!(err, CapacityOverflow { capacity: 2 });
+        // The same evaluation succeeds with room to spare.
+        let out = evaluate_gate_bounded_scratch(
+            &[&a, &b],
+            &d,
+            |v| v[0] ^ v[1],
+            &mut GateScratch::new(),
+            8,
+        )
+        .unwrap();
+        assert_eq!(out.num_transitions(), 8);
+    }
+}

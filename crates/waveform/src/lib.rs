@@ -33,12 +33,69 @@
 //! ```
 
 pub mod activity;
+pub mod arena;
 pub mod vcd;
 
 pub use activity::{SwitchingActivity, WaveformStats};
+pub use arena::{WaveformArena, WaveformView};
 
 use std::error::Error;
 use std::fmt;
+
+/// Read access to a waveform: the interface the gate-evaluation kernel
+/// needs of its inputs.
+///
+/// Implemented by [`Waveform`] (owned storage), by references, and by
+/// [`WaveformView`] (a slice into a [`WaveformArena`]), so the kernel can
+/// consume either representation without copying.
+pub trait WaveformRead {
+    /// The value before the first transition.
+    fn initial_value(&self) -> bool;
+    /// The sorted transition times.
+    fn transitions(&self) -> &[f64];
+}
+
+impl WaveformRead for Waveform {
+    fn initial_value(&self) -> bool {
+        self.initial
+    }
+    fn transitions(&self) -> &[f64] {
+        &self.transitions
+    }
+}
+
+impl<W: WaveformRead + ?Sized> WaveformRead for &W {
+    fn initial_value(&self) -> bool {
+        (**self).initial_value()
+    }
+    fn transitions(&self) -> &[f64] {
+        (**self).transitions()
+    }
+}
+
+/// A gate evaluation exceeded the per-net transition capacity of its
+/// bounded output buffer (see [`evaluate_gate_bounded_scratch`]).
+///
+/// This is the CPU analogue of the GPU waveform-memory overflow flag: the
+/// affected slot's result is unusable at this capacity, and the caller is
+/// expected to quarantine the slot and retry with a larger allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityOverflow {
+    /// The capacity (in transitions) that was exceeded.
+    pub capacity: usize,
+}
+
+impl fmt::Display for CapacityOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "waveform exceeded its transition capacity of {}",
+            self.capacity
+        )
+    }
+}
+
+impl Error for CapacityOverflow {}
 
 /// Errors produced by waveform construction.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,7 +117,10 @@ impl fmt::Display for WaveformError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WaveformError::UnsortedTransitions { index } => {
-                write!(f, "transition {index} is not strictly after its predecessor")
+                write!(
+                    f,
+                    "transition {index} is not strictly after its predecessor"
+                )
             }
             WaveformError::NonFiniteTime { index } => {
                 write!(f, "transition {index} has a non-finite time")
@@ -96,7 +156,10 @@ impl Waveform {
     /// Returns [`WaveformError::UnsortedTransitions`] if times are not
     /// strictly increasing and [`WaveformError::NonFiniteTime`] for
     /// NaN/infinite times.
-    pub fn with_transitions(initial: bool, transitions: Vec<f64>) -> Result<Waveform, WaveformError> {
+    pub fn with_transitions(
+        initial: bool,
+        transitions: Vec<f64>,
+    ) -> Result<Waveform, WaveformError> {
         for (i, &t) in transitions.iter().enumerate() {
             if !t.is_finite() {
                 return Err(WaveformError::NonFiniteTime { index: i });
@@ -283,12 +346,40 @@ pub fn evaluate_gate(
 /// # Panics
 ///
 /// Panics if `inputs.len() != delays.len()` or either is empty.
-pub fn evaluate_gate_scratch(
-    inputs: &[&Waveform],
+pub fn evaluate_gate_scratch<W: WaveformRead>(
+    inputs: &[W],
     delays: &[PinDelays],
     eval: impl Fn(&[bool]) -> bool,
     scratch: &mut GateScratch,
 ) -> Waveform {
+    evaluate_gate_bounded_scratch(inputs, delays, eval, scratch, usize::MAX)
+        .expect("unbounded evaluation cannot overflow")
+}
+
+/// [`evaluate_gate_scratch`] with a hard cap on *scheduled* output
+/// transitions — the bounded-arena form used by the fault-isolated engine.
+///
+/// The cap is enforced on the peak size of the pending-transition schedule,
+/// not just the final count: like the GPU original, which allocates a fixed
+/// waveform buffer per `(slot, net)` and raises an overflow flag when a
+/// write would run past it, evaluation aborts the moment the schedule needs
+/// its `cap + 1`-th entry, even if later cancellations would have shrunk it
+/// again. The returned waveform therefore always fits in `cap` transitions.
+///
+/// # Errors
+///
+/// Returns [`CapacityOverflow`] when the schedule would exceed `cap`.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != delays.len()` or either is empty.
+pub fn evaluate_gate_bounded_scratch<W: WaveformRead>(
+    inputs: &[W],
+    delays: &[PinDelays],
+    eval: impl Fn(&[bool]) -> bool,
+    scratch: &mut GateScratch,
+    cap: usize,
+) -> Result<Waveform, CapacityOverflow> {
     assert_eq!(
         inputs.len(),
         delays.len(),
@@ -302,11 +393,11 @@ pub fn evaluate_gate_scratch(
     let initial_out = eval(values);
 
     // Fast path: quiescent inputs produce a constant output.
-    if inputs.iter().all(|w| w.transitions.is_empty()) {
-        return Waveform {
+    if inputs.iter().all(|w| w.transitions().is_empty()) {
+        return Ok(Waveform {
             initial: initial_out,
             transitions: Vec::new(),
-        };
+        });
     }
 
     // Scheduled output transition times (sorted ascending, alternating
@@ -350,6 +441,9 @@ pub fn evaluate_gate_scratch(
             }
         }
         if scheduled_value != new_out {
+            if sched.len() >= cap {
+                return Err(CapacityOverflow { capacity: cap });
+            }
             sched.push(tt);
             scheduled_value = new_out;
         }
@@ -361,7 +455,7 @@ pub fn evaluate_gate_scratch(
         transitions: sched.as_slice().to_vec(),
     };
     debug_assert!(out.check_invariants());
-    out
+    Ok(out)
 }
 
 /// Propagates a waveform through an identity stage with per-polarity delay
@@ -411,7 +505,10 @@ mod tests {
 
     #[test]
     fn pattern_waveforms() {
-        assert_eq!(Waveform::from_pattern(true, true, 5.0), Waveform::constant(true));
+        assert_eq!(
+            Waveform::from_pattern(true, true, 5.0),
+            Waveform::constant(true)
+        );
         let w = Waveform::from_pattern(false, true, 5.0);
         assert_eq!(w.transitions(), &[5.0]);
         assert!(w.final_value());
@@ -427,7 +524,13 @@ mod tests {
     #[test]
     fn buffer_shifts_by_delay() {
         let input = wf(false, &[100.0, 150.0]);
-        let out = delay_waveform(&input, PinDelays { rise: 7.0, fall: 9.0 });
+        let out = delay_waveform(
+            &input,
+            PinDelays {
+                rise: 7.0,
+                fall: 9.0,
+            },
+        );
         assert_eq!(out.transitions(), &[107.0, 159.0]);
         assert!(!out.initial_value());
     }
@@ -438,7 +541,10 @@ mod tests {
         // Input rises → output falls → fall delay applies.
         let out = evaluate_gate(
             &[&input],
-            &[PinDelays { rise: 5.0, fall: 11.0 }],
+            &[PinDelays {
+                rise: 5.0,
+                fall: 11.0,
+            }],
             |v| !v[0],
         );
         assert!(out.initial_value());
@@ -449,11 +555,7 @@ mod tests {
     fn and_gate_masks_controlled_input() {
         let a = wf(false, &[100.0]);
         let b = Waveform::constant(false); // controlling 0: output stays 0
-        let out = evaluate_gate(
-            &[&a, &b],
-            &[PinDelays::default(); 2],
-            |v| v[0] && v[1],
-        );
+        let out = evaluate_gate(&[&a, &b], &[PinDelays::default(); 2], |v| v[0] && v[1]);
         assert_eq!(out.num_transitions(), 0);
         assert!(!out.initial_value());
     }
@@ -465,7 +567,10 @@ mod tests {
         // delays keep the pulse open.
         let a = wf(true, &[105.0]);
         let b = wf(false, &[100.0]);
-        let d = PinDelays { rise: 10.0, fall: 10.0 };
+        let d = PinDelays {
+            rise: 10.0,
+            fall: 10.0,
+        };
         let out = evaluate_gate(&[&a, &b], &[d, d], |v| !(v[0] && v[1]));
         // Fall caused at 100+10=110, rise caused at 105+10=115.
         assert!(out.initial_value());
@@ -480,7 +585,10 @@ mod tests {
         // → both cancel, no output pulse.
         let a = wf(true, &[105.0]);
         let b = wf(false, &[100.0]);
-        let d = PinDelays { rise: 4.0, fall: 10.0 };
+        let d = PinDelays {
+            rise: 4.0,
+            fall: 10.0,
+        };
         let out = evaluate_gate(&[&a, &b], &[d, d], |v| !(v[0] && v[1]));
         assert_eq!(out.num_transitions(), 0);
         assert!(out.initial_value());
@@ -492,7 +600,13 @@ mod tests {
         // 3-wide input pulse through a buffer with rise 10 / fall 5:
         // rise lands at t+10, fall at t+3+5=t+8 → overtakes → silence.
         let input = wf(false, &[100.0, 103.0]);
-        let out = delay_waveform(&input, PinDelays { rise: 10.0, fall: 5.0 });
+        let out = delay_waveform(
+            &input,
+            PinDelays {
+                rise: 10.0,
+                fall: 5.0,
+            },
+        );
         assert_eq!(out.num_transitions(), 0);
     }
 
@@ -503,7 +617,10 @@ mod tests {
         // resolved by the overtaking rule (rise scheduled first is popped).
         let a = wf(true, &[100.0]);
         let b = wf(false, &[100.0]);
-        let d = PinDelays { rise: 10.0, fall: 10.0 };
+        let d = PinDelays {
+            rise: 10.0,
+            fall: 10.0,
+        };
         let out = evaluate_gate(&[&a, &b], &[d, d], |v| !(v[0] && v[1]));
         assert!(out.initial_value());
         assert_eq!(out.num_transitions(), 0);
@@ -514,8 +631,14 @@ mod tests {
         // XOR with different pin delays: pin 0 slow, pin 1 fast.
         let a = wf(false, &[100.0]);
         let b = wf(false, &[200.0]);
-        let d0 = PinDelays { rise: 20.0, fall: 20.0 };
-        let d1 = PinDelays { rise: 3.0, fall: 3.0 };
+        let d0 = PinDelays {
+            rise: 20.0,
+            fall: 20.0,
+        };
+        let d1 = PinDelays {
+            rise: 3.0,
+            fall: 3.0,
+        };
         let out = evaluate_gate(&[&a, &b], &[d0, d1], |v| v[0] ^ v[1]);
         assert_eq!(out.transitions(), &[120.0, 203.0]);
     }

@@ -42,7 +42,12 @@ pub fn write_vcd(module: &str, signals: &[VcdSignal<'_>]) -> String {
     let _ = writeln!(out, "$timescale 1ps $end");
     let _ = writeln!(out, "$scope module {} $end", sanitize(module));
     for (k, sig) in signals.iter().enumerate() {
-        let _ = writeln!(out, "$var wire 1 {} {} $end", id_code(k), sanitize(sig.name));
+        let _ = writeln!(
+            out,
+            "$var wire 1 {} {} $end",
+            id_code(k),
+            sanitize(sig.name)
+        );
     }
     let _ = writeln!(out, "$upscope $end");
     let _ = writeln!(out, "$enddefinitions $end");
@@ -116,7 +121,13 @@ mod tests {
     #[test]
     fn header_and_initial_values() {
         let a = wf(true, &[]);
-        let text = write_vcd("top", &[VcdSignal { name: "clk out", waveform: &a }]);
+        let text = write_vcd(
+            "top",
+            &[VcdSignal {
+                name: "clk out",
+                waveform: &a,
+            }],
+        );
         assert!(text.contains("$timescale 1ps $end"));
         assert!(text.contains("$scope module top $end"));
         assert!(text.contains("$var wire 1 ! clk_out $end"));
@@ -130,11 +141,20 @@ mod tests {
         let text = write_vcd(
             "t",
             &[
-                VcdSignal { name: "a", waveform: &a },
-                VcdSignal { name: "b", waveform: &b },
+                VcdSignal {
+                    name: "a",
+                    waveform: &a,
+                },
+                VcdSignal {
+                    name: "b",
+                    waveform: &b,
+                },
             ],
         );
-        let pos = |needle: &str| text.find(needle).unwrap_or_else(|| panic!("missing {needle}"));
+        let pos = |needle: &str| {
+            text.find(needle)
+                .unwrap_or_else(|| panic!("missing {needle}"))
+        };
         assert!(pos("#100") < pos("#200"));
         assert!(pos("#200") < pos("#300"));
         // a's first transition goes high, b's goes low.
@@ -150,8 +170,14 @@ mod tests {
         let text = write_vcd(
             "s",
             &[
-                VcdSignal { name: "a", waveform: &a },
-                VcdSignal { name: "b", waveform: &b },
+                VcdSignal {
+                    name: "a",
+                    waveform: &a,
+                },
+                VcdSignal {
+                    name: "b",
+                    waveform: &b,
+                },
             ],
         );
         assert_eq!(text.matches("#50").count(), 1);

@@ -15,7 +15,9 @@ use avfs::spice::{sweep::sweep_pin, SweepConfig, Technology};
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let cell_name = std::env::args().nth(1).unwrap_or_else(|| "NAND2_X1".to_owned());
+    let cell_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "NAND2_X1".to_owned());
     let library = CellLibrary::nangate15_like();
     let tech = Technology::nm15();
     let sweep = SweepConfig::paper();
@@ -24,7 +26,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         .find(&cell_name)
         .ok_or_else(|| format!("unknown cell `{cell_name}`"))?;
     let cell = library.cell(id);
-    println!("cell {cell_name}: {} input pins, output {}", cell.num_inputs(), cell.output_pin());
+    println!(
+        "cell {cell_name}: {} input pins, output {}",
+        cell.num_inputs(),
+        cell.output_pin()
+    );
 
     for pin in 0..cell.num_inputs() {
         for polarity in Polarity::both() {
@@ -56,7 +62,10 @@ fn main() -> Result<(), Box<dyn Error>> {
             v: space.phi_v().apply(v),
             c: space.phi_c().apply(4.0),
         };
-        println!("  V_DD {v:>4.2} V → d'/d_nom = {:.4}", 1.0 + fit.poly.eval(p));
+        println!(
+            "  V_DD {v:>4.2} V → d'/d_nom = {:.4}",
+            1.0 + fit.poly.eval(p)
+        );
     }
     Ok(())
 }

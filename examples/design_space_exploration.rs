@@ -78,7 +78,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
 
     // Minimum-voltage operating points for candidate clock periods.
-    println!("{:>10} {:>12} — lowest V_DD meeting the period", "clock", "V_min");
+    println!(
+        "{:>10} {:>12} — lowest V_DD meeting the period",
+        "clock", "V_min"
+    );
     let worst = rows.last().expect("rows exist").1;
     for target_ps in [
         1.1 * worst,
@@ -97,7 +100,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         }
     }
 
-    println!("\n{:>8} {:>14} {:>16}", "V_DD", "latest [ps]", "avg toggles/pat");
+    println!(
+        "\n{:>8} {:>14} {:>16}",
+        "V_DD", "latest [ps]", "avg toggles/pat"
+    );
     for (v, latest, toggles) in &rows {
         println!("{v:>7.2}V {latest:>13.1} {toggles:>16.1}");
     }

@@ -90,12 +90,8 @@ fn main() -> Result<(), Box<dyn Error>> {
 
         // A process-varied die (same defect, different silicon).
         let varied = Arc::new(apply_variation(&annotation, &VariationConfig::sigma5(42)));
-        let fsim_var = DelayFaultSimulator::new(
-            Arc::clone(&netlist),
-            varied,
-            Arc::clone(&model),
-            capture_ps,
-        )?;
+        let fsim_var =
+            DelayFaultSimulator::new(Arc::clone(&netlist), varied, Arc::clone(&model), capture_ps)?;
         let verdicts_var = fsim_var.run(&faults, &patterns, voltage, &opts)?;
         let coverage_var = DelayFaultSimulator::coverage(&verdicts_var);
 

@@ -17,7 +17,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     // 1. The cell library and a netlist (c17 ships embedded).
     let library = CellLibrary::nangate15_like();
     let netlist = Arc::new(avfs::circuits::c17(&library)?);
-    println!("loaded `{}`: {}", netlist.name(), avfs::netlist::NetlistStats::of(&netlist));
+    println!(
+        "loaded `{}`: {}",
+        netlist.name(),
+        avfs::netlist::NetlistStats::of(&netlist)
+    );
 
     // 2. Offline characterization (Fig. 1 of the paper): transient sweeps,
     //    regression, compiled polynomial delay kernels. c17 only uses

@@ -25,10 +25,7 @@ const VOLTAGES: [f64; 6] = [0.55, 0.6, 0.7, 0.8, 0.9, 1.1];
 fn main() -> Result<(), Box<dyn Error>> {
     let library = CellLibrary::nangate15_like();
     let netlist = Arc::new(ripple_carry_adder(16, &library)?);
-    println!(
-        "adder: {}",
-        avfs::netlist::NetlistStats::of(&netlist)
-    );
+    println!("adder: {}", avfs::netlist::NetlistStats::of(&netlist));
 
     // Characterize exactly the used cell types.
     let used: Vec<_> = {
@@ -51,7 +48,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     // Random transition pairs plus timing-aware patterns on the carry
     // chain (the adder's longest paths).
     let mut patterns = PatternSet::random(netlist.inputs().len(), 32, 7);
-    let levels = Levelization::of(&netlist);
+    let levels = Levelization::of(&netlist).expect("acyclic");
     let paths = k_longest_paths(&netlist, &levels, Some(sim.annotation()), 8);
     println!(
         "longest structural path: {:.1} ps over {} nodes",
@@ -60,18 +57,27 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     let outcomes = generate_timing_aware(&netlist, &levels, &paths, 16, 3);
     let sensitized = outcomes.iter().filter(|o| o.sensitized).count();
-    println!("timing-aware patterns: {sensitized}/{} paths sensitized", outcomes.len());
+    println!(
+        "timing-aware patterns: {sensitized}/{} paths sensitized",
+        outcomes.len()
+    );
     patterns.extend(collect_pairs(&outcomes).iter().cloned());
 
     // The whole design-space slice in one launch.
     let run = sim.voltage_sweep(&patterns, &VOLTAGES, &SimOptions::default())?;
     let sta = sim.sta();
     println!("STA longest path (nominal): {:.1} ps", sta.longest_path_ps);
-    println!("{:>8} {:>14} {:>12}", "V_DD", "latest arrival", "vs nominal");
+    println!(
+        "{:>8} {:>14} {:>12}",
+        "V_DD", "latest arrival", "vs nominal"
+    );
     let nominal = run.latest_arrival_at(0.8).expect("outputs toggle");
     for v in VOLTAGES {
         let t = run.latest_arrival_at(v).expect("outputs toggle");
-        println!("{v:>7.2}V {t:>11.1} ps {:>11.1}%", 100.0 * (t / nominal - 1.0));
+        println!(
+            "{v:>7.2}V {t:>11.1} ps {:>11.1}%",
+            100.0 * (t / nominal - 1.0)
+        );
     }
     println!(
         "{} slots in {:?} ({:.1} MEPS)",

@@ -22,14 +22,22 @@ fn verilog_roundtrip_preserves_simulation() {
     assert_eq!(original.outputs().len(), reparsed.outputs().len());
 
     // Same logic: zero-delay responses agree on random vectors.
-    let levels_a = avfs::netlist::Levelization::of(&original);
-    let levels_b = avfs::netlist::Levelization::of(&reparsed);
+    let levels_a = avfs::netlist::Levelization::of(&original).expect("acyclic");
+    let levels_b = avfs::netlist::Levelization::of(&reparsed).expect("acyclic");
     let patterns = PatternSet::random(original.inputs().len(), 16, 5);
     for pair in &patterns {
         let va = avfs::atpg::zero_delay_values(&original, &levels_a, &pair.capture);
         let vb = avfs::atpg::zero_delay_values(&reparsed, &levels_b, &pair.capture);
-        let ra: Vec<bool> = original.outputs().iter().map(|&po| va[po.index()]).collect();
-        let rb: Vec<bool> = reparsed.outputs().iter().map(|&po| vb[po.index()]).collect();
+        let ra: Vec<bool> = original
+            .outputs()
+            .iter()
+            .map(|&po| va[po.index()])
+            .collect();
+        let rb: Vec<bool> = reparsed
+            .outputs()
+            .iter()
+            .map(|&po| vb[po.index()])
+            .collect();
         assert_eq!(ra, rb);
     }
 }
@@ -39,8 +47,8 @@ fn bench_roundtrip_preserves_structure() {
     let library = CellLibrary::nangate15_like();
     let c17 = avfs::circuits::c17(&library).expect("c17 parses");
     let text = bench::write_bench(&c17);
-    let again =
-        bench::parse_bench("c17b", &text, &library, &bench::BenchOptions::default()).expect("reparses");
+    let again = bench::parse_bench("c17b", &text, &library, &bench::BenchOptions::default())
+        .expect("reparses");
     assert_eq!(c17.num_nodes(), again.num_nodes());
     assert_eq!(c17.num_gates(), again.num_gates());
 }
@@ -70,8 +78,12 @@ fn sdf_spef_roundtrip_preserves_timing() {
     let sdf_text = sdf::write_sdf(&netlist, &annotation);
     let spef_text = spef::write_spef(&netlist, &annotation);
     let mut parsed = sdf::parse_sdf(&netlist, &sdf_text).expect("sdf parses");
-    spef::apply_spef(&netlist, &mut parsed, &spef::parse_spef(&spef_text).expect("spef parses"))
-        .expect("loads apply");
+    spef::apply_spef(
+        &netlist,
+        &mut parsed,
+        &spef::parse_spef(&spef_text).expect("spef parses"),
+    )
+    .expect("loads apply");
 
     // Every pin delay and every load survives the text round trip.
     for (id, node) in netlist.iter() {
@@ -90,9 +102,10 @@ fn sdf_spef_roundtrip_preserves_timing() {
 
     // And the simulation built on the parsed annotation is identical.
     let model = Arc::new(StaticModel::new(*chars.space()));
-    let sim_a =
-        TimeSimulator::new(Arc::clone(&netlist), annotation, Arc::clone(&model) as _).expect("builds");
-    let sim_b = TimeSimulator::new(Arc::clone(&netlist), Arc::new(parsed), model as _).expect("builds");
+    let sim_a = TimeSimulator::new(Arc::clone(&netlist), annotation, Arc::clone(&model) as _)
+        .expect("builds");
+    let sim_b =
+        TimeSimulator::new(Arc::clone(&netlist), Arc::new(parsed), model as _).expect("builds");
     let patterns = PatternSet::lfsr(netlist.inputs().len(), 8, 6);
     let opts = SimOptions::default();
     let a = sim_a.run_at(&patterns, 0.8, &opts).expect("runs");

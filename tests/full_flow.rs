@@ -54,8 +54,12 @@ fn engine_matches_event_driven_on_adder() {
         keep_waveforms: true,
         ..SimOptions::default()
     };
-    let a = engine.run(&patterns, &slot_list, &opts).expect("engine runs");
-    let b = baseline.run(&patterns, &slot_list, true).expect("baseline runs");
+    let a = engine
+        .run(&patterns, &slot_list, &opts)
+        .expect("engine runs");
+    let b = baseline
+        .run(&patterns, &slot_list, true)
+        .expect("baseline runs");
     for (sa, sb) in a.slots.iter().zip(&b.slots) {
         let (wa, wb) = (
             sa.waveforms.as_ref().expect("kept"),
@@ -92,10 +96,17 @@ fn final_values_match_zero_delay_semantics() {
         .expect("simulator builds");
 
     let patterns = PatternSet::random(netlist.inputs().len(), 10, 33);
-    let levels = avfs::netlist::Levelization::of(&netlist);
+    let levels = avfs::netlist::Levelization::of(&netlist).expect("acyclic");
     for &voltage in &[0.55, 0.8, 1.1] {
         let run = sim
-            .run_at(&patterns, voltage, &SimOptions { threads: 1, ..SimOptions::default() })
+            .run_at(
+                &patterns,
+                voltage,
+                &SimOptions {
+                    threads: 1,
+                    ..SimOptions::default()
+                },
+            )
             .expect("runs");
         for slot in &run.slots {
             let expect = avfs::atpg::zero_delay_values(
@@ -123,10 +134,24 @@ fn multithreaded_engine_equals_serial() {
         .expect("simulator builds");
     let patterns = PatternSet::lfsr(netlist.inputs().len(), 8, 4);
     let serial = sim
-        .voltage_sweep(&patterns, &[0.6, 0.9], &SimOptions { threads: 1, ..SimOptions::default() })
+        .voltage_sweep(
+            &patterns,
+            &[0.6, 0.9],
+            &SimOptions {
+                threads: 1,
+                ..SimOptions::default()
+            },
+        )
         .expect("serial run");
     let parallel = sim
-        .voltage_sweep(&patterns, &[0.6, 0.9], &SimOptions { threads: 8, ..SimOptions::default() })
+        .voltage_sweep(
+            &patterns,
+            &[0.6, 0.9],
+            &SimOptions {
+                threads: 8,
+                ..SimOptions::default()
+            },
+        )
         .expect("parallel run");
     for (a, b) in serial.slots.iter().zip(&parallel.slots) {
         assert_eq!(a.spec.pattern, b.spec.pattern);
@@ -153,13 +178,8 @@ fn hot_corner_characterization_slows_the_design() {
         set.into_iter().collect()
     };
     let characterize_at = |tech: &Technology| {
-        characterize_library(
-            &library,
-            tech,
-            &CharacterizationConfig::fast(),
-            Some(&used),
-        )
-        .expect("characterizes")
+        characterize_library(&library, tech, &CharacterizationConfig::fast(), Some(&used))
+            .expect("characterizes")
     };
     let nom_tech = Technology::nm15();
     let chars_nom = characterize_at(&nom_tech);
@@ -235,7 +255,7 @@ fn sta_agrees_with_k_longest_path_enumeration() {
         let netlist = Arc::new(random_netlist("sta_x", &cfg, &library, seed).expect("generates"));
         let chars = characterize_for(&netlist, &library);
         let annotation = chars.annotate(&netlist).expect("annotates");
-        let levels = avfs::netlist::Levelization::of(&netlist);
+        let levels = avfs::netlist::Levelization::of(&netlist).expect("acyclic");
         let sta = avfs::sim::sta::longest_path(&netlist, &levels, &annotation);
         let paths = avfs::atpg::k_longest_paths(&netlist, &levels, Some(&annotation), 1);
         assert_eq!(paths.len(), 1);
@@ -261,11 +281,13 @@ fn kernel_persistence_preserves_simulation() {
         .expect("package restores");
 
     let patterns = PatternSet::lfsr(netlist.inputs().len(), 8, 12);
-    let opts = SimOptions { threads: 1, ..SimOptions::default() };
-    let sim_a = TimeSimulator::from_characterization(Arc::clone(&netlist), &chars)
-        .expect("builds");
-    let sim_b = TimeSimulator::from_characterization(Arc::clone(&netlist), &restored)
-        .expect("builds");
+    let opts = SimOptions {
+        threads: 1,
+        ..SimOptions::default()
+    };
+    let sim_a = TimeSimulator::from_characterization(Arc::clone(&netlist), &chars).expect("builds");
+    let sim_b =
+        TimeSimulator::from_characterization(Arc::clone(&netlist), &restored).expect("builds");
     for &v in &[0.55, 0.8, 1.1] {
         let a = sim_a.run_at(&patterns, v, &opts).expect("runs");
         let b = sim_b.run_at(&patterns, v, &opts).expect("runs");

@@ -1,0 +1,211 @@
+//! Fault-isolation acceptance tests: the bounded-arena quarantine-and-
+//! retry loop and panic containment, cross-validated against the serial
+//! event-driven oracle.
+
+use avfs::atpg::pattern::{Pattern, PatternPair};
+use avfs::atpg::PatternSet;
+use avfs::circuits::{random_netlist, GeneratorConfig};
+use avfs::delay::model::DelayModel;
+use avfs::delay::op::NormalizedPoint;
+use avfs::delay::{DelayError, ParameterSpace, StaticModel, TimingAnnotation};
+use avfs::netlist::library::Polarity;
+use avfs::netlist::{CellId, CellLibrary, Netlist, NetlistBuilder, NodeKind};
+use avfs::sim::{slots, Engine, EventDrivenSimulator, SimError, SimOptions, SimRun, SlotStatus};
+use avfs::waveform::PinDelays;
+use std::sync::Arc;
+
+/// Uniform static pin delays so the engine (factor-1 model) and the
+/// event-driven oracle share exact delay semantics.
+fn static_annotation(netlist: &Netlist, rise: f64, fall: f64) -> TimingAnnotation {
+    let mut ann = TimingAnnotation::zero(netlist);
+    for (id, node) in netlist.iter() {
+        if matches!(node.kind(), NodeKind::Gate(_)) {
+            for pin in 0..node.fanin().len() {
+                ann.node_delays_mut(id)[pin] = PinDelays { rise, fall };
+            }
+        }
+    }
+    ann
+}
+
+/// Asserts one engine slot equals one oracle slot bit-for-bit: responses,
+/// arrival time, activity, and every per-net waveform.
+fn assert_slot_matches_oracle(run: &SimRun, oracle: &SimRun, slot: usize) {
+    let a = &run.slots[slot];
+    let b = &oracle.slots[slot];
+    assert_eq!(a.responses, b.responses, "slot {slot} responses");
+    assert_eq!(
+        a.latest_output_transition_ps, b.latest_output_transition_ps,
+        "slot {slot} arrival"
+    );
+    assert_eq!(a.activity, b.activity, "slot {slot} activity");
+    assert_eq!(a.waveforms, b.waveforms, "slot {slot} waveforms");
+}
+
+/// A glitch multiplier: every stage XORs its input with a delayed copy,
+/// roughly doubling the transition count — after a few stages the deep
+/// nets overflow any small per-net waveform capacity.
+fn glitch_cascade(stages: usize) -> Arc<Netlist> {
+    let lib = CellLibrary::nangate15_like();
+    let mut b = NetlistBuilder::new("glitch-cascade", &lib);
+    let mut cur = b.add_input("a").unwrap();
+    for s in 0..stages {
+        let i1 = b.add_gate(format!("i{s}a"), "INV_X1", &[cur]).unwrap();
+        let i2 = b.add_gate(format!("i{s}b"), "INV_X1", &[i1]).unwrap();
+        cur = b.add_gate(format!("x{s}"), "XOR2_X1", &[cur, i2]).unwrap();
+    }
+    b.add_output("y", cur).unwrap();
+    Arc::new(b.finish().unwrap())
+}
+
+#[test]
+fn overflow_quarantine_retries_until_result_matches_oracle() {
+    let netlist = glitch_cascade(3);
+    let annotation = Arc::new(static_annotation(&netlist, 7.0, 5.0));
+    let engine = Engine::new(
+        Arc::clone(&netlist),
+        Arc::clone(&annotation),
+        Arc::new(StaticModel::new(ParameterSpace::paper())),
+    )
+    .unwrap();
+    let patterns: PatternSet = std::iter::once(
+        PatternPair::new(Pattern::from_bits([false]), Pattern::from_bits([true])).unwrap(),
+    )
+    .collect();
+    let specs = slots::cross(1, &[0.8]);
+    let opts = SimOptions {
+        threads: 2,
+        keep_waveforms: true,
+        arena_capacity: 2, // deliberately too small for the cascade
+        ..SimOptions::default()
+    };
+    let run = engine.run(&patterns, &specs, &opts).unwrap();
+
+    // The slot overflowed, was quarantined and completed on a retry.
+    assert!(run.is_complete());
+    assert!(
+        run.diagnostics.slot_retries >= 1,
+        "expected at least one retry"
+    );
+    assert_eq!(run.diagnostics.overflowed_slots, vec![0]);
+    assert!(run.diagnostics.failed_slots.is_empty());
+    match run.slots[0].status {
+        SlotStatus::Completed { retries } => assert!(retries >= 1),
+        other => panic!("expected a completed slot, got {other:?}"),
+    }
+    assert!(run.diagnostics.peak_arena_occupancy > 2);
+
+    // The retried result is bit-for-bit the oracle's.
+    let oracle = EventDrivenSimulator::new(Arc::clone(&netlist), annotation)
+        .unwrap()
+        .run(&patterns, &specs, true)
+        .unwrap();
+    assert_slot_matches_oracle(&run, &oracle, 0);
+}
+
+/// Panics for operating points at the top of the normalized voltage range
+/// (1.1 V in the paper space) — the per-slot fault-injection vehicle.
+#[derive(Debug)]
+struct PanickyModel {
+    inner: StaticModel,
+}
+
+impl DelayModel for PanickyModel {
+    fn factor(
+        &self,
+        cell: CellId,
+        pin: usize,
+        polarity: Polarity,
+        p: NormalizedPoint,
+    ) -> Result<f64, DelayError> {
+        assert!(p.v < 0.999, "injected fault: poisoned operating point");
+        self.inner.factor(cell, pin, polarity, p)
+    }
+    fn name(&self) -> &str {
+        "panicky"
+    }
+    fn space(&self) -> &ParameterSpace {
+        self.inner.space()
+    }
+}
+
+#[test]
+fn panicked_slot_is_quarantined_while_others_match_oracle() {
+    let lib = CellLibrary::nangate15_like();
+    let cfg = GeneratorConfig {
+        nodes: 80,
+        inputs: 8,
+        outputs: 8,
+        depth: 6,
+        two_input_fraction: 0.7,
+    };
+    let netlist = Arc::new(random_netlist("rnd", &cfg, &lib, 23).unwrap());
+    let annotation = Arc::new(static_annotation(&netlist, 9.0, 11.0));
+    let engine = Engine::new(
+        Arc::clone(&netlist),
+        Arc::clone(&annotation),
+        Arc::new(PanickyModel {
+            inner: StaticModel::new(ParameterSpace::paper()),
+        }),
+    )
+    .unwrap();
+    let patterns = PatternSet::lfsr(netlist.inputs().len(), 3, 7);
+    // Slot 2 sits at the poisoned 1.1 V operating point.
+    let voltages = [0.8, 0.7, 1.1, 0.9];
+    let specs = slots::cross(patterns.len(), &voltages);
+    let poisoned: Vec<usize> = specs
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.voltage == 1.1)
+        .map(|(i, _)| i)
+        .collect();
+    let opts = SimOptions {
+        threads: 4,
+        keep_waveforms: true,
+        ..SimOptions::default()
+    };
+    let run = engine.run(&patterns, &specs, &opts).unwrap();
+
+    assert!(!run.is_complete());
+    assert_eq!(run.diagnostics.panicked_slots, poisoned);
+    assert_eq!(run.diagnostics.failed_slots, poisoned);
+
+    // Every healthy slot matches the event-driven oracle bit-for-bit
+    // (static factors → identical delay semantics).
+    let oracle = EventDrivenSimulator::new(Arc::clone(&netlist), annotation)
+        .unwrap()
+        .run(&patterns, &specs, true)
+        .unwrap();
+    for (i, slot) in run.slots.iter().enumerate() {
+        if poisoned.contains(&i) {
+            assert_eq!(slot.status, SlotStatus::Panicked, "slot {i}");
+            assert!(slot.responses.is_empty());
+            assert!(slot.waveforms.is_none());
+        } else {
+            assert_eq!(slot.status, SlotStatus::Completed { retries: 0 });
+            assert_slot_matches_oracle(&run, &oracle, i);
+        }
+    }
+}
+
+#[test]
+fn every_slot_poisoned_is_a_run_error() {
+    let netlist = glitch_cascade(1);
+    let annotation = Arc::new(static_annotation(&netlist, 3.0, 3.0));
+    let engine = Engine::new(
+        Arc::clone(&netlist),
+        annotation,
+        Arc::new(PanickyModel {
+            inner: StaticModel::new(ParameterSpace::paper()),
+        }),
+    )
+    .unwrap();
+    let patterns: PatternSet = std::iter::once(
+        PatternPair::new(Pattern::from_bits([true]), Pattern::from_bits([false])).unwrap(),
+    )
+    .collect();
+    match engine.run(&patterns, &slots::cross(1, &[1.1]), &SimOptions::default()) {
+        Err(SimError::AllSlotsFailed { slots: 1 }) => {}
+        other => panic!("expected AllSlotsFailed, got {other:?}"),
+    }
+}

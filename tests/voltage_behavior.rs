@@ -193,7 +193,10 @@ fn process_variation_shifts_arrivals_modestly() {
     let library = CellLibrary::nangate15_like();
     let netlist = Arc::new(ripple_carry_adder(8, &library).expect("adder"));
     let sim = characterized_sim(&netlist, &library);
-    let varied = Arc::new(apply_variation(sim.annotation(), &VariationConfig::sigma5(99)));
+    let varied = Arc::new(apply_variation(
+        sim.annotation(),
+        &VariationConfig::sigma5(99),
+    ));
     let varied_sim = TimeSimulator::new(
         Arc::clone(&netlist),
         varied,
@@ -216,7 +219,10 @@ fn process_variation_shifts_arrivals_modestly() {
     );
     let shift = (tb - ta).abs() / ta;
     assert!(shift > 0.0, "variation must move the arrival");
-    assert!(shift < 0.25, "5%-sigma variation shifted arrival by {shift}");
+    assert!(
+        shift < 0.25,
+        "5%-sigma variation shifted arrival by {shift}"
+    );
     // Logic is unaffected.
     for (x, y) in a.slots.iter().zip(&b.slots) {
         assert_eq!(x.responses, y.responses);
@@ -254,5 +260,8 @@ fn glitch_activity_is_observed() {
         .iter()
         .map(|s| s.activity.total_glitch_transitions)
         .sum();
-    assert!(glitches > 0, "expected glitch activity in a reconvergent circuit");
+    assert!(
+        glitches > 0,
+        "expected glitch activity in a reconvergent circuit"
+    );
 }
