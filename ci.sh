@@ -16,4 +16,10 @@ cargo build --release --offline
 echo "==> cargo test (workspace)"
 cargo test --workspace --offline -q
 
+echo "==> cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+
+echo "==> perf_report --smoke (schema gate)"
+cargo run --release --offline -p avfs-bench --bin perf_report -- --smoke
+
 echo "CI OK"

@@ -1,0 +1,200 @@
+//! perf_report — schema-versioned, machine-readable performance report.
+//!
+//! Where `table1` renders the paper's Table I for humans, this binary
+//! captures the same comparison — serial event-driven baseline versus the
+//! parallel polynomial engine on identical inputs — as a JSON document
+//! (`avfs-perf-report/1`, default `BENCH_core.json`) with the phase-level
+//! profiles ([`avfs_core::Profile`]) of both simulators embedded, so
+//! regressions in any single phase (delay kernel, waveform merge, barrier)
+//! are visible across commits, not just end-to-end runtimes.
+//!
+//! ```text
+//! cargo run --release -p avfs-bench --bin perf_report [-- --scale 0.01 --pairs 24]
+//! cargo run -p avfs-bench --bin perf_report -- --smoke   # CI: c17 only, validate, no file
+//! ```
+
+use avfs_atpg::timing_aware::{collect_pairs, generate_timing_aware};
+use avfs_atpg::{k_longest_paths, PatternSet};
+use avfs_bench::perf::{CircuitPerf, PerfReport};
+use avfs_bench::{characterize_used, Args};
+use avfs_circuits::{CircuitProfile, PAPER_PROFILES};
+use avfs_core::{slots, Engine, EventDrivenSimulator, SimOptions, SimRun};
+use avfs_delay::{CharacterizedLibrary, TimingAnnotation};
+use avfs_netlist::{CellLibrary, Netlist, NetlistStats};
+use std::sync::Arc;
+
+fn main() {
+    let args = Args::capture();
+    if args.flag("--help") {
+        println!("perf_report: machine-readable phase-level performance report");
+        println!("  --scale <f>       circuit scale factor (default 0.01 of paper node counts)");
+        println!("  --pairs <n>       cap on pattern pairs per design (default 24)");
+        println!("  --order <N>       polynomial order (default 3)");
+        println!("  --threads <n>     engine worker threads (default: all cores)");
+        println!("  --circuit <name>  limit to specific designs (repeatable)");
+        println!("  --out <path>      output path (default BENCH_core.json)");
+        println!("  --smoke           c17 only, validate the schema, write nothing");
+        return;
+    }
+    let scale: f64 = args.value("--scale").unwrap_or(0.01);
+    let pairs_cap: usize = args.value("--pairs").unwrap_or(24);
+    let order: usize = args.value("--order").unwrap_or(3);
+    let threads: usize = args
+        .value("--threads")
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let out: String = args
+        .value("--out")
+        .unwrap_or_else(|| "BENCH_core.json".into());
+    let library = CellLibrary::nangate15_like();
+
+    let mut report = PerfReport {
+        scale,
+        pairs_cap: pairs_cap as u64,
+        threads: threads as u64,
+        arch: std::env::consts::ARCH.to_owned(),
+        os: std::env::consts::OS.to_owned(),
+        circuits: Vec::new(),
+    };
+
+    if args.flag("--smoke") {
+        // CI gate: tiny circuit, full pipeline, schema validation, no file.
+        let c17 = Arc::new(avfs_circuits::c17(&library).expect("c17 builds"));
+        let chars = characterize_used(&[c17.as_ref()], &library, 2);
+        let annotation = Arc::new(chars.annotate(&c17).expect("annotation"));
+        let patterns = PatternSet::random(c17.inputs().len(), 4, 0xC17);
+        report.circuits.push(measure(
+            "c17",
+            &c17,
+            &annotation,
+            &chars,
+            &patterns,
+            threads,
+        ));
+        let text = report.to_json().to_string_pretty();
+        let back = PerfReport::validate(&text).expect("schema validates");
+        assert_eq!(back, report, "round trip is identity");
+        println!(
+            "perf_report --smoke: schema avfs-perf-report/1 OK ({} bytes)",
+            text.len()
+        );
+        return;
+    }
+
+    let wanted = args.values("--circuit");
+    let profiles: Vec<&CircuitProfile> = PAPER_PROFILES
+        .iter()
+        .filter(|p| wanted.is_empty() || wanted.iter().any(|w| w == p.name))
+        .collect();
+    eprintln!(
+        "perf_report: synthesizing {} designs at scale {scale} ...",
+        profiles.len()
+    );
+    let netlists: Vec<Arc<Netlist>> = profiles
+        .iter()
+        .map(|p| Arc::new(p.synthesize(scale, &library).expect("synthesis succeeds")))
+        .collect();
+    eprintln!("perf_report: characterizing used cells (order N={order}) ...");
+    let refs: Vec<&Netlist> = netlists.iter().map(Arc::as_ref).collect();
+    let chars = characterize_used(&refs, &library, order);
+
+    for (profile, netlist) in profiles.iter().zip(&netlists) {
+        let annotation = Arc::new(chars.annotate(netlist).expect("all cells characterized"));
+        let patterns = build_patterns(netlist, &annotation, profile, pairs_cap);
+        let entry = measure(
+            profile.name,
+            netlist,
+            &annotation,
+            &chars,
+            &patterns,
+            threads,
+        );
+        eprintln!(
+            "perf_report: {:<10} engine {:>8.1} MEPS, {:>6.1}x vs event-driven",
+            entry.name, entry.engine_meps, entry.speedup_vs_event_driven
+        );
+        report.circuits.push(entry);
+    }
+
+    let text = report.to_json().to_string_pretty();
+    PerfReport::validate(&text).expect("emitted report validates");
+    std::fs::write(&out, &text).expect("report written");
+    println!(
+        "perf_report: wrote {out} ({} circuits)",
+        report.circuits.len()
+    );
+}
+
+/// Runs the event-driven baseline and the profiled polynomial engine on
+/// identical inputs and folds both into one report entry.
+fn measure(
+    name: &str,
+    netlist: &Arc<Netlist>,
+    annotation: &Arc<TimingAnnotation>,
+    chars: &CharacterizedLibrary,
+    patterns: &PatternSet,
+    threads: usize,
+) -> CircuitPerf {
+    let stats = NetlistStats::of(netlist);
+    let slot_list = slots::at_voltage(patterns.len(), 0.8);
+
+    let ed = EventDrivenSimulator::new(Arc::clone(netlist), Arc::clone(annotation))
+        .expect("positive delays from characterization");
+    let ed_run = ed
+        .run_profiled(patterns, &slot_list, false, true)
+        .expect("baseline runs");
+
+    let engine = Engine::new(
+        Arc::clone(netlist),
+        Arc::clone(annotation),
+        Arc::new(chars.model().clone()),
+    )
+    .expect("engine builds");
+    let opts = SimOptions {
+        threads,
+        profiling: true,
+        ..SimOptions::default()
+    };
+    let run = engine
+        .run(patterns, &slot_list, &opts)
+        .expect("engine runs");
+    eprint!("{}", run.summary());
+
+    let take_profile = |r: &SimRun| r.profile.clone().expect("profiling was on");
+    CircuitPerf {
+        name: name.to_owned(),
+        nodes: stats.nodes as u64,
+        levels: stats.depth as u64,
+        pairs: patterns.len() as u64,
+        slots: slot_list.len() as u64,
+        ed_elapsed_ms: ed_run.elapsed.as_secs_f64() * 1e3,
+        ed_meps: ed_run.meps(),
+        engine_elapsed_ms: run.elapsed.as_secs_f64() * 1e3,
+        engine_meps: run.meps(),
+        speedup_vs_event_driven: ed_run.elapsed.as_secs_f64() / run.elapsed.as_secs_f64().max(1e-9),
+        engine_profile: take_profile(&run),
+        ed_profile: take_profile(&ed_run),
+    }
+}
+
+/// Same pattern recipe as `table1`: pseudo-random pairs topped off with
+/// timing-aware patterns on the longest paths (unless they are all false
+/// paths), so the two reports measure identical workloads.
+fn build_patterns(
+    netlist: &Arc<Netlist>,
+    annotation: &Arc<TimingAnnotation>,
+    profile: &CircuitProfile,
+    pairs_cap: usize,
+) -> PatternSet {
+    let width = netlist.inputs().len();
+    let count = profile.test_pairs.min(pairs_cap);
+    let seed = 0xA5F5_0000 ^ profile.nodes as u64;
+    let mut patterns = PatternSet::random(width, count, seed);
+    if !profile.false_paths_only {
+        let levels = avfs_netlist::Levelization::of(netlist).expect("acyclic");
+        let k = 200.min(count.max(8));
+        let paths = k_longest_paths(netlist, &levels, Some(annotation), k);
+        let outcomes = generate_timing_aware(netlist, &levels, &paths, 4, seed ^ 0xFF);
+        patterns.extend(collect_pairs(&outcomes).iter().cloned());
+    }
+    patterns
+}

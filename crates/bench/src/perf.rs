@@ -1,0 +1,258 @@
+//! The machine-readable performance report emitted by `perf_report` —
+//! the schema-versioned `BENCH_core.json` that gives the repo's perf
+//! trajectory its baseline points.
+//!
+//! The report is plain data with a JSON round-trip built on
+//! [`avfs_obs::Json`]; [`PerfReport::from_json`] doubles as the schema
+//! validator used by `perf_report --smoke` and CI.
+
+use avfs_core::Profile;
+use avfs_obs::{Json, JsonError};
+
+/// Schema identifier embedded in every report.
+pub const PERF_SCHEMA: &str = "avfs-perf-report/1";
+
+/// A full performance report: environment block plus one entry per
+/// benchmarked circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Circuit scale factor relative to the paper's node counts.
+    pub scale: f64,
+    /// Cap on pattern pairs per circuit.
+    pub pairs_cap: u64,
+    /// Engine worker threads.
+    pub threads: u64,
+    /// Target architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Target OS (`std::env::consts::OS`).
+    pub os: String,
+    /// Per-circuit measurements.
+    pub circuits: Vec<CircuitPerf>,
+}
+
+/// Measurements of one circuit: the event-driven baseline and the
+/// parallel polynomial engine on identical inputs, with phase-level
+/// profiles of both.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitPerf {
+    /// Circuit name (paper Table I designs, or `c17` in smoke mode).
+    pub name: String,
+    /// Netlist nodes.
+    pub nodes: u64,
+    /// Levelization depth.
+    pub levels: u64,
+    /// Pattern pairs simulated.
+    pub pairs: u64,
+    /// Simulation slots (pattern, operating point).
+    pub slots: u64,
+    /// Event-driven baseline wall-clock, milliseconds.
+    pub ed_elapsed_ms: f64,
+    /// Event-driven throughput, million node evaluations per second.
+    pub ed_meps: f64,
+    /// Parallel engine wall-clock, milliseconds.
+    pub engine_elapsed_ms: f64,
+    /// Parallel engine throughput, MEPS (the paper's Table I metric).
+    pub engine_meps: f64,
+    /// `ed_elapsed_ms / engine_elapsed_ms` — the Table I "X" column.
+    pub speedup_vs_event_driven: f64,
+    /// Phase-level profile of the engine run (`avfs-profile/1`).
+    pub engine_profile: Profile,
+    /// Phase-level profile of the baseline run (`avfs-profile/1`).
+    pub ed_profile: Profile,
+}
+
+impl PerfReport {
+    /// Serializes to the schema-versioned JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(PERF_SCHEMA.into())),
+            (
+                "environment".into(),
+                Json::Obj(vec![
+                    ("scale".into(), Json::Num(self.scale)),
+                    ("pairs_cap".into(), Json::Num(self.pairs_cap as f64)),
+                    ("threads".into(), Json::Num(self.threads as f64)),
+                    ("arch".into(), Json::Str(self.arch.clone())),
+                    ("os".into(), Json::Str(self.os.clone())),
+                ]),
+            ),
+            (
+                "circuits".into(),
+                Json::Arr(
+                    self.circuits
+                        .iter()
+                        .map(|c| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::Str(c.name.clone())),
+                                ("nodes".into(), Json::Num(c.nodes as f64)),
+                                ("levels".into(), Json::Num(c.levels as f64)),
+                                ("pairs".into(), Json::Num(c.pairs as f64)),
+                                ("slots".into(), Json::Num(c.slots as f64)),
+                                ("ed_elapsed_ms".into(), Json::Num(c.ed_elapsed_ms)),
+                                ("ed_meps".into(), Json::Num(c.ed_meps)),
+                                ("engine_elapsed_ms".into(), Json::Num(c.engine_elapsed_ms)),
+                                ("engine_meps".into(), Json::Num(c.engine_meps)),
+                                (
+                                    "speedup_vs_event_driven".into(),
+                                    Json::Num(c.speedup_vs_event_driven),
+                                ),
+                                ("engine_profile".into(), c.engine_profile.to_json()),
+                                ("ed_profile".into(), c.ed_profile.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Deserializes (and thereby validates) a report document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] describing the first missing or mistyped
+    /// field, or an unsupported schema tag.
+    pub fn from_json(value: &Json) -> Result<PerfReport, JsonError> {
+        let fail = |message: &str| JsonError {
+            offset: 0,
+            message: message.to_owned(),
+        };
+        let schema = value
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail("missing schema tag"))?;
+        if schema != PERF_SCHEMA {
+            return Err(fail(&format!("unsupported schema '{schema}'")));
+        }
+        let env = value
+            .get("environment")
+            .ok_or_else(|| fail("missing environment block"))?;
+        let req_f64 = |obj: &Json, key: &str| {
+            obj.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| fail(&format!("missing/invalid field '{key}'")))
+        };
+        let req_u64 = |obj: &Json, key: &str| {
+            obj.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| fail(&format!("missing/invalid field '{key}'")))
+        };
+        let req_str = |obj: &Json, key: &str| {
+            obj.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| fail(&format!("missing/invalid field '{key}'")))
+        };
+        let mut circuits = Vec::new();
+        for c in value
+            .get("circuits")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| fail("missing circuits array"))?
+        {
+            circuits.push(CircuitPerf {
+                name: req_str(c, "name")?,
+                nodes: req_u64(c, "nodes")?,
+                levels: req_u64(c, "levels")?,
+                pairs: req_u64(c, "pairs")?,
+                slots: req_u64(c, "slots")?,
+                ed_elapsed_ms: req_f64(c, "ed_elapsed_ms")?,
+                ed_meps: req_f64(c, "ed_meps")?,
+                engine_elapsed_ms: req_f64(c, "engine_elapsed_ms")?,
+                engine_meps: req_f64(c, "engine_meps")?,
+                speedup_vs_event_driven: req_f64(c, "speedup_vs_event_driven")?,
+                engine_profile: Profile::from_json(
+                    c.get("engine_profile")
+                        .ok_or_else(|| fail("missing engine_profile"))?,
+                )?,
+                ed_profile: Profile::from_json(
+                    c.get("ed_profile")
+                        .ok_or_else(|| fail("missing ed_profile"))?,
+                )?,
+            });
+        }
+        Ok(PerfReport {
+            scale: req_f64(env, "scale")?,
+            pairs_cap: req_u64(env, "pairs_cap")?,
+            threads: req_u64(env, "threads")?,
+            arch: req_str(env, "arch")?,
+            os: req_str(env, "os")?,
+            circuits,
+        })
+    }
+
+    /// Parses and validates a serialized report, returning a short
+    /// description of the first problem found.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse or schema error rendered as a string.
+    pub fn validate(text: &str) -> Result<PerfReport, String> {
+        let value = Json::parse(text).map_err(|e| e.to_string())?;
+        PerfReport::from_json(&value).map_err(|e| e.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avfs_core::Metrics;
+
+    fn sample() -> PerfReport {
+        let m = Metrics::new("engine");
+        m.time("engine/run", || ());
+        m.counter("engine.kernel_evals").add(99);
+        let engine_profile = m.snapshot();
+        let e = Metrics::new("event_driven");
+        e.time("ed/simulate", || ());
+        e.set_gauge("ed.events_per_sec", 1.25e6);
+        let ed_profile = e.snapshot();
+        PerfReport {
+            scale: 0.01,
+            pairs_cap: 24,
+            threads: 8,
+            arch: "x86_64".into(),
+            os: "linux".into(),
+            circuits: vec![CircuitPerf {
+                name: "c17".into(),
+                nodes: 17,
+                levels: 4,
+                pairs: 8,
+                slots: 8,
+                ed_elapsed_ms: 1.5,
+                ed_meps: 0.09,
+                engine_elapsed_ms: 0.5,
+                engine_meps: 0.27,
+                speedup_vs_event_driven: 3.0,
+                engine_profile,
+                ed_profile,
+            }],
+        }
+    }
+
+    #[test]
+    fn schema_round_trip_is_identity() {
+        let report = sample();
+        let text = report.to_json().to_string_pretty();
+        let back = PerfReport::validate(&text).expect("valid document");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn validate_rejects_corrupt_documents() {
+        assert!(PerfReport::validate("not json").is_err());
+        assert!(PerfReport::validate("{}").is_err());
+        let wrong_schema = r#"{"schema": "avfs-perf-report/999", "circuits": []}"#;
+        assert!(PerfReport::validate(wrong_schema).is_err());
+        // Drop a required field and the validator names it.
+        let mut v = sample().to_json();
+        if let Json::Obj(fields) = &mut v {
+            if let Json::Arr(circuits) = &mut fields[2].1 {
+                if let Json::Obj(c) = &mut circuits[0] {
+                    c.retain(|(k, _)| k != "engine_meps");
+                }
+            }
+        }
+        let err = PerfReport::validate(&v.to_string_pretty()).unwrap_err();
+        assert!(err.contains("engine_meps"), "{err}");
+    }
+}

@@ -11,8 +11,7 @@
 //!   width, depth, fan-in mix) at any scale factor,
 //! * [`generate`] — structured generators (ripple-carry adders, random
 //!   levelized DAGs) used by tests and examples,
-//! * the embedded ISCAS'85 [`C17_BENCH`](avfs_netlist::bench::C17_BENCH)
-//!   via [`c17`].
+//! * the embedded ISCAS'85 [`C17_BENCH`] text via [`c17`].
 
 pub mod generate;
 pub mod profiles;

@@ -25,6 +25,7 @@
 //! [`RunDiagnostics`] instead of poisoning the batch. Only when *every*
 //! slot fails does a run return an error.
 
+use crate::phases;
 use crate::results::{RunDiagnostics, SimRun, SlotResult, SlotStatus};
 use crate::slots::SlotSpec;
 use crate::SimError;
@@ -33,6 +34,7 @@ use avfs_delay::model::DelayModel;
 use avfs_delay::op::NormalizedPoint;
 use avfs_delay::TimingAnnotation;
 use avfs_netlist::{Levelization, Netlist, NodeId, NodeKind};
+use avfs_obs::{time_option, Metrics};
 use avfs_waveform::{
     evaluate_gate_bounded_scratch, CapacityOverflow, GateScratch, PinDelays, SwitchingActivity,
     Waveform, WaveformArena, WaveformStats, WaveformView,
@@ -71,6 +73,12 @@ pub struct SimOptions {
     /// multiplies the slot's capacity by 4. Slots still overflowing after
     /// the last round are reported as [`SlotStatus::Overflowed`].
     pub overflow_retries: u32,
+    /// Collect a phase-level performance profile into
+    /// [`SimRun::profile`]. All timing happens on the coordinator thread,
+    /// so simulation results are bit-for-bit identical with profiling on
+    /// or off; when off (the default) the only cost is an `Option`
+    /// check per phase boundary.
+    pub profiling: bool,
 }
 
 impl Default for SimOptions {
@@ -82,6 +90,7 @@ impl Default for SimOptions {
             keep_waveforms: false,
             arena_capacity: 0,
             overflow_retries: 4,
+            profiling: false,
         }
     }
 }
@@ -343,6 +352,13 @@ impl Engine {
         } else {
             options.arena_capacity.max(1)
         };
+        // Profiling is strictly observational: all instruments live in a
+        // per-run registry touched only by this coordinator thread, so the
+        // deterministic schedule (and therefore every waveform) is
+        // identical whether the registry exists or not.
+        let metrics = options.profiling.then(|| Metrics::new("engine"));
+        let metrics = metrics.as_ref();
+        let run_span = metrics.map(|m| m.span(phases::ENGINE_RUN));
         let start = Instant::now();
         let mut diag = RunDiagnostics {
             clamped_loads: self.clamped_loads,
@@ -364,6 +380,10 @@ impl Engine {
             let mut overflowed: Vec<usize> = Vec::new();
             for chunk in pending.chunks(batch_slots) {
                 slot_sims += chunk.len() as u64;
+                if let Some(m) = metrics {
+                    m.add(phases::ENGINE_BATCHES, 1);
+                    m.record(phases::ENGINE_BATCH_SLOTS, chunk.len() as u64);
+                }
                 self.run_batch(
                     patterns,
                     work,
@@ -374,7 +394,14 @@ impl Engine {
                     &mut results,
                     &mut overflowed,
                     &mut diag,
+                    metrics,
                 )?;
+                if let Some(m) = metrics {
+                    m.record(
+                        phases::ENGINE_ARENA_OCCUPANCY,
+                        arena.peak_occupancy() as u64,
+                    );
+                }
             }
             diag.peak_arena_occupancy = diag.peak_arena_occupancy.max(arena.peak_occupancy());
             for &s in &overflowed {
@@ -399,6 +426,9 @@ impl Engine {
                 break;
             }
             round += 1;
+            if let Some(m) = metrics {
+                m.add(phases::ENGINE_RETRY_ROUNDS, 1);
+            }
             diag.slot_retries += overflowed.len() as u64;
             cap = cap.saturating_mul(CAPACITY_GROWTH);
             pending = overflowed;
@@ -413,11 +443,16 @@ impl Engine {
         if slots.iter().all(|s| !s.status.is_completed()) {
             return Err(SimError::AllSlotsFailed { slots: slots.len() });
         }
+        let elapsed = start.elapsed();
+        if let Some(span) = run_span {
+            span.finish();
+        }
         Ok(SimRun {
             slots,
-            elapsed: start.elapsed(),
+            elapsed,
             node_evaluations: (nodes as u64) * slot_sims,
             diagnostics: diag,
+            profile: metrics.map(Metrics::snapshot),
         })
     }
 
@@ -438,6 +473,7 @@ impl Engine {
         results: &mut [Option<SlotResult>],
         overflowed: &mut Vec<usize>,
         diag: &mut RunDiagnostics,
+        metrics: Option<&Metrics>,
     ) -> Result<(), SimError> {
         let nodes = self.netlist.num_nodes();
         arena.reset();
@@ -448,19 +484,21 @@ impl Engine {
         let mut dead: Vec<Option<Dead>> = vec![None; chunk.len()];
 
         // Level 0: stimuli waveforms.
-        for (si, &slot) in chunk.iter().enumerate() {
-            let pair = &patterns.pairs()[work[slot].pattern];
-            for (k, &pi) in self.netlist.inputs().iter().enumerate() {
-                let wf = Waveform::from_pattern(
-                    pair.launch.bit(k),
-                    pair.capture.bit(k),
-                    options.launch_time_ps,
-                );
-                if arena.write(si * nodes + pi.index(), &wf).is_err() {
-                    dead[si] = Some(Dead::Overflow);
+        time_option(metrics, phases::ENGINE_STIMULI, || {
+            for (si, &slot) in chunk.iter().enumerate() {
+                let pair = &patterns.pairs()[work[slot].pattern];
+                for (k, &pi) in self.netlist.inputs().iter().enumerate() {
+                    let wf = Waveform::from_pattern(
+                        pair.launch.bit(k),
+                        pair.capture.bit(k),
+                        options.launch_time_ps,
+                    );
+                    if arena.write(si * nodes + pi.index(), &wf).is_err() {
+                        dead[si] = Some(Dead::Overflow);
+                    }
                 }
             }
-        }
+        });
 
         // Distinct voltage groups within the batch: slots at the same
         // operating point share identical delay kernels ("the delay
@@ -495,6 +533,9 @@ impl Engine {
             if tasks == 0 {
                 continue;
             }
+            if let Some(m) = metrics {
+                m.add(phases::ENGINE_LEVELS, 1);
+            }
 
             // Initialization phase (Sec. IV.A): modified pin delays for
             // every gate of this level, per voltage group. A panic inside a
@@ -508,6 +549,8 @@ impl Engine {
                     offset += self.netlist.node(node_id).fanin().len();
                 }
             }
+            let kernel_span = metrics.map(|m| m.span(phases::ENGINE_DELAY_KERNEL));
+            let mut kernel_evals = 0u64;
             for (g, buf) in level_delays.iter_mut().enumerate() {
                 buf.clear();
                 let group_live = group_of_slot
@@ -550,7 +593,11 @@ impl Engine {
                     Ok(fb)
                 }));
                 match outcome {
-                    Ok(Ok(fb)) => fallbacks += fb,
+                    Ok(Ok(fb)) => {
+                        fallbacks += fb;
+                        // Two kernel evaluations (rise + fall) per pin.
+                        kernel_evals += 2 * buf.len() as u64;
+                    }
                     Ok(Err(e)) => return Err(e),
                     Err(_) => {
                         buf.clear();
@@ -561,6 +608,13 @@ impl Engine {
                         }
                     }
                 }
+            }
+
+            if let Some(m) = metrics {
+                m.add(phases::ENGINE_KERNEL_EVALS, kernel_evals);
+            }
+            if let Some(span) = kernel_span {
+                span.finish();
             }
 
             let workers = options.threads.clamp(1, tasks);
@@ -601,6 +655,7 @@ impl Engine {
                 }
                 out
             };
+            let merge_span = metrics.map(|m| m.span(phases::ENGINE_WAVEFORM_MERGE));
             let writes: Vec<Vec<TaskOut>> = if workers == 1 {
                 // Same collect-then-write discipline as the parallel path:
                 // reads of previous levels and writes of this level are
@@ -626,33 +681,39 @@ impl Engine {
                         .collect()
                 })
             };
+            if let Some(span) = merge_span {
+                span.finish();
+            }
             // The barrier: apply surviving writes, then liveness updates.
-            for w in writes {
-                for out in w {
-                    match out {
-                        TaskOut::Write(idx, wf) => {
-                            arena
-                                .write(idx, &wf)
-                                .expect("bounded evaluation fits the arena");
-                        }
-                        TaskOut::Overflow(si) => {
-                            if dead[si].is_none() {
-                                dead[si] = Some(Dead::Overflow);
+            time_option(metrics, phases::ENGINE_BARRIER, || {
+                for w in writes {
+                    for out in w {
+                        match out {
+                            TaskOut::Write(idx, wf) => {
+                                arena
+                                    .write(idx, &wf)
+                                    .expect("bounded evaluation fits the arena");
                             }
-                        }
-                        TaskOut::Panic(si) => {
-                            if dead[si].is_none() {
-                                dead[si] = Some(Dead::Panic);
+                            TaskOut::Overflow(si) => {
+                                if dead[si].is_none() {
+                                    dead[si] = Some(Dead::Overflow);
+                                }
+                            }
+                            TaskOut::Panic(si) => {
+                                if dead[si].is_none() {
+                                    dead[si] = Some(Dead::Panic);
+                                }
                             }
                         }
                     }
                 }
-            }
+            });
         }
         diag.kernel_fallbacks += fallbacks;
 
         // Waveform analysis (Fig. 2, step 4) for surviving slots;
         // quarantine verdicts for the rest.
+        let analysis_span = metrics.map(|m| m.span(phases::ENGINE_ANALYSIS));
         for (si, &slot) in chunk.iter().enumerate() {
             let spec = SlotSpec {
                 pattern: work[slot].pattern,
@@ -691,6 +752,9 @@ impl Engine {
                     });
                 }
             }
+        }
+        if let Some(span) = analysis_span {
+            span.finish();
         }
         Ok(())
     }

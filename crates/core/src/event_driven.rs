@@ -15,12 +15,14 @@
 //! per operating point, which is precisely the scalability wall the paper
 //! attacks.
 
+use crate::phases;
 use crate::results::{RunDiagnostics, SimRun, SlotResult, SlotStatus};
 use crate::slots::SlotSpec;
 use crate::SimError;
 use avfs_atpg::{zero_delay_values, PatternSet};
 use avfs_delay::TimingAnnotation;
 use avfs_netlist::{Levelization, Netlist, NodeId, NodeKind};
+use avfs_obs::{Histogram, Metrics};
 use avfs_waveform::{SwitchingActivity, Waveform, WaveformStats};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -109,6 +111,27 @@ impl EventDrivenSimulator {
         slots: &[SlotSpec],
         keep_waveforms: bool,
     ) -> Result<SimRun, SimError> {
+        self.run_profiled(patterns, slots, keep_waveforms, false)
+    }
+
+    /// Like [`EventDrivenSimulator::run`], optionally collecting a
+    /// performance profile into [`SimRun::profile`]: total simulation time
+    /// ([`phases::ED_SIMULATE`]), committed events
+    /// ([`phases::ED_EVENTS`]), a queue-depth histogram sampled once per
+    /// simulation time step ([`phases::ED_QUEUE_DEPTH`]) and an events/s
+    /// gauge ([`phases::ED_EVENTS_PER_SEC`]). Simulation results are
+    /// bit-for-bit identical with profiling on or off.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same validation errors as [`EventDrivenSimulator::run`].
+    pub fn run_profiled(
+        &self,
+        patterns: &PatternSet,
+        slots: &[SlotSpec],
+        keep_waveforms: bool,
+        profiling: bool,
+    ) -> Result<SimRun, SimError> {
         if slots.is_empty() {
             return Err(SimError::EmptySlots);
         }
@@ -121,6 +144,10 @@ impl EventDrivenSimulator {
                 });
             }
         }
+        let metrics = profiling.then(|| Metrics::new("event_driven"));
+        let mut depth_hist = profiling.then(Histogram::new);
+        let mut total_events = 0u64;
+        let simulate_span = metrics.as_ref().map(|m| m.span(phases::ED_SIMULATE));
         let start = Instant::now();
         let mut results = Vec::with_capacity(slots.len());
         for spec in slots {
@@ -131,7 +158,8 @@ impl EventDrivenSimulator {
                     index: spec.pattern,
                     available: patterns.len(),
                 })?;
-            let outcome = self.simulate_pair(pair, 0.0);
+            let outcome = self.simulate_pair_sampled(pair, 0.0, depth_hist.as_mut());
+            total_events += outcome.events;
             let mut responses = Vec::with_capacity(self.netlist.outputs().len());
             let mut latest: Option<f64> = None;
             for &po in self.netlist.outputs() {
@@ -152,11 +180,26 @@ impl EventDrivenSimulator {
                 waveforms: keep_waveforms.then_some(outcome.waveforms),
             });
         }
+        let elapsed = start.elapsed();
+        if let Some(span) = simulate_span {
+            span.finish();
+        }
+        if let Some(m) = &metrics {
+            m.add(phases::ED_EVENTS, total_events);
+            if let Some(h) = &depth_hist {
+                m.merge_histogram(phases::ED_QUEUE_DEPTH, h);
+            }
+            let secs = elapsed.as_secs_f64();
+            if secs > 0.0 {
+                m.set_gauge(phases::ED_EVENTS_PER_SEC, total_events as f64 / secs);
+            }
+        }
         Ok(SimRun {
             slots: results,
-            elapsed: start.elapsed(),
+            elapsed,
             node_evaluations: (self.netlist.num_nodes() as u64) * (slots.len() as u64),
             diagnostics: RunDiagnostics::default(),
+            profile: metrics.as_ref().map(Metrics::snapshot),
         })
     }
 
@@ -165,6 +208,19 @@ impl EventDrivenSimulator {
         &self,
         pair: &avfs_atpg::pattern::PatternPair,
         launch_time_ps: f64,
+    ) -> EventDrivenOutcome {
+        self.simulate_pair_sampled(pair, launch_time_ps, None)
+    }
+
+    /// [`EventDrivenSimulator::simulate_pair`] with optional queue-depth
+    /// sampling: when `depth` is present, the pending-heap size (alive and
+    /// lazily cancelled entries alike) is recorded once per simulation
+    /// time step. Sampling never changes the schedule.
+    fn simulate_pair_sampled(
+        &self,
+        pair: &avfs_atpg::pattern::PatternPair,
+        launch_time_ps: f64,
+        mut depth: Option<&mut Histogram>,
     ) -> EventDrivenOutcome {
         let n = self.netlist.num_nodes();
         // Settle the launch vector: initial values of all nets.
@@ -231,6 +287,9 @@ impl EventDrivenSimulator {
         let mut committed: Vec<usize> = Vec::new();
         let mut eval_buf: Vec<bool> = Vec::new();
         while let Some(&Reverse((Time(t), _, _))) = heap.peek() {
+            if let Some(h) = depth.as_deref_mut() {
+                h.record(heap.len() as u64);
+            }
             // Phase 1: commit every alive event at exactly time t.
             committed.clear();
             while let Some(&Reverse((Time(t2), node, id))) = heap.peek() {

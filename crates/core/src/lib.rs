@@ -34,12 +34,16 @@ pub mod delay_fault;
 pub mod domains;
 pub mod engine;
 pub mod event_driven;
+pub mod phases;
 pub mod power;
 pub mod results;
 pub mod slots;
 pub mod sta;
 
 pub use api::TimeSimulator;
+/// Re-exported observability types ([`SimRun::profile`] is an
+/// [`avfs_obs::Profile`]).
+pub use avfs_obs::{Metrics, PhaseStats, Profile};
 pub use delay_fault::{DelayFaultSimulator, FaultVerdict, SmallDelayFault};
 pub use domains::{DomainSlotSpec, VoltageDomains};
 pub use engine::{Engine, SimOptions};

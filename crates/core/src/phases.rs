@@ -1,0 +1,77 @@
+//! Canonical instrument names recorded by the simulators when
+//! [`SimOptions::profiling`](crate::SimOptions::profiling) is enabled.
+//!
+//! All phase durations are wall-clock nanoseconds measured on the
+//! coordinator thread (workers are never instrumented, so profiling
+//! cannot perturb the deterministic schedule). Tests and report tooling
+//! should reference these constants rather than repeating string
+//! literals; [`ENGINE_PHASES`] lists every phase a completed engine run
+//! is guaranteed to report.
+
+/// Whole engine run: batching, retry rounds, everything below.
+pub const ENGINE_RUN: &str = "engine/run";
+
+/// Level 0 of each batch: expanding pattern pairs into stimuli waveforms.
+pub const ENGINE_STIMULI: &str = "engine/stimuli";
+
+/// Per-(level, voltage group) delay-kernel evaluation — the
+/// initialization phase of the online delay calculation (paper Sec.
+/// IV.A). One call per simulated level.
+pub const ENGINE_DELAY_KERNEL: &str = "engine/delay_kernel";
+
+/// Per-level gate evaluation: the waveform-processing loop across all
+/// (slot, gate) tasks of the level, including the fork-join itself. One
+/// call per simulated level.
+pub const ENGINE_WAVEFORM_MERGE: &str = "engine/waveform_merge";
+
+/// Per-level barrier: applying the workers' collected waveform writes
+/// and liveness updates after the join. One call per simulated level.
+pub const ENGINE_BARRIER: &str = "engine/barrier";
+
+/// Per-batch waveform analysis (Fig. 2 step 4): output responses, latest
+/// transition arrival, switching activity.
+pub const ENGINE_ANALYSIS: &str = "engine/analysis";
+
+/// Every phase a completed profiled engine run reports (each with at
+/// least one call and nonzero total time).
+pub const ENGINE_PHASES: [&str; 6] = [
+    ENGINE_RUN,
+    ENGINE_STIMULI,
+    ENGINE_DELAY_KERNEL,
+    ENGINE_WAVEFORM_MERGE,
+    ENGINE_BARRIER,
+    ENGINE_ANALYSIS,
+];
+
+/// Delay-kernel factor evaluations (two per annotated pin per live
+/// voltage group per level: rise and fall).
+pub const ENGINE_KERNEL_EVALS: &str = "engine.kernel_evals";
+
+/// Circuit levels processed, summed over batches and retry rounds.
+pub const ENGINE_LEVELS: &str = "engine.levels";
+
+/// Slot batches launched (the analogue of GPU kernel launches).
+pub const ENGINE_BATCHES: &str = "engine.batches";
+
+/// Quarantine-and-retry rounds after round 0.
+pub const ENGINE_RETRY_ROUNDS: &str = "engine.retry_rounds";
+
+/// Histogram of per-batch peak `(slot, net)` arena occupancy
+/// (transitions) — headroom against the configured capacity.
+pub const ENGINE_ARENA_OCCUPANCY: &str = "engine.arena_occupancy";
+
+/// Histogram of slots per launched batch.
+pub const ENGINE_BATCH_SLOTS: &str = "engine.batch_slots";
+
+/// Whole event-driven baseline run (all slots, serial).
+pub const ED_SIMULATE: &str = "ed/simulate";
+
+/// Committed events across all event-driven slots.
+pub const ED_EVENTS: &str = "ed.events";
+
+/// Histogram of event-queue depth, sampled once per simulation time step
+/// (pending heap entries, cancelled ones included).
+pub const ED_QUEUE_DEPTH: &str = "ed.queue_depth";
+
+/// Committed events per second of event-driven simulation time.
+pub const ED_EVENTS_PER_SEC: &str = "ed.events_per_sec";

@@ -1,7 +1,9 @@
 //! Simulation results, per-slot fault status and throughput accounting.
 
 use crate::slots::SlotSpec;
+use avfs_obs::Profile;
 use avfs_waveform::{SwitchingActivity, Waveform};
+use std::fmt;
 use std::time::Duration;
 
 /// Completion status of one slot — the fault-isolation verdict.
@@ -74,6 +76,30 @@ pub struct RunDiagnostics {
     pub peak_arena_occupancy: usize,
 }
 
+impl fmt::Display for RunDiagnostics {
+    /// One-line-per-counter human-readable summary — the rendering shared
+    /// by `perf_report` and the examples.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "diagnostics:")?;
+        writeln!(
+            f,
+            "  overflowed slots : {} (retries: {})",
+            self.overflowed_slots.len(),
+            self.slot_retries
+        )?;
+        writeln!(f, "  panicked slots   : {}", self.panicked_slots.len())?;
+        writeln!(f, "  failed slots     : {}", self.failed_slots.len())?;
+        writeln!(f, "  clamped loads    : {}", self.clamped_loads)?;
+        writeln!(f, "  kernel fallbacks : {}", self.kernel_fallbacks)?;
+        writeln!(
+            f,
+            "  peak arena use   : {} transitions/net",
+            self.peak_arena_occupancy
+        )?;
+        Ok(())
+    }
+}
+
 /// The outcome of one slot (one stimulus under one operating point).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SlotResult {
@@ -122,6 +148,12 @@ pub struct SimRun {
     /// Robustness diagnostics: overflows, retries, contained panics,
     /// clamped inputs and arena headroom.
     pub diagnostics: RunDiagnostics,
+    /// Phase-level performance profile — `Some` only when the run was
+    /// launched with
+    /// [`SimOptions::profiling`](crate::engine::SimOptions::profiling).
+    /// Phase names are the constants of [`crate::phases`]; durations are
+    /// nanoseconds.
+    pub profile: Option<Profile>,
 }
 
 impl SimRun {
@@ -160,6 +192,24 @@ impl SimRun {
     pub fn is_complete(&self) -> bool {
         self.diagnostics.failed_slots.is_empty()
     }
+
+    /// Human-readable run summary: throughput, diagnostics, and — when
+    /// profiling was on — the phase-level profile. Used by `perf_report`
+    /// and the examples.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "{} slots in {:.3} ms — {:.2} MEPS ({} node evaluations)\n",
+            self.slots.len(),
+            self.elapsed.as_secs_f64() * 1e3,
+            self.meps(),
+            self.node_evaluations,
+        );
+        out.push_str(&self.diagnostics.to_string());
+        if let Some(profile) = &self.profile {
+            out.push_str(&profile.to_string());
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -187,6 +237,7 @@ mod tests {
             elapsed: Duration::from_millis(100),
             node_evaluations: 5_000_000,
             diagnostics: RunDiagnostics::default(),
+            profile: None,
         };
         assert!((run.meps() - 50.0).abs() < 1e-9);
         let zero = SimRun {
@@ -194,6 +245,7 @@ mod tests {
             elapsed: Duration::ZERO,
             node_evaluations: 1,
             diagnostics: RunDiagnostics::default(),
+            profile: None,
         };
         assert_eq!(zero.meps(), 0.0);
     }
@@ -210,6 +262,7 @@ mod tests {
             elapsed: Duration::from_secs(1),
             node_evaluations: 1,
             diagnostics: RunDiagnostics::default(),
+            profile: None,
         };
         assert_eq!(run.latest_arrival_at(0.8), Some(250.0));
         assert_eq!(run.latest_arrival_at(1.1), Some(80.0));
@@ -228,6 +281,7 @@ mod tests {
             elapsed: Duration::ZERO,
             node_evaluations: 0,
             diagnostics: RunDiagnostics::default(),
+            profile: None,
         };
         assert!(clean.is_complete());
         let failed = SimRun {

@@ -17,8 +17,9 @@ use crate::table::CoefficientTable;
 use crate::DelayError;
 use avfs_netlist::library::{CellId, CellLibrary, Polarity};
 use avfs_netlist::{Netlist, NodeKind};
-use avfs_regression::{fit_least_squares, DataGrid, ErrorStats, PolyBasis};
-use avfs_spice::{sweep::sweep_pin, SweepConfig, Technology};
+use avfs_obs::Metrics;
+use avfs_regression::{fit_least_squares_metered, DataGrid, ErrorStats, PolyBasis};
+use avfs_spice::{sweep::sweep_pin_metered, SweepConfig, Technology};
 use avfs_waveform::PinDelays;
 use std::time::Instant;
 
@@ -434,12 +435,30 @@ pub fn fit_deviation_grid(
     refine_factor: usize,
     probe_grid: usize,
 ) -> Result<GridFit, DelayError> {
+    fit_deviation_grid_metered(grid, order, refine_factor, probe_grid, None)
+}
+
+/// [`fit_deviation_grid`] with optional instrumentation: the regression
+/// step records `"regression/fit"` timing, the `"regression.fits"`
+/// counter and the `"regression.fit_ns"` histogram (see
+/// [`avfs_regression::fit_least_squares_metered`]).
+///
+/// # Errors
+///
+/// Identical to [`fit_deviation_grid`].
+pub fn fit_deviation_grid_metered(
+    grid: &DataGrid,
+    order: usize,
+    refine_factor: usize,
+    probe_grid: usize,
+    metrics: Option<&Metrics>,
+) -> Result<GridFit, DelayError> {
     let refined = grid.refine(refine_factor.max(1));
     let basis = PolyBasis::new(order);
     let samples: Vec<(f64, f64)> = refined.samples().map(|(v, c, _)| (v, c)).collect();
     let targets: Vec<f64> = refined.samples().map(|(_, _, d)| d).collect();
     let t0 = Instant::now();
-    let beta = fit_least_squares(&basis, &samples, &targets).map_err(|e| {
+    let beta = fit_least_squares_metered(&basis, &samples, &targets, metrics).map_err(|e| {
         DelayError::Characterization {
             cell: String::new(),
             message: e.to_string(),
@@ -477,6 +496,26 @@ pub fn characterize_library(
     tech: &Technology,
     config: &CharacterizationConfig,
     cells: Option<&[CellId]>,
+) -> Result<CharacterizedLibrary, DelayError> {
+    characterize_library_metered(library, tech, config, cells, None)
+}
+
+/// [`characterize_library`] with optional instrumentation: each per-cell
+/// flow records `"delay/characterize"` timing, the sweeps record
+/// `"spice/sweep"` / `"spice.transient_points"` and the fits record
+/// `"regression/fit"` / `"regression.fits"` / `"regression.fit_ns"` — the
+/// measured counterpart of the paper's 1–40 ms per-fit runtime claim
+/// (Sec. V.A).
+///
+/// # Errors
+///
+/// Identical to [`characterize_library`].
+pub fn characterize_library_metered(
+    library: &CellLibrary,
+    tech: &Technology,
+    config: &CharacterizationConfig,
+    cells: Option<&[CellId]>,
+    metrics: Option<&Metrics>,
 ) -> Result<CharacterizedLibrary, DelayError> {
     let (v_min, v_max) = (
         config.sweep.voltages[0],
@@ -520,6 +559,7 @@ pub fn characterize_library(
         .expect("validated: nominal on grid");
 
     for &cell_id in selected {
+        let cell_span = metrics.map(|m| m.span("delay/characterize"));
         let cell = library.cell(cell_id);
         let mut surfaces: Vec<[SurfacePolynomial; 2]> = Vec::with_capacity(cell.num_inputs());
         let mut lut_grids: Vec<[DataGrid; 2]> = Vec::with_capacity(cell.num_inputs());
@@ -539,7 +579,7 @@ pub fn characterize_library(
                 };
                 // Step A: transient sweep.
                 let t0 = Instant::now();
-                let surface = sweep_pin(tech, cell, pin, polarity, &config.sweep)
+                let surface = sweep_pin_metered(tech, cell, pin, polarity, &config.sweep, metrics)
                     .map_err(|e| wrap(e.to_string()))?;
                 sweep_millis += t0.elapsed().as_secs_f64() * 1e3;
 
@@ -553,11 +593,12 @@ pub fn characterize_library(
                     DelayError::Characterization { message, .. } => wrap(message),
                     other => other,
                 })?;
-                let fit = fit_deviation_grid(
+                let fit = fit_deviation_grid_metered(
                     &grid,
                     config.order,
                     config.refine_factor,
                     config.probe_grid,
+                    metrics,
                 )
                 .map_err(|e| match e {
                     DelayError::Characterization { message, .. } => wrap(message),
@@ -593,6 +634,9 @@ pub fn characterize_library(
             fit_millis,
             sweep_millis,
         });
+        if let Some(span) = cell_span {
+            span.finish();
+        }
     }
 
     Ok(CharacterizedLibrary {

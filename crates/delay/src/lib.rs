@@ -11,7 +11,7 @@
 //!   transition polarity), "a constant double-precision floating-point
 //!   array structure … indexed by the cell type, input pin and transition
 //!   polarity" (Sec. IV),
-//! * [`model`] — the [`DelayModel`](model::DelayModel) abstraction with the
+//! * [`model`] — the [`DelayModel`] abstraction with the
 //!   polynomial model plus the baselines the paper discusses: static
 //!   delays, look-up-table interpolation, and the analytical α-power law,
 //! * [`annotation`] — per-instance nominal pin-to-pin delays (the SDF view
@@ -41,7 +41,10 @@ pub mod table;
 pub mod variation;
 
 pub use annotation::TimingAnnotation;
-pub use characterize::{characterize_library, CharacterizationReport, CharacterizedLibrary};
+pub use characterize::{
+    characterize_library, characterize_library_metered, CharacterizationReport,
+    CharacterizedLibrary,
+};
 pub use model::{AlphaPowerModel, DelayModel, LutModel, PolynomialModel, StaticModel};
 pub use op::{NormalizedPoint, OperatingPoint, ParameterSpace};
 pub use polynomial::SurfacePolynomial;

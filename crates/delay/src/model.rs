@@ -23,6 +23,7 @@ use crate::op::{NormalizedPoint, ParameterSpace};
 use crate::table::CoefficientTable;
 use crate::DelayError;
 use avfs_netlist::library::{CellId, Polarity};
+use avfs_obs::Counter;
 use avfs_regression::DataGrid;
 use std::fmt;
 
@@ -90,12 +91,36 @@ impl DelayModel for StaticModel {
 pub struct PolynomialModel {
     table: CoefficientTable,
     space: ParameterSpace,
+    /// Optional kernel-evaluation counter (see
+    /// [`PolynomialModel::metered`]); `None` costs one branch per call.
+    evals: Option<Counter>,
 }
 
 impl PolynomialModel {
     /// Wraps a coefficient table.
     pub fn new(table: CoefficientTable, space: ParameterSpace) -> PolynomialModel {
-        PolynomialModel { table, space }
+        PolynomialModel {
+            table,
+            space,
+            evals: None,
+        }
+    }
+
+    /// Like [`PolynomialModel::new`], but every successful
+    /// [`DelayModel::factor`] call additionally bumps `evals` — a
+    /// lock-free [`Counter`] handle, typically
+    /// `metrics.counter("delay.kernel_evals")`, shared with the profile
+    /// that reports it.
+    pub fn metered(
+        table: CoefficientTable,
+        space: ParameterSpace,
+        evals: Counter,
+    ) -> PolynomialModel {
+        PolynomialModel {
+            table,
+            space,
+            evals: Some(evals),
+        }
     }
 
     /// The underlying coefficient table.
@@ -118,7 +143,11 @@ impl DelayModel for PolynomialModel {
         polarity: Polarity,
         p: NormalizedPoint,
     ) -> Result<f64, DelayError> {
-        Ok(1.0 + self.table.deviation(cell, pin, polarity, p)?)
+        let d = self.table.deviation(cell, pin, polarity, p)?;
+        if let Some(evals) = &self.evals {
+            evals.incr();
+        }
+        Ok(1.0 + d)
     }
 
     fn name(&self) -> &str {

@@ -13,7 +13,7 @@
 //!   with a validating builder,
 //! * [`levelize`] — topological levelization into the structural levels the
 //!   parallel simulator processes as units (paper Fig. 3, vertical axis),
-//! * [`bench`] — an ISCAS `.bench` format parser/writer,
+//! * [`mod@bench`] — an ISCAS `.bench` format parser/writer,
 //! * [`verilog`] — a structural-Verilog subset parser/writer,
 //! * [`stats`] — circuit statistics (the "Nodes" column of Table I).
 //!

@@ -1,0 +1,276 @@
+//! Log-bucketed histogram: O(1) record, O(1) memory, exact
+//! min/max/mean, approximate quantiles.
+//!
+//! Values are unsigned integers in whatever unit the instrument declares
+//! (nanoseconds for durations, transitions for occupancies, events for
+//! queue depths). Buckets follow an HDR-style layout: values below 16 get
+//! exact buckets; above, each power-of-two range is split into 16 linear
+//! sub-buckets, bounding the relative quantile error at 1/16 ≈ 6 %.
+
+/// Exact buckets for values `0..LINEAR_MAX`.
+const LINEAR_MAX: u64 = 16;
+/// Sub-buckets per power-of-two range (log₂ = `SUB_SHIFT`).
+const SUB_SHIFT: u32 = 4;
+/// Total bucket count: 16 exact + 16 per exponent 4..=63.
+const NUM_BUCKETS: usize = LINEAR_MAX as usize + 60 * (1 << SUB_SHIFT);
+
+/// A value distribution with exact extrema and mean, approximate p50/p99.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+    buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: vec![0; NUM_BUCKETS],
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_index(value)] += 1;
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact minimum recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), approximated by the
+    /// representative value of the bucket containing the target rank and
+    /// clamped into the exact `[min, max]` interval. Relative error is
+    /// bounded by the sub-bucket width (≈ 6 %).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target {
+                return bucket_mid(b).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The summary statistics snapshot serialized into profiles.
+    pub fn stats(&self) -> HistogramStats {
+        HistogramStats {
+            count: self.count(),
+            min: self.min(),
+            max: self.max(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Summary statistics of one [`Histogram`] — the serialized form.
+///
+/// Units are those of the recorded values (the instrument's name states
+/// them, e.g. a `_ns` suffix for nanoseconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramStats {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Exact minimum.
+    pub min: u64,
+    /// Exact maximum.
+    pub max: u64,
+    /// Exact arithmetic mean.
+    pub mean: f64,
+    /// Approximate median (≤ ~6 % relative error).
+    pub p50: u64,
+    /// Approximate 99th percentile (≤ ~6 % relative error).
+    pub p99: u64,
+}
+
+/// Bucket index of a value: exact below [`LINEAR_MAX`], then 16 linear
+/// sub-buckets per power of two.
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros();
+        let sub = ((v >> (exp - SUB_SHIFT)) & ((1 << SUB_SHIFT) - 1)) as usize;
+        LINEAR_MAX as usize + ((exp - SUB_SHIFT) as usize) * (1 << SUB_SHIFT) + sub
+    }
+}
+
+/// Representative (midpoint) value of a bucket.
+fn bucket_mid(b: usize) -> u64 {
+    if b < LINEAR_MAX as usize {
+        b as u64
+    } else {
+        let rel = b - LINEAR_MAX as usize;
+        let exp = (rel >> SUB_SHIFT) as u32 + SUB_SHIFT;
+        let sub = (rel & ((1 << SUB_SHIFT) - 1)) as u64;
+        let width = 1u64 << (exp - SUB_SHIFT);
+        let low = (1u64 << exp) + sub * width;
+        low + width / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.stats().p99, 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in [3u64, 3, 7, 1, 15] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 15);
+        assert!((h.mean() - 29.0 / 5.0).abs() < 1e-12);
+        // Values below 16 land in exact buckets: the median is exactly 3.
+        assert_eq!(h.quantile(0.5), 3);
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ramp_within_tolerance() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.50) as f64;
+        let p99 = h.quantile(0.99) as f64;
+        assert!((p50 - 5_000.0).abs() / 5_000.0 < 0.07, "p50 = {p50}");
+        assert!((p99 - 9_900.0).abs() / 9_900.0 < 0.07, "p99 = {p99}");
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10_000);
+        assert!((h.mean() - 5_000.5).abs() < 1e-9);
+        // Quantile extremes clamp to the exact extrema.
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 10_000);
+    }
+
+    #[test]
+    fn skewed_distribution_p99_separates_tail() {
+        let mut h = Histogram::new();
+        for _ in 0..990 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        assert_eq!(h.quantile(0.5), 10);
+        let p99 = h.quantile(0.99) as f64;
+        // p99 sits at rank 990 — the last of the 10s.
+        assert!(p99 <= 11.0, "p99 = {p99}");
+        let p999 = h.quantile(0.999) as f64;
+        assert!((p999 - 1e6).abs() / 1e6 < 0.07, "p99.9 = {p999}");
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 1..=100u64 {
+            a.record(v);
+        }
+        for v in 101..=200u64 {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 200);
+        assert!((a.mean() - 100.5).abs() < 1e-9);
+        let p50 = a.quantile(0.5) as f64;
+        assert!((p50 - 100.0).abs() / 100.0 < 0.07, "p50 = {p50}");
+    }
+
+    #[test]
+    fn bucket_layout_is_monotone_and_total() {
+        // Every value maps to a bucket whose representative is within the
+        // sub-bucket width of the original value.
+        let mut prev = 0usize;
+        for shift in 0..63 {
+            let v = 1u64 << shift;
+            let b = bucket_index(v);
+            assert!(b >= prev, "bucket order broke at 2^{shift}");
+            prev = b;
+            let mid = bucket_mid(b) as f64;
+            let rel = (mid - v as f64).abs() / (v as f64).max(1.0);
+            assert!(rel <= 0.07, "2^{shift}: mid {mid} vs {v}");
+        }
+        assert!(bucket_index(u64::MAX) < NUM_BUCKETS);
+    }
+}

@@ -11,6 +11,7 @@ use crate::matrix::Matrix;
 use crate::poly::PolyBasis;
 use crate::solve::{solve_cholesky, solve_qr_least_squares};
 use crate::RegressionError;
+use avfs_obs::Metrics;
 
 /// Builds the design matrix `X` of Eq. 6 for normalized samples `(v, c)`.
 ///
@@ -101,6 +102,37 @@ pub fn fit_least_squares(
         // Ill-conditioned normal equation: retry on the un-squared problem.
         Err(RegressionError::SingularMatrix { .. }) => solve_qr_least_squares(&x, targets),
         Err(e) => Err(e),
+    }
+}
+
+/// [`fit_least_squares`] with optional instrumentation: when `metrics` is
+/// present, each call records the phase `"regression/fit"`, bumps the
+/// counter `"regression.fits"` and feeds the per-fit duration into the
+/// `"regression.fit_ns"` histogram (nanoseconds) — the distribution to
+/// compare against the paper's 1–40 ms per-fit claim (Sec. V.A).
+///
+/// # Errors
+///
+/// Identical to [`fit_least_squares`].
+pub fn fit_least_squares_metered(
+    basis: &PolyBasis,
+    samples: &[(f64, f64)],
+    targets: &[f64],
+    metrics: Option<&Metrics>,
+) -> Result<Vec<f64>, RegressionError> {
+    match metrics {
+        None => fit_least_squares(basis, samples, targets),
+        Some(m) => {
+            let span = m.span("regression/fit");
+            let result = fit_least_squares(basis, samples, targets);
+            let elapsed = span.finish();
+            m.add("regression.fits", 1);
+            m.record(
+                "regression.fit_ns",
+                u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+            );
+            result
+        }
     }
 }
 

@@ -44,7 +44,7 @@ pub mod transient;
 
 pub use characterize::pin_delay_ps;
 pub use mosfet::Mosfet;
-pub use sweep::{DelaySurface, SweepConfig};
+pub use sweep::{sweep_pin, sweep_pin_metered, DelaySurface, SweepConfig};
 pub use technology::Technology;
 
 use std::error::Error;

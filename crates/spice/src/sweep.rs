@@ -160,12 +160,38 @@ pub fn sweep_pin(
     polarity: Polarity,
     config: &SweepConfig,
 ) -> Result<DelaySurface, SpiceError> {
+    sweep_pin_metered(tech, cell, pin, polarity, config, None)
+}
+
+/// [`sweep_pin`] with optional instrumentation: when `metrics` is
+/// present, each call records the phase `"spice/sweep"` and adds the
+/// number of simulated grid points to the `"spice.transient_points"`
+/// counter.
+///
+/// # Errors
+///
+/// Identical to [`sweep_pin`].
+pub fn sweep_pin_metered(
+    tech: &Technology,
+    cell: &Cell,
+    pin: usize,
+    polarity: Polarity,
+    config: &SweepConfig,
+    metrics: Option<&avfs_obs::Metrics>,
+) -> Result<DelaySurface, SpiceError> {
+    let span = metrics.map(|m| m.span("spice/sweep"));
     config.validate()?;
     let mut delays_ps = Vec::with_capacity(config.voltages.len() * config.loads_ff.len());
     for &v in &config.voltages {
         for &c in &config.loads_ff {
             delays_ps.push(pin_delay_ps(tech, cell, pin, polarity, v, c)?);
         }
+    }
+    if let Some(m) = metrics {
+        m.add("spice.transient_points", delays_ps.len() as u64);
+    }
+    if let Some(span) = span {
+        span.finish();
     }
     Ok(DelaySurface {
         voltages: config.voltages.clone(),

@@ -45,9 +45,13 @@ fn main() -> Result<(), Box<dyn Error>> {
     //    polynomial delay model.
     let sim = TimeSimulator::from_characterization(Arc::clone(&netlist), &chars)?;
 
-    // 4. Transition patterns and a two-voltage comparison.
+    // 4. Transition patterns and a two-voltage comparison, with the
+    //    phase-level profile attached to the run.
     let patterns = PatternSet::lfsr(netlist.inputs().len(), 32, 42);
-    let options = SimOptions::default();
+    let options = SimOptions {
+        profiling: true,
+        ..SimOptions::default()
+    };
     let run = sim.voltage_sweep(&patterns, &[0.55, 0.8], &options)?;
 
     for v in [0.55, 0.8] {
@@ -60,10 +64,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         "slowdown at 0.55 V: {:.1}% — the voltage dependence AVFS validation must model",
         100.0 * (t_low / t_nom - 1.0)
     );
-    println!(
-        "simulated {} slots, {:.1} MEPS",
-        run.slots.len(),
-        run.meps()
-    );
+    // 5. The shared run summary: throughput, diagnostics and the profile
+    //    (where did the milliseconds go — delay kernel, merge, barrier?).
+    print!("{}", run.summary());
     Ok(())
 }

@@ -18,13 +18,60 @@
 //! * [`sim`] — the parallel thread-grid time simulator and baselines
 //!   (the paper's Sec. IV),
 //! * [`atpg`] — pattern-pair generation (transition + timing-aware),
-//! * [`circuits`] — benchmark circuits and Table-I/II profiles.
+//! * [`circuits`] — benchmark circuits and Table-I/II profiles,
+//! * [`obs`] — phase timers, counters and histograms behind
+//!   [`SimOptions::profiling`](sim::SimOptions) (dependency-free).
+//!
+//! # Quickstart
+//!
+//! The core flow — characterize a cell library, bind a simulator, sweep
+//! supply voltages, and read the profiled result (the runnable
+//! `examples/quickstart.rs` is the same flow with reporting):
+//!
+//! ```
+//! use avfs::atpg::PatternSet;
+//! use avfs::delay::characterize::{characterize_library, CharacterizationConfig};
+//! use avfs::netlist::CellLibrary;
+//! use avfs::sim::{SimOptions, TimeSimulator};
+//! use avfs::spice::Technology;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Offline (Fig. 1 of the paper): sweep → regression → delay kernels.
+//! let library = CellLibrary::nangate15_like();
+//! let netlist = Arc::new(avfs::circuits::c17(&library)?);
+//! let nand2 = library.find("NAND2_X1").expect("library cell");
+//! let chars = characterize_library(
+//!     &library,
+//!     &Technology::nm15(),
+//!     &CharacterizationConfig::fast(), // coarse sweep keeps the doctest quick
+//!     Some(&[nand2]),
+//! )?;
+//!
+//! // Online (Sec. IV): simulate the same patterns at two supply voltages.
+//! let sim = TimeSimulator::from_characterization(Arc::clone(&netlist), &chars)?;
+//! let patterns = PatternSet::lfsr(netlist.inputs().len(), 8, 42);
+//! let options = SimOptions {
+//!     profiling: true, // attach a phase-level profile to the run
+//!     ..SimOptions::default()
+//! };
+//! let run = sim.voltage_sweep(&patterns, &[0.55, 0.8], &options)?;
+//!
+//! let t_low = run.latest_arrival_at(0.55).expect("c17 outputs toggle");
+//! let t_nom = run.latest_arrival_at(0.8).expect("c17 outputs toggle");
+//! assert!(t_low > t_nom, "lower V_DD means slower logic");
+//! let profile = run.profile.as_ref().expect("profiling was on");
+//! assert!(profile.phase("engine/run").is_some());
+//! # Ok(())
+//! # }
+//! ```
 
 pub use avfs_atpg as atpg;
 pub use avfs_circuits as circuits;
 pub use avfs_core as sim;
 pub use avfs_delay as delay;
 pub use avfs_netlist as netlist;
+pub use avfs_obs as obs;
 pub use avfs_regression as regression;
 pub use avfs_sdf as sdf;
 pub use avfs_spice as spice;

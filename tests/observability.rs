@@ -1,0 +1,144 @@
+//! Observability invariants: profiling must change *nothing* about the
+//! simulation — results are bit-for-bit identical with it on or off — and
+//! must report every documented phase of a real run.
+
+use avfs::atpg::PatternSet;
+use avfs::circuits::ripple_carry_adder;
+use avfs::delay::characterize::{characterize_library, CharacterizationConfig};
+use avfs::delay::CharacterizedLibrary;
+use avfs::netlist::{CellLibrary, Netlist, NodeKind};
+use avfs::sim::{phases, slots, Engine, EventDrivenSimulator, SimOptions, SimRun};
+use avfs::spice::Technology;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+fn characterize_for(netlist: &Netlist, library: &Arc<CellLibrary>) -> CharacterizedLibrary {
+    let used: Vec<_> = {
+        let mut set = BTreeSet::new();
+        for (_, node) in netlist.iter() {
+            if let NodeKind::Gate(cell) = node.kind() {
+                set.insert(cell);
+            }
+        }
+        set.into_iter().collect()
+    };
+    characterize_library(
+        library,
+        &Technology::nm15(),
+        &CharacterizationConfig::fast(),
+        Some(&used),
+    )
+    .expect("characterization succeeds")
+}
+
+/// A run that exercises every engine phase: multi-level circuit, several
+/// patterns, two voltages, waveforms retained.
+fn run_adder(profiling: bool) -> SimRun {
+    let library = CellLibrary::nangate15_like();
+    let netlist = Arc::new(ripple_carry_adder(8, &library).expect("adder builds"));
+    let chars = characterize_for(&netlist, &library);
+    let annotation = Arc::new(chars.annotate(&netlist).expect("annotation"));
+    let engine = Engine::new(
+        Arc::clone(&netlist),
+        annotation,
+        Arc::new(chars.model().clone()),
+    )
+    .expect("engine builds");
+    let patterns = PatternSet::lfsr(netlist.inputs().len(), 12, 7);
+    let mut slot_list = slots::at_voltage(patterns.len(), 0.8);
+    slot_list.extend(slots::at_voltage(patterns.len(), 0.6));
+    let options = SimOptions {
+        threads: 2,
+        keep_waveforms: true,
+        profiling,
+        ..SimOptions::default()
+    };
+    engine
+        .run(&patterns, &slot_list, &options)
+        .expect("engine runs")
+}
+
+#[test]
+fn profiling_is_observation_only() {
+    let plain = run_adder(false);
+    let profiled = run_adder(true);
+    assert!(plain.profile.is_none());
+    assert!(profiled.profile.is_some());
+    // Bit-for-bit identical simulation: every slot (responses, arrival
+    // times, activity, full waveforms), the evaluation count and the
+    // diagnostics. Only `elapsed` and `profile` may differ.
+    assert_eq!(plain.slots, profiled.slots);
+    assert_eq!(plain.node_evaluations, profiled.node_evaluations);
+    assert_eq!(plain.diagnostics, profiled.diagnostics);
+}
+
+#[test]
+fn profile_reports_every_documented_phase() {
+    let run = run_adder(true);
+    let profile = run.profile.as_ref().expect("profiling was on");
+    assert_eq!(profile.name, "engine");
+    for phase in phases::ENGINE_PHASES {
+        let stats = profile
+            .phase(phase)
+            .unwrap_or_else(|| panic!("phase `{phase}` missing from profile"));
+        assert!(stats.calls > 0, "phase `{phase}` never called");
+        assert!(stats.total_ns > 0, "phase `{phase}` has zero total time");
+        assert!(stats.min_ns <= stats.max_ns, "phase `{phase}` min > max");
+    }
+    // The run phase dominates any sub-phase by construction.
+    let total = profile.phase(phases::ENGINE_RUN).unwrap().total_ns;
+    for phase in phases::ENGINE_PHASES {
+        assert!(profile.phase(phase).unwrap().total_ns <= total);
+    }
+    // Counters and histograms of the same run.
+    assert!(profile.counter(phases::ENGINE_KERNEL_EVALS).unwrap() > 0);
+    assert!(profile.counter(phases::ENGINE_LEVELS).unwrap() > 0);
+    assert!(profile.counter(phases::ENGINE_BATCHES).unwrap() > 0);
+    assert_eq!(
+        profile.counter(phases::ENGINE_RETRY_ROUNDS),
+        None,
+        "no retries expected"
+    );
+    let occupancy = profile
+        .histogram(phases::ENGINE_ARENA_OCCUPANCY)
+        .expect("arena occupancy recorded");
+    assert!(occupancy.count > 0);
+    assert_eq!(
+        occupancy.max as usize, run.diagnostics.peak_arena_occupancy,
+        "histogram max agrees with diagnostics"
+    );
+    // The profile survives its JSON round-trip unchanged.
+    let json = profile.to_json().to_string_pretty();
+    let parsed = avfs::obs::Json::parse(&json).expect("valid JSON");
+    let back = avfs::obs::Profile::from_json(&parsed).expect("valid profile");
+    assert_eq!(&back, profile);
+}
+
+#[test]
+fn event_driven_profile_and_identity() {
+    let library = CellLibrary::nangate15_like();
+    let netlist = Arc::new(ripple_carry_adder(6, &library).expect("adder builds"));
+    let chars = characterize_for(&netlist, &library);
+    let annotation = Arc::new(chars.annotate(&netlist).expect("annotation"));
+    let ed = EventDrivenSimulator::new(Arc::clone(&netlist), annotation).expect("positive delays");
+    let patterns = PatternSet::lfsr(netlist.inputs().len(), 8, 3);
+    let slot_list = slots::at_voltage(patterns.len(), 0.8);
+
+    let plain = ed.run(&patterns, &slot_list, true).expect("baseline runs");
+    let profiled = ed
+        .run_profiled(&patterns, &slot_list, true, true)
+        .expect("profiled baseline runs");
+    assert!(plain.profile.is_none());
+    assert_eq!(plain.slots, profiled.slots);
+    assert_eq!(plain.node_evaluations, profiled.node_evaluations);
+
+    let profile = profiled.profile.as_ref().expect("profiling was on");
+    assert_eq!(profile.name, "event_driven");
+    assert!(profile.phase(phases::ED_SIMULATE).unwrap().total_ns > 0);
+    assert!(profile.counter(phases::ED_EVENTS).unwrap() > 0);
+    let depth = profile
+        .histogram(phases::ED_QUEUE_DEPTH)
+        .expect("queue depth sampled");
+    assert!(depth.count > 0);
+    assert!(depth.max >= 1, "the queue held at least one event");
+}
