@@ -22,4 +22,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 echo "==> perf_report --smoke (schema gate)"
 cargo run --release --offline -p avfs-bench --bin perf_report -- --smoke
 
+echo "==> thread_scaling --smoke (pool determinism gate)"
+cargo run --release --offline -p avfs-bench --bin thread_scaling -- --smoke
+
 echo "CI OK"

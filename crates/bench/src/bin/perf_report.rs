@@ -15,7 +15,7 @@
 
 use avfs_atpg::timing_aware::{collect_pairs, generate_timing_aware};
 use avfs_atpg::{k_longest_paths, PatternSet};
-use avfs_bench::perf::{CircuitPerf, PerfReport};
+use avfs_bench::perf::{CircuitPerf, PerfReport, ScalingPoint, ThreadScaling};
 use avfs_bench::{characterize_used, Args};
 use avfs_circuits::{CircuitProfile, PAPER_PROFILES};
 use avfs_core::{slots, Engine, EventDrivenSimulator, SimOptions, SimRun};
@@ -30,7 +30,7 @@ fn main() {
         println!("  --scale <f>       circuit scale factor (default 0.01 of paper node counts)");
         println!("  --pairs <n>       cap on pattern pairs per design (default 24)");
         println!("  --order <N>       polynomial order (default 3)");
-        println!("  --threads <n>     engine worker threads (default: all cores)");
+        println!("  --threads <n>     engine worker threads (0 = auto, the default)");
         println!("  --circuit <name>  limit to specific designs (repeatable)");
         println!("  --out <path>      output path (default BENCH_core.json)");
         println!("  --smoke           c17 only, validate the schema, write nothing");
@@ -39,9 +39,11 @@ fn main() {
     let scale: f64 = args.value("--scale").unwrap_or(0.01);
     let pairs_cap: usize = args.value("--pairs").unwrap_or(24);
     let order: usize = args.value("--order").unwrap_or(3);
-    let threads: usize = args
-        .value("--threads")
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let threads = SimOptions {
+        threads: args.value("--threads").unwrap_or(0),
+        ..SimOptions::default()
+    }
+    .resolved_threads();
     let out: String = args
         .value("--out")
         .unwrap_or_else(|| "BENCH_core.json".into());
@@ -54,6 +56,7 @@ fn main() {
         arch: std::env::consts::ARCH.to_owned(),
         os: std::env::consts::OS.to_owned(),
         circuits: Vec::new(),
+        thread_scaling: None,
     };
 
     if args.flag("--smoke") {
@@ -69,6 +72,15 @@ fn main() {
             &chars,
             &patterns,
             threads,
+        ));
+        report.thread_scaling = Some(scaling_sweep(
+            "c17",
+            &c17,
+            &annotation,
+            &chars,
+            &patterns,
+            &[1, 2],
+            None,
         ));
         let text = report.to_json().to_string_pretty();
         let back = PerfReport::validate(&text).expect("schema validates");
@@ -113,6 +125,43 @@ fn main() {
             entry.name, entry.engine_meps, entry.speedup_vs_event_driven
         );
         report.circuits.push(entry);
+    }
+
+    // Worker-pool scaling sweep on the largest measured design, compared
+    // (when possible) against the previously committed report at `out`.
+    if let Some((profile, netlist)) = profiles
+        .iter()
+        .zip(&netlists)
+        .max_by_key(|(_, n)| n.num_nodes())
+    {
+        let prior = std::fs::read_to_string(&out)
+            .ok()
+            .and_then(|t| PerfReport::validate(&t).ok())
+            .and_then(|r| {
+                r.circuits
+                    .iter()
+                    .find(|c| c.name == profile.name)
+                    .map(|c| c.engine_elapsed_ms)
+            });
+        let annotation = Arc::new(chars.annotate(netlist).expect("all cells characterized"));
+        let patterns = build_patterns(netlist, &annotation, profile, pairs_cap);
+        eprintln!("perf_report: thread-scaling sweep on {} ...", profile.name);
+        let sweep = scaling_sweep(
+            profile.name,
+            netlist,
+            &annotation,
+            &chars,
+            &patterns,
+            &[1, 2, 4, 8],
+            prior,
+        );
+        for p in &sweep.points {
+            eprintln!(
+                "perf_report:   threads={:<2} {:>9.1} ms  ({:.2}x vs single)",
+                p.threads, p.elapsed_ms, p.speedup_vs_single
+            );
+        }
+        report.thread_scaling = Some(sweep);
     }
 
     let text = report.to_json().to_string_pretty();
@@ -173,6 +222,70 @@ fn measure(
         speedup_vs_event_driven: ed_run.elapsed.as_secs_f64() / run.elapsed.as_secs_f64().max(1e-9),
         engine_profile: take_profile(&run),
         ed_profile: take_profile(&ed_run),
+    }
+}
+
+/// Re-runs the engine on identical inputs at each worker count of
+/// `sweep`, asserting bit-for-bit identical results across counts (the
+/// pooled engine's hard invariant) and reporting wall-clock speedups
+/// against the sweep's own single-worker point.
+fn scaling_sweep(
+    name: &str,
+    netlist: &Arc<Netlist>,
+    annotation: &Arc<TimingAnnotation>,
+    chars: &CharacterizedLibrary,
+    patterns: &PatternSet,
+    sweep: &[usize],
+    prior_engine_elapsed_ms: Option<f64>,
+) -> ThreadScaling {
+    let engine = Engine::new(
+        Arc::clone(netlist),
+        Arc::clone(annotation),
+        Arc::new(chars.model().clone()),
+    )
+    .expect("engine builds");
+    let slot_list = slots::at_voltage(patterns.len(), 0.8);
+    let mut reference: Option<SimRun> = None;
+    let mut points = Vec::new();
+    let mut single_ms = 0.0;
+    for &threads in sweep {
+        let run = engine
+            .run(
+                patterns,
+                &slot_list,
+                &SimOptions {
+                    threads,
+                    ..SimOptions::default()
+                },
+            )
+            .expect("engine runs");
+        let elapsed_ms = run.elapsed.as_secs_f64() * 1e3;
+        match &reference {
+            None => {
+                single_ms = elapsed_ms;
+                reference = Some(run);
+            }
+            Some(r) => {
+                assert_eq!(
+                    r.slots, run.slots,
+                    "{name}: results diverge at threads={threads}"
+                );
+                assert_eq!(r.diagnostics, run.diagnostics);
+            }
+        }
+        points.push(ScalingPoint {
+            threads: threads as u64,
+            elapsed_ms,
+            speedup_vs_single: single_ms / elapsed_ms.max(1e-9),
+        });
+    }
+    ThreadScaling {
+        circuit: name.to_owned(),
+        nodes: netlist.num_nodes() as u64,
+        pairs: patterns.len() as u64,
+        slots: slot_list.len() as u64,
+        prior_engine_elapsed_ms,
+        points,
     }
 }
 

@@ -32,15 +32,18 @@ fn main() {
         println!("  --pairs <n>       cap on pattern pairs per design (default 24)");
         println!("  --circuit <name>  limit to specific designs (repeatable)");
         println!("  --order <N>       polynomial order (default 3)");
-        println!("  --threads <n>     engine worker threads (default: all cores)");
+        println!("  --threads <n>     engine worker threads (0 = auto, the default)");
         return;
     }
     let scale: f64 = args.value("--scale").unwrap_or(0.01);
     let pairs_cap: usize = args.value("--pairs").unwrap_or(24);
     let order: usize = args.value("--order").unwrap_or(3);
-    let threads: usize = args
-        .value("--threads")
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let threads: usize = args.value("--threads").map_or(0, |n: usize| n);
+    let threads = SimOptions {
+        threads,
+        ..SimOptions::default()
+    }
+    .resolved_threads();
     let wanted = args.values("--circuit");
     let profiles: Vec<&CircuitProfile> = PAPER_PROFILES
         .iter()

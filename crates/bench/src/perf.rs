@@ -28,6 +28,41 @@ pub struct PerfReport {
     pub os: String,
     /// Per-circuit measurements.
     pub circuits: Vec<CircuitPerf>,
+    /// Worker-pool scaling sweep over one circuit (absent in reports
+    /// predating the persistent-pool engine).
+    pub thread_scaling: Option<ThreadScaling>,
+}
+
+/// Thread-scaling sweep of the persistent worker pool: the report's
+/// largest circuit re-run at increasing worker counts on otherwise
+/// identical inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadScaling {
+    /// Circuit the sweep ran on.
+    pub circuit: String,
+    /// Netlist nodes of that circuit.
+    pub nodes: u64,
+    /// Pattern pairs simulated per point.
+    pub pairs: u64,
+    /// Simulation slots per point.
+    pub slots: u64,
+    /// `engine_elapsed_ms` of the same circuit in the previously committed
+    /// report (the fork-join engine), when one was available to compare
+    /// against.
+    pub prior_engine_elapsed_ms: Option<f64>,
+    /// One measurement per worker count, ascending.
+    pub points: Vec<ScalingPoint>,
+}
+
+/// One point of a [`ThreadScaling`] sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingPoint {
+    /// Worker count of this point.
+    pub threads: u64,
+    /// Engine wall-clock, milliseconds.
+    pub elapsed_ms: f64,
+    /// Speedup versus the sweep's own single-worker point.
+    pub speedup_vs_single: f64,
 }
 
 /// Measurements of one circuit: the event-driven baseline and the
@@ -64,7 +99,7 @@ pub struct CircuitPerf {
 impl PerfReport {
     /// Serializes to the schema-versioned JSON document.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("schema".into(), Json::Str(PERF_SCHEMA.into())),
             (
                 "environment".into(),
@@ -103,7 +138,41 @@ impl PerfReport {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(ts) = &self.thread_scaling {
+            fields.push((
+                "thread_scaling".into(),
+                Json::Obj(vec![
+                    ("circuit".into(), Json::Str(ts.circuit.clone())),
+                    ("nodes".into(), Json::Num(ts.nodes as f64)),
+                    ("pairs".into(), Json::Num(ts.pairs as f64)),
+                    ("slots".into(), Json::Num(ts.slots as f64)),
+                    (
+                        "prior_engine_elapsed_ms".into(),
+                        ts.prior_engine_elapsed_ms.map_or(Json::Null, Json::Num),
+                    ),
+                    (
+                        "points".into(),
+                        Json::Arr(
+                            ts.points
+                                .iter()
+                                .map(|p| {
+                                    Json::Obj(vec![
+                                        ("threads".into(), Json::Num(p.threads as f64)),
+                                        ("elapsed_ms".into(), Json::Num(p.elapsed_ms)),
+                                        (
+                                            "speedup_vs_single".into(),
+                                            Json::Num(p.speedup_vs_single),
+                                        ),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
+        Json::Obj(fields)
     }
 
     /// Deserializes (and thereby validates) a report document.
@@ -170,6 +239,33 @@ impl PerfReport {
                 )?,
             });
         }
+        let thread_scaling = match value.get("thread_scaling") {
+            None | Some(Json::Null) => None,
+            Some(ts) => {
+                let mut points = Vec::new();
+                for p in ts
+                    .get("points")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| fail("missing thread_scaling points array"))?
+                {
+                    points.push(ScalingPoint {
+                        threads: req_u64(p, "threads")?,
+                        elapsed_ms: req_f64(p, "elapsed_ms")?,
+                        speedup_vs_single: req_f64(p, "speedup_vs_single")?,
+                    });
+                }
+                Some(ThreadScaling {
+                    circuit: req_str(ts, "circuit")?,
+                    nodes: req_u64(ts, "nodes")?,
+                    pairs: req_u64(ts, "pairs")?,
+                    slots: req_u64(ts, "slots")?,
+                    prior_engine_elapsed_ms: ts
+                        .get("prior_engine_elapsed_ms")
+                        .and_then(Json::as_f64),
+                    points,
+                })
+            }
+        };
         Ok(PerfReport {
             scale: req_f64(env, "scale")?,
             pairs_cap: req_u64(env, "pairs_cap")?,
@@ -177,6 +273,7 @@ impl PerfReport {
             arch: req_str(env, "arch")?,
             os: req_str(env, "os")?,
             circuits,
+            thread_scaling,
         })
     }
 
@@ -226,6 +323,25 @@ mod tests {
                 engine_profile,
                 ed_profile,
             }],
+            thread_scaling: Some(ThreadScaling {
+                circuit: "c17".into(),
+                nodes: 17,
+                pairs: 8,
+                slots: 8,
+                prior_engine_elapsed_ms: Some(0.7),
+                points: vec![
+                    ScalingPoint {
+                        threads: 1,
+                        elapsed_ms: 0.6,
+                        speedup_vs_single: 1.0,
+                    },
+                    ScalingPoint {
+                        threads: 4,
+                        elapsed_ms: 0.2,
+                        speedup_vs_single: 3.0,
+                    },
+                ],
+            }),
         }
     }
 
@@ -234,6 +350,26 @@ mod tests {
         let report = sample();
         let text = report.to_json().to_string_pretty();
         let back = PerfReport::validate(&text).expect("valid document");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn thread_scaling_is_optional() {
+        // Reports predating the pooled engine have no thread_scaling
+        // section and must keep validating.
+        let mut report = sample();
+        report.thread_scaling = None;
+        let text = report.to_json().to_string_pretty();
+        let back = PerfReport::validate(&text).expect("valid without thread_scaling");
+        assert_eq!(back, report);
+        // An unknown prior baseline serializes as null and survives.
+        let mut report = sample();
+        report
+            .thread_scaling
+            .as_mut()
+            .unwrap()
+            .prior_engine_elapsed_ms = None;
+        let back = PerfReport::validate(&report.to_json().to_string_pretty()).expect("valid");
         assert_eq!(back, report);
     }
 

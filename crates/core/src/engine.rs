@@ -26,6 +26,7 @@
 //! slot fails does a run return an error.
 
 use crate::phases;
+use crate::pool::WorkerPool;
 use crate::results::{RunDiagnostics, SimRun, SlotResult, SlotStatus};
 use crate::slots::SlotSpec;
 use crate::SimError;
@@ -36,11 +37,12 @@ use avfs_delay::TimingAnnotation;
 use avfs_netlist::{Levelization, Netlist, NodeId, NodeKind};
 use avfs_obs::{time_option, Metrics};
 use avfs_waveform::{
-    evaluate_gate_bounded_scratch, CapacityOverflow, GateScratch, PinDelays, SwitchingActivity,
-    Waveform, WaveformArena, WaveformStats, WaveformView,
+    evaluate_gate_bounded_raw, CapacityOverflow, GateScratch, LevelWriter, PinDelays,
+    SwitchingActivity, Waveform, WaveformArena, WaveformStats, WaveformView,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Default per-`(slot, net)` transition capacity when
@@ -50,11 +52,22 @@ const DEFAULT_ARENA_CAPACITY: usize = 64;
 /// Capacity growth factor per quarantine-and-retry round.
 const CAPACITY_GROWTH: usize = 4;
 
+/// Work-stealing granularity: the cursor hands out chunks sized so each
+/// worker sees about this many grabs per level, bounding both contention
+/// (few grabs) and imbalance (small chunks).
+const STEAL_GRABS_PER_WORKER: usize = 4;
+
+/// Upper bound on one work-stealing chunk, so huge levels still rebalance.
+const MAX_STEAL_CHUNK: usize = 64;
+
 /// Runtime options of one engine launch.
 #[derive(Debug, Clone)]
 pub struct SimOptions {
-    /// Worker threads (the SIMD lanes of the substitute device). Defaults
-    /// to the machine's available parallelism.
+    /// Worker threads (the SIMD lanes of the substitute device); 0 — the
+    /// default — selects the machine's available parallelism at run time
+    /// (see [`SimOptions::resolved_threads`]). Workers are spawned once
+    /// per run and parked between levels; at each level the count is
+    /// further clamped to the level's task count.
     pub threads: usize,
     /// Time at which pattern pairs launch their transition, ps.
     pub launch_time_ps: f64,
@@ -81,10 +94,22 @@ pub struct SimOptions {
     pub profiling: bool,
 }
 
+impl SimOptions {
+    /// The effective worker count: `threads`, with 0 resolved to the
+    /// machine's available parallelism.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        }
+    }
+}
+
 impl Default for SimOptions {
     fn default() -> Self {
         SimOptions {
-            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            threads: 0,
             launch_time_ps: 0.0,
             waveform_budget: 16 << 20,
             keep_waveforms: false,
@@ -360,6 +385,14 @@ impl Engine {
         let metrics = metrics.as_ref();
         let run_span = metrics.map(|m| m.span(phases::ENGINE_RUN));
         let start = Instant::now();
+        // The persistent pool: workers are spawned once here and parked
+        // between levels; every level of every batch and retry round is
+        // released through its epoch barrier (the GPU grid analogue). A
+        // single-threaded run needs no pool at all.
+        let threads = options.resolved_threads();
+        let pool = (threads > 1).then(|| WorkerPool::new(threads));
+        let pool = pool.as_ref();
+        let tallies = PoolTallies::new(pool.map_or(1, WorkerPool::size));
         let mut diag = RunDiagnostics {
             clamped_loads: self.clamped_loads,
             ..RunDiagnostics::default()
@@ -390,6 +423,8 @@ impl Engine {
                     chunk,
                     options,
                     round,
+                    pool,
+                    &tallies,
                     &mut arena,
                     &mut results,
                     &mut overflowed,
@@ -443,6 +478,17 @@ impl Engine {
         if slots.iter().all(|s| !s.status.is_completed()) {
             return Err(SimError::AllSlotsFailed { slots: slots.len() });
         }
+        if let Some(m) = metrics {
+            let mut steals = 0u64;
+            for w in 0..tallies.tasks.len() {
+                m.record(
+                    phases::ENGINE_POOL_WORKER_TASKS,
+                    tallies.tasks[w].load(Ordering::Relaxed),
+                );
+                steals += tallies.steals[w].load(Ordering::Relaxed);
+            }
+            m.add(phases::ENGINE_POOL_STEALS, steals);
+        }
         let elapsed = start.elapsed();
         if let Some(span) = run_span {
             span.finish();
@@ -469,6 +515,8 @@ impl Engine {
         chunk: &[usize],
         options: &SimOptions,
         round: u32,
+        pool: Option<&WorkerPool>,
+        tallies: &PoolTallies,
         arena: &mut WaveformArena,
         results: &mut [Option<SlotResult>],
         overflowed: &mut Vec<usize>,
@@ -483,17 +531,18 @@ impl Engine {
         // schedule stays deterministic.
         let mut dead: Vec<Option<Dead>> = vec![None; chunk.len()];
 
-        // Level 0: stimuli waveforms.
+        // Level 0: stimuli waveforms, written through slot-disjoint arena
+        // partitions (one per slot of the batch).
         time_option(metrics, phases::ENGINE_STIMULI, || {
-            for (si, &slot) in chunk.iter().enumerate() {
-                let pair = &patterns.pairs()[work[slot].pattern];
+            for (si, mut part) in arena.partitions(nodes.max(1)).take(chunk.len()).enumerate() {
+                let pair = &patterns.pairs()[work[chunk[si]].pattern];
                 for (k, &pi) in self.netlist.inputs().iter().enumerate() {
                     let wf = Waveform::from_pattern(
                         pair.launch.bit(k),
                         pair.capture.bit(k),
                         options.launch_time_ps,
                     );
-                    if arena.write(si * nodes + pi.index(), &wf).is_err() {
+                    if part.write(pi.index(), &wf).is_err() {
                         dead[si] = Some(Dead::Overflow);
                     }
                 }
@@ -523,30 +572,37 @@ impl Engine {
         // Levels 1…L: the vertical dimension with a barrier per level.
         let mut fallbacks = 0u64;
         let mut level_delays: Vec<Vec<PinDelays>> = vec![Vec::new(); group_assigns.len()];
-        let mut level_offsets: Vec<usize> = Vec::new();
+        let mut gate_nodes: Vec<NodeId> = Vec::new();
+        let mut gate_offsets: Vec<usize> = Vec::new();
+        let mut output_nodes: Vec<NodeId> = Vec::new();
         for level in 1..self.levels.depth() {
             if dead.iter().all(Option::is_some) {
                 break;
             }
             let level_nodes = self.levels.level(level);
-            let tasks = chunk.len() * level_nodes.len();
-            if tasks == 0 {
+            if level_nodes.is_empty() {
                 continue;
             }
             if let Some(m) = metrics {
                 m.add(phases::ENGINE_LEVELS, 1);
             }
 
-            // Initialization phase (Sec. IV.A): modified pin delays for
-            // every gate of this level, per voltage group. A panic inside a
-            // delay model is contained per group: it kills only the slots
-            // at that operating point.
-            level_offsets.clear();
+            // Level plan: gates become pool tasks; primary outputs are mere
+            // passthroughs, copied cell-to-cell at the barrier instead of
+            // being scheduled as tasks.
+            gate_nodes.clear();
+            gate_offsets.clear();
+            output_nodes.clear();
             let mut offset = 0usize;
             for &node_id in level_nodes {
-                level_offsets.push(offset);
-                if matches!(self.netlist.node(node_id).kind(), NodeKind::Gate(_)) {
-                    offset += self.netlist.node(node_id).fanin().len();
+                match self.netlist.node(node_id).kind() {
+                    NodeKind::Gate(_) => {
+                        gate_nodes.push(node_id);
+                        gate_offsets.push(offset);
+                        offset += self.netlist.node(node_id).fanin().len();
+                    }
+                    NodeKind::Output => output_nodes.push(node_id),
+                    NodeKind::Input => {}
                 }
             }
             let kernel_span = metrics.map(|m| m.span(phases::ENGINE_DELAY_KERNEL));
@@ -617,94 +673,112 @@ impl Engine {
                 span.finish();
             }
 
-            let workers = options.threads.clamp(1, tasks);
+            // Task grid of the level: live slots × gates. Dead slots are
+            // compacted out up front, so neither round 0 nor retry rounds
+            // ever iterate a quarantined slot's tasks.
+            let live: Vec<usize> = dead
+                .iter()
+                .enumerate()
+                .filter_map(|(si, d)| d.is_none().then_some(si))
+                .collect();
+            if live.is_empty() {
+                continue;
+            }
+            let tasks = live.len() * gate_nodes.len();
             let ctx = LevelCtx {
-                level_nodes,
+                gate_nodes: &gate_nodes,
+                gate_offsets: &gate_offsets,
                 level_delays: &level_delays,
-                level_offsets: &level_offsets,
                 group_of_slot: &group_of_slot,
+                live: &live,
                 nodes,
             };
-            // Snapshot of slot liveness for this level: workers skip tasks
-            // of dead slots; deaths discovered during the level take effect
-            // at the barrier below.
-            let alive: Vec<bool> = dead.iter().map(Option::is_none).collect();
-            let arena_ref: &WaveformArena = arena;
-            let ctx_ref = &ctx;
-            let alive_ref = &alive;
-            // One worker's share of the level: evaluate tasks, catching
-            // panics and capacity overflows per task.
-            let eval_range = |lo: usize, hi: usize| -> Vec<TaskOut> {
-                let mut out = Vec::with_capacity(hi.saturating_sub(lo));
-                let mut scratch = GateScratch::new();
-                let mut inputs: Vec<WaveformView<'_>> = Vec::new();
-                for t in lo..hi {
-                    let si = t / ctx_ref.level_nodes.len();
-                    if !alive_ref[si] {
-                        continue;
-                    }
-                    let r = catch_unwind(AssertUnwindSafe(|| {
-                        self.eval_task(t, ctx_ref, arena_ref, &mut scratch, &mut inputs)
-                    }));
-                    inputs.clear();
-                    out.push(match r {
-                        Ok(Ok((idx, wf))) => TaskOut::Write(idx, wf),
-                        Ok(Err(_)) => TaskOut::Overflow(si),
-                        Err(_) => TaskOut::Panic(si),
-                    });
-                }
-                out
-            };
+            // Verdicts (task index, fault) collected by workers; applied
+            // deterministically at the barrier below.
+            let verdicts: Mutex<Vec<(usize, Dead)>> = Mutex::new(Vec::new());
             let merge_span = metrics.map(|m| m.span(phases::ENGINE_WAVEFORM_MERGE));
-            let writes: Vec<Vec<TaskOut>> = if workers == 1 {
-                // Same collect-then-write discipline as the parallel path:
-                // reads of previous levels and writes of this level are
-                // separated by the (here trivial) barrier.
-                vec![eval_range(0, tasks)]
-            } else {
-                // Fork-join over the horizontal plane: workers read the
-                // arena (previous levels only) and return their writes,
-                // which are applied after the join — the level barrier.
-                let per_worker = tasks.div_ceil(workers);
-                let eval_range = &eval_range;
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = (0..workers)
-                        .map(|w| {
-                            scope.spawn(move || {
-                                eval_range(w * per_worker, ((w + 1) * per_worker).min(tasks))
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("worker thread itself must not die"))
-                        .collect()
-                })
-            };
+            if tasks > 0 {
+                let workers = pool.map_or(1, WorkerPool::size).clamp(1, tasks);
+                let chunk_tasks =
+                    (tasks / (workers * STEAL_GRABS_PER_WORKER)).clamp(1, MAX_STEAL_CHUNK);
+                let cursor = AtomicUsize::new(0);
+                // In-place epoch writer: tasks write this level's cells
+                // directly into the arena (claim-guarded, cell-disjoint)
+                // while reading only previous levels' cells — no per-task
+                // waveform allocation, no serial write-back.
+                let writer = arena.level_writer();
+                let ctx_ref = &ctx;
+                let writer_ref = &writer;
+                // One worker's share of the level: steal task chunks off
+                // the shared cursor until it runs dry, catching panics and
+                // capacity overflows per task.
+                let job = |w: usize| {
+                    let mut scratch = GateScratch::new();
+                    let mut inputs: Vec<WaveformView<'_>> = Vec::new();
+                    let mut local_verdicts: Vec<(usize, Dead)> = Vec::new();
+                    let mut executed = 0u64;
+                    let mut grabs = 0u64;
+                    loop {
+                        let t0 = cursor.fetch_add(chunk_tasks, Ordering::Relaxed);
+                        if t0 >= tasks {
+                            break;
+                        }
+                        grabs += 1;
+                        for t in t0..(t0 + chunk_tasks).min(tasks) {
+                            executed += 1;
+                            let r = catch_unwind(AssertUnwindSafe(|| {
+                                self.eval_task(t, ctx_ref, writer_ref, &mut scratch, &mut inputs)
+                            }));
+                            inputs.clear();
+                            match r {
+                                Ok(Ok(())) => {}
+                                Ok(Err(_)) => local_verdicts.push((t, Dead::Overflow)),
+                                Err(_) => local_verdicts.push((t, Dead::Panic)),
+                            }
+                        }
+                    }
+                    if !local_verdicts.is_empty() {
+                        verdicts
+                            .lock()
+                            .expect("verdict lock survives (worker panics are contained)")
+                            .extend(local_verdicts);
+                    }
+                    tallies.tasks[w].fetch_add(executed, Ordering::Relaxed);
+                    tallies.steals[w].fetch_add(grabs.saturating_sub(1), Ordering::Relaxed);
+                };
+                match pool {
+                    Some(p) => {
+                        let idle = p.run(&job, metrics.is_some());
+                        if let Some(m) = metrics {
+                            m.record_duration(phases::ENGINE_POOL_IDLE, idle);
+                        }
+                    }
+                    None => job(0),
+                }
+            }
             if let Some(span) = merge_span {
                 span.finish();
             }
-            // The barrier: apply surviving writes, then liveness updates.
+            // The barrier: primary-output passthroughs, then fault
+            // verdicts. Sorting by task index makes reconciliation
+            // independent of which worker stole which chunk — first fault
+            // in task order wins, exactly as a serial sweep would decide.
             time_option(metrics, phases::ENGINE_BARRIER, || {
-                for w in writes {
-                    for out in w {
-                        match out {
-                            TaskOut::Write(idx, wf) => {
-                                arena
-                                    .write(idx, &wf)
-                                    .expect("bounded evaluation fits the arena");
-                            }
-                            TaskOut::Overflow(si) => {
-                                if dead[si].is_none() {
-                                    dead[si] = Some(Dead::Overflow);
-                                }
-                            }
-                            TaskOut::Panic(si) => {
-                                if dead[si].is_none() {
-                                    dead[si] = Some(Dead::Panic);
-                                }
-                            }
-                        }
+                for &si in &live {
+                    let base = si * nodes;
+                    for &out in &output_nodes {
+                        let from = self.netlist.node(out).fanin()[0].index();
+                        arena.copy_cell(base + from, base + out.index());
+                    }
+                }
+                let mut pending = verdicts
+                    .into_inner()
+                    .expect("verdict lock survives (worker panics are contained)");
+                pending.sort_unstable_by_key(|&(t, _)| t);
+                for (t, verdict) in pending {
+                    let si = live[t / gate_nodes.len()];
+                    if dead[si].is_none() {
+                        dead[si] = Some(verdict);
                     }
                 }
             });
@@ -759,49 +833,46 @@ impl Engine {
         Ok(())
     }
 
-    /// Evaluates one (slot, node) task of a level — the body of a device
+    /// Evaluates one (slot, gate) task of a level — the body of a device
     /// thread. The modified delays were precomputed per (level, voltage
-    /// group) by the initialization phase; `inputs` is reusable scratch
-    /// whose borrows of `arena` end when the function returns.
+    /// group) by the initialization phase. Inputs are read through the
+    /// epoch `writer` from previous levels' cells and the result is
+    /// written in place into this level's output cell; `inputs` is
+    /// reusable scratch whose borrows of the writer end when the function
+    /// returns.
     ///
     /// # Errors
     ///
     /// Returns [`CapacityOverflow`] when the gate's output history would
-    /// outgrow the arena's per-net capacity — the quarantine signal.
+    /// outgrow the arena's per-net capacity — the quarantine signal (the
+    /// output cell is left untouched and unclaimed).
     fn eval_task<'a>(
         &self,
         task: usize,
         ctx: &LevelCtx<'_>,
-        arena: &'a WaveformArena,
+        writer: &'a LevelWriter<'_>,
         scratch: &mut GateScratch,
         inputs: &mut Vec<WaveformView<'a>>,
-    ) -> Result<(usize, Waveform), CapacityOverflow> {
-        let si = task / ctx.level_nodes.len();
-        let pos = task % ctx.level_nodes.len();
-        let node_id = ctx.level_nodes[pos];
+    ) -> Result<(), CapacityOverflow> {
+        let si = ctx.live[task / ctx.gate_nodes.len()];
+        let pos = task % ctx.gate_nodes.len();
+        let node_id = ctx.gate_nodes[pos];
         let node = self.netlist.node(node_id);
         let base = si * ctx.nodes;
-        let out_index = base + node_id.index();
-        let wf = match node.kind() {
-            NodeKind::Input => unreachable!("inputs are level 0"),
-            NodeKind::Output => arena.to_waveform(base + node.fanin()[0].index()),
-            NodeKind::Gate(_) => {
-                let cell = self.netlist.cell_of(node_id).expect("gate has a cell");
-                let npins = node.fanin().len();
-                let off = ctx.level_offsets[pos];
-                let delays = &ctx.level_delays[ctx.group_of_slot[si]][off..off + npins];
-                inputs.clear();
-                inputs.extend(node.fanin().iter().map(|f| arena.view(base + f.index())));
-                evaluate_gate_bounded_scratch(
-                    inputs,
-                    delays,
-                    |vals| cell.eval(vals),
-                    scratch,
-                    arena.capacity(),
-                )?
-            }
-        };
-        Ok((out_index, wf))
+        let cell = self.netlist.cell_of(node_id).expect("gate has a cell");
+        let npins = node.fanin().len();
+        let off = ctx.gate_offsets[pos];
+        let delays = &ctx.level_delays[ctx.group_of_slot[si]][off..off + npins];
+        inputs.clear();
+        inputs.extend(node.fanin().iter().map(|f| writer.view(base + f.index())));
+        let initial = evaluate_gate_bounded_raw(
+            inputs,
+            delays,
+            |vals| cell.eval(vals),
+            scratch,
+            writer.capacity(),
+        )?;
+        writer.write(base + node_id.index(), initial, scratch.scheduled())
     }
 }
 
@@ -828,11 +899,22 @@ enum Dead {
     Panic,
 }
 
-/// One task's outcome, applied at the level barrier.
-enum TaskOut {
-    Write(usize, Waveform),
-    Overflow(usize),
-    Panic(usize),
+/// Per-worker execution tallies over a whole run (tasks executed and
+/// work-stealing chunk grabs beyond the first per level), folded into the
+/// profile at run end. Atomics make them writable from the pool without
+/// synchronizing the level schedule.
+struct PoolTallies {
+    tasks: Vec<AtomicU64>,
+    steals: Vec<AtomicU64>,
+}
+
+impl PoolTallies {
+    fn new(workers: usize) -> PoolTallies {
+        PoolTallies {
+            tasks: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            steals: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
 }
 
 /// One slot's resolved work: which pattern to replay under which voltage
@@ -866,14 +948,20 @@ impl VoltageAssign {
     }
 }
 
-/// Shared per-level context handed to the device threads.
+/// Shared per-level context handed to the device threads. The task grid
+/// is `live × gate_nodes`: task `t` evaluates gate `gate_nodes[t % gates]`
+/// for batch slot `live[t / gates]`.
 struct LevelCtx<'l> {
-    level_nodes: &'l [NodeId],
-    /// `level_delays[group][level_offsets[pos] + pin]` — modified pin
+    /// The level's gate nodes (outputs are barrier passthroughs, not
+    /// tasks).
+    gate_nodes: &'l [NodeId],
+    /// `level_delays[group][gate_offsets[pos] + pin]` — modified pin
     /// delays per voltage group.
     level_delays: &'l [Vec<PinDelays>],
-    level_offsets: &'l [usize],
+    gate_offsets: &'l [usize],
     group_of_slot: &'l [usize],
+    /// Batch slot indices still alive at the start of the level.
+    live: &'l [usize],
     nodes: usize,
 }
 
@@ -1005,38 +1093,99 @@ mod tests {
         }
     }
 
+    /// Determinism matrix: the hard invariant of the pooled engine is that
+    /// results are bit-for-bit identical to the single-threaded path
+    /// across worker counts, profiling on/off, and the fault paths
+    /// (overflow quarantine-and-retry, panic containment).
     #[test]
     fn multithreaded_matches_single_threaded() {
         let lib = CellLibrary::nangate15_like();
         let cfg = avfs_circuits::GeneratorConfig::small();
-        let n = Arc::new(avfs_circuits::random_netlist("rnd", &cfg, &lib, 11).unwrap());
-        let engine = static_engine(&n, 8.0, 9.5);
-        let patterns = PatternSet::lfsr(n.inputs().len(), 4, 5);
-        let slots = cross(4, &[0.8, 1.0]);
-        let single = engine
-            .run(
-                &patterns,
-                &slots,
-                &SimOptions {
-                    threads: 1,
-                    ..SimOptions::default()
-                },
-            )
-            .unwrap();
-        let multi = engine
-            .run(
-                &patterns,
-                &slots,
-                &SimOptions {
-                    threads: 4,
-                    ..SimOptions::default()
-                },
-            )
-            .unwrap();
-        for (a, b) in single.slots.iter().zip(&multi.slots) {
-            assert_eq!(a.responses, b.responses);
-            assert_eq!(a.latest_output_transition_ps, b.latest_output_transition_ps);
-            assert_eq!(a.activity, b.activity);
+        let rnd = Arc::new(avfs_circuits::random_netlist("rnd", &cfg, &lib, 11).unwrap());
+        let rnd_engine = static_engine(&rnd, 8.0, 9.5);
+        let rnd_patterns = PatternSet::lfsr(rnd.inputs().len(), 4, 5);
+        let glitch = glitch_netlist();
+        let glitch_engine = static_engine(&glitch, 10.0, 10.0);
+        let chain = chain_netlist();
+        let panicky_engine = Engine::new(
+            Arc::clone(&chain),
+            Arc::new(
+                static_engine(&chain, 10.0, 10.0)
+                    .annotation()
+                    .as_ref()
+                    .clone(),
+            ),
+            Arc::new(PanickyModel {
+                inner: StaticModel::new(ParameterSpace::paper()),
+            }),
+        )
+        .unwrap();
+        type Scenario<'a> = (&'a str, Box<dyn Fn(SimOptions) -> SimRun + 'a>);
+        let scenarios: Vec<Scenario<'_>> = vec![
+            (
+                "normal",
+                Box::new(|opts| {
+                    rnd_engine
+                        .run(
+                            &rnd_patterns,
+                            &cross(4, &[0.8, 1.0]),
+                            &SimOptions {
+                                keep_waveforms: true,
+                                ..opts
+                            },
+                        )
+                        .unwrap()
+                }),
+            ),
+            (
+                "overflow-retry",
+                Box::new(|opts| {
+                    glitch_engine
+                        .run(
+                            &one_pattern(),
+                            &cross(1, &[0.7, 0.8, 0.9, 1.0]),
+                            &SimOptions {
+                                keep_waveforms: true,
+                                arena_capacity: 1,
+                                ..opts
+                            },
+                        )
+                        .unwrap()
+                }),
+            ),
+            (
+                "panicking",
+                Box::new(|opts| {
+                    // 1.1 V normalizes to the poisoned operating point.
+                    panicky_engine
+                        .run(&one_pattern(), &cross(1, &[0.8, 1.1, 0.9]), &opts)
+                        .unwrap()
+                }),
+            ),
+        ];
+        for (name, run) in &scenarios {
+            let reference = run(SimOptions {
+                threads: 1,
+                profiling: false,
+                ..SimOptions::default()
+            });
+            if *name == "overflow-retry" {
+                assert_eq!(reference.diagnostics.slot_retries, 4, "scenario {name}");
+            }
+            for threads in [1, 2, 4, 8] {
+                for profiling in [false, true] {
+                    let got = run(SimOptions {
+                        threads,
+                        profiling,
+                        ..SimOptions::default()
+                    });
+                    let case = format!("{name}, threads={threads}, profiling={profiling}");
+                    assert_eq!(got.slots, reference.slots, "{case}");
+                    assert_eq!(got.diagnostics, reference.diagnostics, "{case}");
+                    assert_eq!(got.node_evaluations, reference.node_evaluations, "{case}");
+                    assert_eq!(got.profile.is_some(), profiling, "{case}");
+                }
+            }
         }
     }
 

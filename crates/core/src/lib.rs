@@ -35,6 +35,7 @@ pub mod domains;
 pub mod engine;
 pub mod event_driven;
 pub mod phases;
+mod pool;
 pub mod power;
 pub mod results;
 pub mod slots;

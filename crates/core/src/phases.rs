@@ -19,14 +19,24 @@ pub const ENGINE_STIMULI: &str = "engine/stimuli";
 /// IV.A). One call per simulated level.
 pub const ENGINE_DELAY_KERNEL: &str = "engine/delay_kernel";
 
-/// Per-level gate evaluation: the waveform-processing loop across all
-/// (slot, gate) tasks of the level, including the fork-join itself. One
-/// call per simulated level.
+/// Per-level gate evaluation: the waveform-processing loop across the
+/// level's (slot, gate) tasks, distributed over the persistent worker
+/// pool by work stealing, with outputs written in place into disjoint
+/// arena cells (no per-task waveform copies). One call per simulated
+/// level.
 pub const ENGINE_WAVEFORM_MERGE: &str = "engine/waveform_merge";
 
-/// Per-level barrier: applying the workers' collected waveform writes
-/// and liveness updates after the join. One call per simulated level.
+/// Per-level barrier: reconciling worker fault verdicts, copying
+/// primary-output passthrough cells, and updating slot liveness after
+/// the epoch completes. One call per simulated level.
 pub const ENGINE_BARRIER: &str = "engine/barrier";
+
+/// Coordinator wait time at the level barrier: after finishing its own
+/// share of the level, the time spent blocked until the remaining pool
+/// workers drain the work-stealing cursor. Recorded only when a pool is
+/// active (resolved `threads > 1`), so it is *not* part of
+/// [`ENGINE_PHASES`].
+pub const ENGINE_POOL_IDLE: &str = "engine/pool_idle";
 
 /// Per-batch waveform analysis (Fig. 2 step 4): output responses, latest
 /// transition arrival, switching activity.
@@ -62,6 +72,16 @@ pub const ENGINE_ARENA_OCCUPANCY: &str = "engine.arena_occupancy";
 
 /// Histogram of slots per launched batch.
 pub const ENGINE_BATCH_SLOTS: &str = "engine.batch_slots";
+
+/// Work-stealing chunk grabs beyond each worker's first in a level,
+/// summed over the run — how often the atomic cursor rebalanced load
+/// across the pool.
+pub const ENGINE_POOL_STEALS: &str = "engine.pool_steals";
+
+/// Histogram of gate tasks executed per pool worker over the whole run
+/// (one sample per worker) — the load-balance fingerprint of the
+/// work-stealing schedule.
+pub const ENGINE_POOL_WORKER_TASKS: &str = "engine.pool_worker_tasks";
 
 /// Whole event-driven baseline run (all slots, serial).
 pub const ED_SIMULATE: &str = "ed/simulate";

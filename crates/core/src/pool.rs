@@ -1,0 +1,297 @@
+//! A persistent worker pool with an epoch barrier — the CPU stand-in for
+//! the paper's resident GPU thread grid.
+//!
+//! The paper's engine launches one kernel per level and pays no thread
+//! management beyond that launch: the grid stays resident on the device
+//! and only a barrier separates levels. The previous CPU realization
+//! instead paid a full `std::thread::scope` spawn/join per level of every
+//! batch. This module replaces that with OS threads created **once per
+//! simulation run**: workers park on a condvar between levels and are
+//! released by bumping an epoch counter; the coordinator participates as
+//! worker 0 and then waits for the remaining workers — the level barrier.
+//!
+//! Jobs are released by reference, so they may borrow level-local state
+//! (the arena writer, the level context). The lifetime is erased with an
+//! internal `transmute`; soundness rests on [`WorkerPool::run`] not
+//! returning — even by unwinding — until every worker has finished the
+//! epoch and dropped its reference.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The erased job type workers execute: called once per worker per epoch
+/// with the worker's index (0 is the coordinator). In a type alias a bare
+/// `dyn` is `+ 'static` — this is the *stored* type; [`WorkerPool::run`]
+/// accepts a borrowed job and erases its lifetime.
+type Job = dyn Fn(usize) + Sync;
+
+struct State {
+    /// Monotonic release counter; a bump publishes `job` to all workers.
+    epoch: u64,
+    /// The job of the current epoch, lifetime-erased (see module docs).
+    job: Option<&'static Job>,
+    /// Spawned workers still executing the current epoch's job.
+    running: usize,
+    /// A spawned worker's job invocation panicked this epoch.
+    poisoned: bool,
+    /// Pool is shutting down; workers exit instead of waiting.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Coordinator → workers: a new epoch (or shutdown) is available.
+    start: Condvar,
+    /// Workers → coordinator: the last running worker finished.
+    done: Condvar,
+}
+
+/// A pool of parked worker threads released level-by-level via an epoch
+/// barrier. Created once per engine run; dropping it joins all workers.
+pub(crate) struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Creates a pool of `size` workers total: `size - 1` OS threads plus
+    /// the calling thread, which participates as worker 0 inside
+    /// [`WorkerPool::run`]. `size` is clamped to at least 1.
+    pub fn new(size: usize) -> WorkerPool {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                running: 0,
+                poisoned: false,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (1..size.max(1))
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("avfs-worker-{index}"))
+                    .spawn(move || worker_loop(index, &shared))
+                    .expect("worker thread spawns")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Total worker count, the calling thread included.
+    pub fn size(&self) -> usize {
+        self.handles.len() + 1
+    }
+
+    /// Runs `job` on every worker (the calling thread is worker 0) and
+    /// blocks until all of them finished — the level barrier. Returns the
+    /// time the coordinator spent waiting for workers after finishing its
+    /// own share; when `measure_idle` is false no clock is read and
+    /// [`Duration::ZERO`] is returned.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from the coordinator's own job share (after the
+    /// barrier, so borrows stay valid), and panics if a spawned worker's
+    /// job share panicked.
+    pub fn run(&self, job: &(dyn Fn(usize) + Sync + '_), measure_idle: bool) -> Duration {
+        // SAFETY: the 'static lifetime is a lie confined to this call.
+        // Workers only hold the reference while `running > 0`, and this
+        // function does not return — the coordinator's own panic is
+        // deferred past the barrier — until `running == 0`.
+        let job: &'static Job =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync + '_), &'static Job>(job) };
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            state.job = Some(job);
+            state.running = self.handles.len();
+            state.poisoned = false;
+            state.epoch += 1;
+        }
+        self.shared.start.notify_all();
+        // Worker 0's share, panic-deferred so the barrier below always
+        // runs before any unwinding invalidates the job's borrows.
+        let own = catch_unwind(AssertUnwindSafe(|| job(0)));
+        let wait_start = measure_idle.then(Instant::now);
+        let poisoned = {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            while state.running > 0 {
+                state = self.shared.done.wait(state).expect("pool lock");
+            }
+            state.job = None;
+            state.poisoned
+        };
+        let idle = wait_start.map_or(Duration::ZERO, |t| t.elapsed());
+        if let Err(payload) = own {
+            resume_unwind(payload);
+        }
+        assert!(!poisoned, "pool worker's job share panicked");
+        idle
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            state.shutdown = true;
+        }
+        self.shared.start.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("size", &self.size())
+            .finish()
+    }
+}
+
+/// Body of one spawned worker: wait for an epoch bump, run the job,
+/// report completion, park again.
+fn worker_loop(index: usize, shared: &Shared) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool lock");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.epoch != seen {
+                    break;
+                }
+                state = shared.start.wait(state).expect("pool lock");
+            }
+            seen = state.epoch;
+            state.job.expect("an epoch bump always publishes a job")
+        };
+        // Contain job panics so the barrier protocol (and the engine's
+        // borrow lifetimes) survive; the coordinator re-raises.
+        let outcome = catch_unwind(AssertUnwindSafe(|| job(index)));
+        let mut state = shared.state.lock().expect("pool lock");
+        if outcome.is_err() {
+            state.poisoned = true;
+        }
+        state.running -= 1;
+        if state.running == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_worker_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.size(), 1);
+        let hits = AtomicUsize::new(0);
+        let idle = pool.run(
+            &|w| {
+                assert_eq!(w, 0);
+                hits.fetch_add(1, Ordering::Relaxed);
+            },
+            false,
+        );
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        assert_eq!(idle, Duration::ZERO);
+    }
+
+    #[test]
+    fn epochs_reuse_the_same_workers() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.size(), 4);
+        let total = AtomicUsize::new(0);
+        // Many epochs over the same pool: every worker runs every epoch,
+        // and borrows of epoch-local state (the counter) stay sound.
+        for epoch in 0..50 {
+            let seen = [(); 4].map(|()| AtomicUsize::new(usize::MAX));
+            pool.run(
+                &|w| {
+                    seen[w].store(epoch, Ordering::Relaxed);
+                    total.fetch_add(1, Ordering::Relaxed);
+                },
+                true,
+            );
+            for s in &seen {
+                assert_eq!(s.load(Ordering::Relaxed), epoch);
+            }
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn work_stealing_cursor_covers_all_tasks_once() {
+        let pool = WorkerPool::new(3);
+        let tasks = 1000usize;
+        let cursor = AtomicUsize::new(0);
+        let done: Vec<AtomicUsize> = (0..tasks).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(
+            &|_w| loop {
+                let t = cursor.fetch_add(7, Ordering::Relaxed);
+                if t >= tasks {
+                    break;
+                }
+                for d in done.iter().take((t + 7).min(tasks)).skip(t) {
+                    d.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            false,
+        );
+        assert!(done.iter().all(|d| d.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn coordinator_panic_defers_past_the_barrier() {
+        let pool = WorkerPool::new(2);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(
+                &|w| {
+                    if w == 0 {
+                        panic!("coordinator share fails");
+                    }
+                },
+                false,
+            );
+        }));
+        assert!(outcome.is_err());
+        // The pool is still usable afterwards.
+        let hits = AtomicUsize::new(0);
+        pool.run(
+            &|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            },
+            false,
+        );
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn worker_panic_is_reported() {
+        let pool = WorkerPool::new(2);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(
+                &|w| {
+                    if w == 1 {
+                        panic!("worker share fails");
+                    }
+                },
+                false,
+            );
+        }));
+        assert!(outcome.is_err());
+    }
+}

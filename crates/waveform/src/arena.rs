@@ -10,20 +10,60 @@
 //! arena from its memory budget, quarantines slots whose gates overflow,
 //! and re-runs them against a larger arena — so a glitch-heavy slot can
 //! never abort or bloat a whole batch.
+//!
+//! # Concurrent access
+//!
+//! Two APIs let several workers populate the arena without funneling every
+//! waveform through one `&mut` writer:
+//!
+//! * [`WaveformArena::partitions`] — a `split_at_mut`-style split into
+//!   contiguous, disjoint [`ArenaPartition`]s, each with exclusive `&mut`
+//!   access to its cell range. Fully safe; used when work is statically
+//!   assigned by cell range (e.g. one partition per slot).
+//! * [`WaveformArena::level_writer`] — a shared [`LevelWriter`] for one
+//!   *write epoch* (one level of a levelized simulation). Any worker may
+//!   write any cell **once** per epoch; a per-cell atomic claim bit makes
+//!   each cell's writer exclusive, so scattered work-stealing schedules
+//!   (where the set of written cells is disjoint but not contiguous) can
+//!   write in place concurrently.
 
 use crate::{CapacityOverflow, Waveform, WaveformRead};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
 /// Flat bounded storage for a batch of waveforms.
 ///
 /// Entry `i` occupies `times[i * capacity .. i * capacity + len[i]]`; the
 /// engine indexes entries as `slot_in_batch * nets + net`.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct WaveformArena {
     capacity: usize,
     initial: Vec<bool>,
     len: Vec<u32>,
     times: Vec<f64>,
-    peak: usize,
+    /// One claim bit per entry (32 per word), reset at the start of each
+    /// [`Self::level_writer`] epoch.
+    claims: Vec<AtomicU32>,
+    /// Peak transitions ever written to any entry; atomic so concurrent
+    /// writers can maintain it (max is order-independent, hence
+    /// deterministic).
+    peak: AtomicUsize,
+}
+
+impl Clone for WaveformArena {
+    fn clone(&self) -> WaveformArena {
+        WaveformArena {
+            capacity: self.capacity,
+            initial: self.initial.clone(),
+            len: self.len.clone(),
+            times: self.times.clone(),
+            claims: self
+                .claims
+                .iter()
+                .map(|c| AtomicU32::new(c.load(Ordering::Relaxed)))
+                .collect(),
+            peak: AtomicUsize::new(self.peak.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 /// A borrowed waveform inside a [`WaveformArena`].
@@ -51,7 +91,10 @@ impl WaveformArena {
             initial: vec![false; entries],
             len: vec![0; entries],
             times: vec![0.0; entries * capacity],
-            peak: 0,
+            claims: (0..entries.div_ceil(32))
+                .map(|_| AtomicU32::new(0))
+                .collect(),
+            peak: AtomicUsize::new(0),
         }
     }
 
@@ -70,6 +113,9 @@ impl WaveformArena {
     pub fn reset(&mut self) {
         self.initial.fill(false);
         self.len.fill(0);
+        for word in &mut self.claims {
+            *word.get_mut() = 0;
+        }
     }
 
     /// A read view of entry `idx`.
@@ -106,8 +152,26 @@ impl WaveformArena {
         self.initial[idx] = waveform.initial_value();
         self.len[idx] = transitions.len() as u32;
         self.times[start..start + transitions.len()].copy_from_slice(transitions);
-        self.peak = self.peak.max(transitions.len());
+        self.peak.fetch_max(transitions.len(), Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Copies entry `src` over entry `dst` within the arena — the cheap
+    /// passthrough for identity stages (e.g. primary-output observation
+    /// nodes), avoiding the owned-[`Waveform`] round trip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range or `src == dst`.
+    pub fn copy_cell(&mut self, src: usize, dst: usize) {
+        assert_ne!(src, dst, "copy_cell requires distinct cells");
+        self.initial[dst] = self.initial[src];
+        let n = self.len[src];
+        self.len[dst] = n;
+        self.times.copy_within(
+            src * self.capacity..src * self.capacity + n as usize,
+            dst * self.capacity,
+        );
     }
 
     /// Copies entry `idx` out into an owned [`Waveform`].
@@ -136,7 +200,261 @@ impl WaveformArena {
     /// watermark the engine reports as peak arena occupancy (survives
     /// [`Self::reset`]).
     pub fn peak_occupancy(&self) -> usize {
-        self.peak
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Splits the arena into disjoint contiguous partitions of
+    /// `chunk_entries` cells each (the last may be shorter) — the
+    /// `split_at_mut` of arenas. No two partitions expose the same cell,
+    /// so partitions can be written from different threads without any
+    /// synchronization. With `chunk_entries = nets`, each partition is
+    /// exactly one slot's cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_entries` is 0.
+    pub fn partitions(&mut self, chunk_entries: usize) -> impl Iterator<Item = ArenaPartition<'_>> {
+        assert!(chunk_entries > 0, "partition size must be positive");
+        let capacity = self.capacity;
+        let peak = &self.peak;
+        self.initial
+            .chunks_mut(chunk_entries)
+            .zip(self.len.chunks_mut(chunk_entries))
+            .zip(self.times.chunks_mut(chunk_entries * capacity.max(1)))
+            .enumerate()
+            .map(move |(i, ((initial, len), times))| ArenaPartition {
+                start: i * chunk_entries,
+                capacity,
+                initial,
+                len,
+                times,
+                peak,
+            })
+    }
+
+    /// Begins a concurrent write epoch: clears every claim bit and
+    /// returns a shared [`LevelWriter`] through which any worker may
+    /// write each cell at most once. See [`LevelWriter`] for the access
+    /// discipline.
+    pub fn level_writer(&mut self) -> LevelWriter<'_> {
+        for word in &mut self.claims {
+            *word.get_mut() = 0;
+        }
+        let entries = self.len.len();
+        LevelWriter {
+            capacity: self.capacity,
+            entries,
+            initial: self.initial.as_mut_ptr(),
+            len: self.len.as_mut_ptr(),
+            times: self.times.as_mut_ptr(),
+            claims: &self.claims,
+            peak: &self.peak,
+            _arena: std::marker::PhantomData,
+        }
+    }
+}
+
+/// One contiguous, exclusively-owned range of arena cells, produced by
+/// [`WaveformArena::partitions`]. Indices are *local* to the partition;
+/// [`ArenaPartition::start`] gives the global index of local cell 0.
+#[derive(Debug)]
+pub struct ArenaPartition<'a> {
+    start: usize,
+    capacity: usize,
+    initial: &'a mut [bool],
+    len: &'a mut [u32],
+    times: &'a mut [f64],
+    peak: &'a AtomicUsize,
+}
+
+impl ArenaPartition<'_> {
+    /// Global index of the partition's first cell.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of cells in this partition.
+    pub fn entries(&self) -> usize {
+        self.len.len()
+    }
+
+    /// Per-entry transition capacity (same as the parent arena's).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// A read view of local cell `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is outside the partition.
+    pub fn view(&self, idx: usize) -> WaveformView<'_> {
+        let start = idx * self.capacity;
+        WaveformView {
+            initial: self.initial[idx],
+            times: &self.times[start..start + self.len[idx] as usize],
+        }
+    }
+
+    /// Writes a waveform into local cell `idx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityOverflow`] (leaving the cell untouched) if the
+    /// waveform exceeds the per-cell capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is outside the partition.
+    pub fn write(&mut self, idx: usize, waveform: &Waveform) -> Result<(), CapacityOverflow> {
+        let transitions = waveform.transitions();
+        if transitions.len() > self.capacity {
+            return Err(CapacityOverflow {
+                capacity: self.capacity,
+            });
+        }
+        let start = idx * self.capacity;
+        self.initial[idx] = waveform.initial_value();
+        self.len[idx] = transitions.len() as u32;
+        self.times[start..start + transitions.len()].copy_from_slice(transitions);
+        self.peak.fetch_max(transitions.len(), Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// A shared handle for one concurrent write epoch of a [`WaveformArena`]
+/// (one *level* of a levelized simulation), created by
+/// [`WaveformArena::level_writer`].
+///
+/// # Access discipline
+///
+/// * Every cell may be **written at most once** per epoch. Writes claim
+///   the cell's atomic bit first (`fetch_or`, acquire-release); exactly
+///   one writer wins, so the subsequent plain stores are exclusive. A
+///   second write of the same cell panics instead of racing.
+/// * Reads ([`LevelWriter::view`]) must target cells that are **not
+///   written in this epoch**. In a levelized schedule this holds by
+///   construction: a level's gates read only fanin cells of strictly
+///   earlier levels, and each level writes only its own gates' outputs.
+///   The claim bit is checked on every read and panics on a violation;
+///   this is a best-effort tripwire — the levelization invariant, not the
+///   check, is the memory-model argument (a read can only race with a
+///   write if that invariant is already broken).
+///
+/// The writer is `Send + Sync`; it borrows the arena mutably, so no other
+/// access to the arena is possible until it is dropped — the epoch's
+/// *barrier* is simply the end of the borrow.
+#[derive(Debug)]
+pub struct LevelWriter<'a> {
+    capacity: usize,
+    entries: usize,
+    initial: *mut bool,
+    len: *mut u32,
+    times: *mut f64,
+    claims: &'a [AtomicU32],
+    peak: &'a AtomicUsize,
+    _arena: std::marker::PhantomData<&'a mut WaveformArena>,
+}
+
+// SAFETY: all mutation goes through the per-cell claim protocol (one
+// exclusive winner per cell per epoch); reads are claim-checked. The raw
+// pointers are valid for the arena borrow 'a.
+unsafe impl Send for LevelWriter<'_> {}
+unsafe impl Sync for LevelWriter<'_> {}
+
+impl LevelWriter<'_> {
+    /// Per-entry transition capacity (same as the parent arena's).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of cells addressable through this writer.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    #[inline]
+    fn is_claimed(&self, idx: usize) -> bool {
+        self.claims[idx / 32].load(Ordering::Acquire) & (1 << (idx % 32)) != 0
+    }
+
+    /// Claims cell `idx`; returns whether this caller won the claim.
+    #[inline]
+    fn claim(&self, idx: usize) -> bool {
+        let bit = 1u32 << (idx % 32);
+        self.claims[idx / 32].fetch_or(bit, Ordering::AcqRel) & bit == 0
+    }
+
+    /// A read view of cell `idx`, which must not be written in this epoch
+    /// (see the access discipline above).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or the cell was already written in
+    /// this epoch.
+    #[inline]
+    pub fn view(&self, idx: usize) -> WaveformView<'_> {
+        assert!(idx < self.entries, "arena cell {idx} out of range");
+        assert!(
+            !self.is_claimed(idx),
+            "read of arena cell {idx} written in the same level epoch"
+        );
+        // SAFETY: idx is in range; the cell is unclaimed, and under the
+        // levelization contract no writer will claim it during this epoch,
+        // so the plain reads cannot race.
+        unsafe {
+            WaveformView {
+                initial: *self.initial.add(idx),
+                times: std::slice::from_raw_parts(
+                    self.times.add(idx * self.capacity),
+                    *self.len.add(idx) as usize,
+                ),
+            }
+        }
+    }
+
+    /// Writes `transitions` (with initial value `initial`) into cell
+    /// `idx`, claiming it for this epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityOverflow`] (leaving the cell untouched and
+    /// unclaimed) if `transitions` exceeds the per-cell capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or the cell was already written in
+    /// this epoch.
+    pub fn write(
+        &self,
+        idx: usize,
+        initial: bool,
+        transitions: &[f64],
+    ) -> Result<(), CapacityOverflow> {
+        assert!(idx < self.entries, "arena cell {idx} out of range");
+        if transitions.len() > self.capacity {
+            return Err(CapacityOverflow {
+                capacity: self.capacity,
+            });
+        }
+        assert!(
+            self.claim(idx),
+            "arena cell {idx} written twice within one level epoch"
+        );
+        // SAFETY: this caller won the claim for idx, so it has exclusive
+        // write access to the cell's initial/len/times storage for the
+        // rest of the epoch; the ranges are in bounds.
+        unsafe {
+            *self.initial.add(idx) = initial;
+            *self.len.add(idx) = transitions.len() as u32;
+            std::ptr::copy_nonoverlapping(
+                transitions.as_ptr(),
+                self.times.add(idx * self.capacity),
+                transitions.len(),
+            );
+        }
+        self.peak.fetch_max(transitions.len(), Ordering::Relaxed);
+        Ok(())
     }
 }
 
@@ -178,6 +496,18 @@ mod tests {
         assert_eq!(arena.to_waveform(1), Waveform::constant(false));
         assert_eq!(arena.occupancy(1), 0);
         assert_eq!(arena.peak_occupancy(), 2);
+    }
+
+    #[test]
+    fn copy_cell_is_a_passthrough() {
+        let mut arena = WaveformArena::new(3, 4);
+        let w = Waveform::with_transitions(true, vec![3.0, 8.0]).unwrap();
+        arena.write(0, &w).unwrap();
+        arena.copy_cell(0, 2);
+        assert_eq!(arena.to_waveform(2), w);
+        // Source is untouched, unrelated cells too.
+        assert_eq!(arena.to_waveform(0), w);
+        assert_eq!(arena.to_waveform(1), Waveform::constant(false));
     }
 
     #[test]
@@ -231,5 +561,109 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.num_transitions(), 8);
+    }
+
+    #[test]
+    fn partitions_are_disjoint_and_cover_the_arena() {
+        let mut arena = WaveformArena::new(10, 4);
+        let mut seen = [false; 10];
+        for part in arena.partitions(3) {
+            for local in 0..part.entries() {
+                let global = part.start() + local;
+                assert!(!seen[global], "cell {global} exposed by two partitions");
+                seen[global] = true;
+            }
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "every cell owned by exactly one partition"
+        );
+        // Partition sizes: 3+3+3+1.
+        let sizes: Vec<usize> = arena.partitions(3).map(|p| p.entries()).collect();
+        assert_eq!(sizes, vec![3, 3, 3, 1]);
+    }
+
+    #[test]
+    fn partitions_write_concurrently_without_interference() {
+        let mut arena = WaveformArena::new(8, 4);
+        std::thread::scope(|scope| {
+            for mut part in arena.partitions(2) {
+                scope.spawn(move || {
+                    for local in 0..part.entries() {
+                        let t = (part.start() + local) as f64 + 1.0;
+                        let w = Waveform::with_transitions(true, vec![t]).unwrap();
+                        part.write(local, &w).unwrap();
+                    }
+                });
+            }
+        });
+        for idx in 0..8 {
+            let v = arena.view(idx);
+            assert!(v.initial_value());
+            assert_eq!(v.transitions(), &[idx as f64 + 1.0]);
+        }
+        assert_eq!(arena.peak_occupancy(), 1);
+    }
+
+    #[test]
+    fn level_writer_concurrent_disjoint_writes() {
+        let mut arena = WaveformArena::new(64, 4);
+        {
+            let writer = arena.level_writer();
+            let writer = &writer;
+            std::thread::scope(|scope| {
+                // Scattered (non-contiguous) assignment: worker w writes
+                // every 4th cell — the shape a work-stealing schedule
+                // produces, which contiguous partitions cannot express.
+                for w in 0..4usize {
+                    scope.spawn(move || {
+                        for idx in (w..64).step_by(4) {
+                            writer
+                                .write(idx, idx % 2 == 0, &[idx as f64 + 0.5])
+                                .unwrap();
+                        }
+                    });
+                }
+            });
+        }
+        for idx in 0..64 {
+            let v = arena.view(idx);
+            assert_eq!(v.initial_value(), idx % 2 == 0);
+            assert_eq!(v.transitions(), &[idx as f64 + 0.5]);
+        }
+    }
+
+    #[test]
+    fn level_writer_rejects_double_write_and_dirty_read() {
+        let mut arena = WaveformArena::new(4, 2);
+        {
+            let writer = arena.level_writer();
+            writer.write(1, true, &[5.0]).unwrap();
+            // Second write of the same cell in one epoch: claim panic.
+            let double = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = writer.write(1, false, &[6.0]);
+            }));
+            assert!(double.is_err(), "double write must panic");
+            // Reading a cell written this epoch: tripwire panic.
+            let dirty = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = writer.view(1);
+            }));
+            assert!(dirty.is_err(), "same-epoch read must panic");
+            // Unwritten cells remain readable.
+            assert_eq!(writer.view(0).transitions(), &[] as &[f64]);
+            // Overflow leaves the cell unclaimed and untouched.
+            assert_eq!(
+                writer.write(2, false, &[1.0, 2.0, 3.0]),
+                Err(CapacityOverflow { capacity: 2 })
+            );
+            writer.write(2, false, &[1.0, 2.0]).unwrap();
+        }
+        // A fresh epoch clears the claims.
+        {
+            let writer = arena.level_writer();
+            writer.write(1, false, &[9.0]).unwrap();
+        }
+        assert_eq!(arena.view(1).transitions(), &[9.0]);
+        assert_eq!(arena.view(2).transitions(), &[1.0, 2.0]);
     }
 }

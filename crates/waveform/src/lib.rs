@@ -37,7 +37,7 @@ pub mod arena;
 pub mod vcd;
 
 pub use activity::{SwitchingActivity, WaveformStats};
-pub use arena::{WaveformArena, WaveformView};
+pub use arena::{ArenaPartition, LevelWriter, WaveformArena, WaveformView};
 
 use std::error::Error;
 use std::fmt;
@@ -318,6 +318,13 @@ impl GateScratch {
     pub fn new() -> GateScratch {
         GateScratch::default()
     }
+
+    /// The output transitions left behind by the last successful
+    /// [`evaluate_gate_bounded_raw`] call — sorted, strictly increasing,
+    /// at most the requested cap. Valid until the scratch is reused.
+    pub fn scheduled(&self) -> &[f64] {
+        &self.sched
+    }
 }
 
 /// Evaluates one gate over its input waveforms — the per-thread waveform
@@ -380,6 +387,36 @@ pub fn evaluate_gate_bounded_scratch<W: WaveformRead>(
     scratch: &mut GateScratch,
     cap: usize,
 ) -> Result<Waveform, CapacityOverflow> {
+    let initial = evaluate_gate_bounded_raw(inputs, delays, eval, scratch, cap)?;
+    let out = Waveform {
+        initial,
+        // Exact-size copy out of the reusable buffer.
+        transitions: scratch.sched.as_slice().to_vec(),
+    };
+    debug_assert!(out.check_invariants());
+    Ok(out)
+}
+
+/// The allocation-free core of [`evaluate_gate_bounded_scratch`]: returns
+/// the output's initial value and leaves its transitions in
+/// [`GateScratch::scheduled`] instead of materializing an owned
+/// [`Waveform`] — the form the engine uses to write gate outputs directly
+/// into the waveform arena.
+///
+/// # Errors
+///
+/// Returns [`CapacityOverflow`] when the schedule would exceed `cap`.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != delays.len()` or either is empty.
+pub fn evaluate_gate_bounded_raw<W: WaveformRead>(
+    inputs: &[W],
+    delays: &[PinDelays],
+    eval: impl Fn(&[bool]) -> bool,
+    scratch: &mut GateScratch,
+    cap: usize,
+) -> Result<bool, CapacityOverflow> {
     assert_eq!(
         inputs.len(),
         delays.len(),
@@ -392,19 +429,17 @@ pub fn evaluate_gate_bounded_scratch<W: WaveformRead>(
     values.extend(inputs.iter().map(|w| w.initial_value()));
     let initial_out = eval(values);
 
-    // Fast path: quiescent inputs produce a constant output.
-    if inputs.iter().all(|w| w.transitions().is_empty()) {
-        return Ok(Waveform {
-            initial: initial_out,
-            transitions: Vec::new(),
-        });
-    }
-
     // Scheduled output transition times (sorted ascending, alternating
     // from initial_out). `scheduled_value` is the output value after all
     // currently scheduled transitions.
     let sched = &mut scratch.sched;
     sched.clear();
+
+    // Fast path: quiescent inputs produce a constant output.
+    if inputs.iter().all(|w| w.transitions().is_empty()) {
+        return Ok(initial_out);
+    }
+
     let mut scheduled_value = initial_out;
 
     // K-way merge over the input transition lists.
@@ -449,13 +484,8 @@ pub fn evaluate_gate_bounded_scratch<W: WaveformRead>(
         }
     }
 
-    let out = Waveform {
-        initial: initial_out,
-        // Exact-size copy out of the reusable buffer.
-        transitions: sched.as_slice().to_vec(),
-    };
-    debug_assert!(out.check_invariants());
-    Ok(out)
+    debug_assert!(sched.iter().all(|t| t.is_finite()) && sched.windows(2).all(|w| w[0] < w[1]));
+    Ok(initial_out)
 }
 
 /// Propagates a waveform through an identity stage with per-polarity delay

@@ -107,6 +107,21 @@ fn profile_reports_every_documented_phase() {
         occupancy.max as usize, run.diagnostics.peak_arena_occupancy,
         "histogram max agrees with diagnostics"
     );
+    // Worker-pool instrumentation (the run used threads = 2): coordinator
+    // wait time at the level barriers, the work-stealing counter, and one
+    // per-worker task-count sample each.
+    let idle = profile
+        .phase(phases::ENGINE_POOL_IDLE)
+        .expect("pool idle recorded for a threads=2 run");
+    assert!(idle.calls > 0, "one idle sample per pooled level");
+    assert!(
+        profile.counter(phases::ENGINE_POOL_STEALS).is_some(),
+        "steal counter present (possibly zero)"
+    );
+    let worker_tasks = profile
+        .histogram(phases::ENGINE_POOL_WORKER_TASKS)
+        .expect("per-worker task histogram recorded");
+    assert_eq!(worker_tasks.count, 2, "one sample per pool worker");
     // The profile survives its JSON round-trip unchanged.
     let json = profile.to_json().to_string_pretty();
     let parsed = avfs::obs::Json::parse(&json).expect("valid JSON");
