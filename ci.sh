@@ -25,4 +25,7 @@ cargo run --release --offline -p avfs-bench --bin perf_report -- --smoke
 echo "==> thread_scaling --smoke (pool determinism gate)"
 cargo run --release --offline -p avfs-bench --bin thread_scaling -- --smoke
 
+echo "==> activity_sweep --smoke (gating determinism gate)"
+cargo run --release --offline -p avfs-bench --bin activity_sweep -- --smoke
+
 echo "CI OK"

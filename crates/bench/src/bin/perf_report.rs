@@ -15,8 +15,8 @@
 
 use avfs_atpg::timing_aware::{collect_pairs, generate_timing_aware};
 use avfs_atpg::{k_longest_paths, PatternSet};
-use avfs_bench::perf::{CircuitPerf, PerfReport, ScalingPoint, ThreadScaling};
-use avfs_bench::{characterize_used, Args};
+use avfs_bench::perf::{ActivitySweep, CircuitPerf, PerfReport, ScalingPoint, ThreadScaling};
+use avfs_bench::{activity_patterns, characterize_used, measure_activity_point, Args};
 use avfs_circuits::{CircuitProfile, PAPER_PROFILES};
 use avfs_core::{slots, Engine, EventDrivenSimulator, SimOptions, SimRun};
 use avfs_delay::{CharacterizedLibrary, TimingAnnotation};
@@ -57,6 +57,7 @@ fn main() {
         os: std::env::consts::OS.to_owned(),
         circuits: Vec::new(),
         thread_scaling: None,
+        activity_sweep: None,
     };
 
     if args.flag("--smoke") {
@@ -81,6 +82,15 @@ fn main() {
             &patterns,
             &[1, 2],
             None,
+        ));
+        report.activity_sweep = Some(activity_sweep(
+            "c17",
+            &c17,
+            &annotation,
+            &chars,
+            4,
+            &[0.0, 1.0],
+            threads,
         ));
         let text = report.to_json().to_string_pretty();
         let back = PerfReport::validate(&text).expect("schema validates");
@@ -162,6 +172,27 @@ fn main() {
             );
         }
         report.thread_scaling = Some(sweep);
+
+        // Activity-gating sweep on the same design: gated vs ungated on
+        // identical stimuli across activity factors, identity asserted at
+        // every point.
+        eprintln!("perf_report: activity sweep on {} ...", profile.name);
+        let sweep = activity_sweep(
+            profile.name,
+            netlist,
+            &annotation,
+            &chars,
+            pairs_cap.min(profile.test_pairs),
+            &[0.01, 0.05, 0.1, 0.2, 0.5, 1.0],
+            threads,
+        );
+        for p in &sweep.points {
+            eprintln!(
+                "perf_report:   a={:<5} gated {:>8.1} ms  ungated {:>8.1} ms  ({:.2}x, {}/{} skipped)",
+                p.activity_factor, p.gated_ms, p.ungated_ms, p.speedup, p.gates_skipped_quiet, p.gate_tasks
+            );
+        }
+        report.activity_sweep = Some(sweep);
     }
 
     let text = report.to_json().to_string_pretty();
@@ -285,6 +316,42 @@ fn scaling_sweep(
         pairs: patterns.len() as u64,
         slots: slot_list.len() as u64,
         prior_engine_elapsed_ms,
+        points,
+    }
+}
+
+/// Re-runs the engine gated vs ungated at each activity factor of
+/// `factors` on stimuli generated with that factor, asserting bit-for-bit
+/// identity at every point (via [`measure_activity_point`]).
+fn activity_sweep(
+    name: &str,
+    netlist: &Arc<Netlist>,
+    annotation: &Arc<TimingAnnotation>,
+    chars: &CharacterizedLibrary,
+    pairs: usize,
+    factors: &[f64],
+    threads: usize,
+) -> ActivitySweep {
+    let engine = Engine::new(
+        Arc::clone(netlist),
+        Arc::clone(annotation),
+        Arc::new(chars.model().clone()),
+    )
+    .expect("engine builds");
+    let width = netlist.inputs().len();
+    let seed = 0xAC71_0000 ^ netlist.num_nodes() as u64;
+    let points = factors
+        .iter()
+        .map(|&factor| {
+            let patterns = activity_patterns(width, pairs, factor, seed);
+            measure_activity_point(&engine, &patterns, factor, threads)
+        })
+        .collect();
+    ActivitySweep {
+        circuit: name.to_owned(),
+        nodes: netlist.num_nodes() as u64,
+        pairs: pairs as u64,
+        slots: pairs as u64,
         points,
     }
 }

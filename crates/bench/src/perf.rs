@@ -31,6 +31,45 @@ pub struct PerfReport {
     /// Worker-pool scaling sweep over one circuit (absent in reports
     /// predating the persistent-pool engine).
     pub thread_scaling: Option<ThreadScaling>,
+    /// Activity-gating sweep over one circuit (absent in reports
+    /// predating the activity-gated engine).
+    pub activity_sweep: Option<ActivitySweep>,
+}
+
+/// Activity-gating sweep: the report's largest circuit re-run at
+/// increasing stimuli activity factors, with the engine's quiet-cell
+/// fast path on versus off on otherwise identical inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivitySweep {
+    /// Circuit the sweep ran on.
+    pub circuit: String,
+    /// Netlist nodes of that circuit.
+    pub nodes: u64,
+    /// Pattern pairs simulated per point.
+    pub pairs: u64,
+    /// Simulation slots per point.
+    pub slots: u64,
+    /// One measurement per activity factor, ascending.
+    pub points: Vec<ActivityPoint>,
+}
+
+/// One point of an [`ActivitySweep`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityPoint {
+    /// Probability that an input toggles between launch and capture
+    /// (see `avfs_bench::activity_patterns`).
+    pub activity_factor: f64,
+    /// Gated engine wall-clock, milliseconds.
+    pub gated_ms: f64,
+    /// Ungated engine wall-clock, milliseconds.
+    pub ungated_ms: f64,
+    /// `ungated_ms / gated_ms` — the activity-gating payoff at this point.
+    pub speedup: f64,
+    /// Gate tasks the gated run resolved via the quiet-cell fast path
+    /// (`engine.gates_skipped_quiet`).
+    pub gates_skipped_quiet: u64,
+    /// Total (slot, gate) tasks of the gated run, for the skip share.
+    pub gate_tasks: u64,
 }
 
 /// Thread-scaling sweep of the persistent worker pool: the report's
@@ -172,6 +211,39 @@ impl PerfReport {
                 ]),
             ));
         }
+        if let Some(sweep) = &self.activity_sweep {
+            fields.push((
+                "activity_sweep".into(),
+                Json::Obj(vec![
+                    ("circuit".into(), Json::Str(sweep.circuit.clone())),
+                    ("nodes".into(), Json::Num(sweep.nodes as f64)),
+                    ("pairs".into(), Json::Num(sweep.pairs as f64)),
+                    ("slots".into(), Json::Num(sweep.slots as f64)),
+                    (
+                        "points".into(),
+                        Json::Arr(
+                            sweep
+                                .points
+                                .iter()
+                                .map(|p| {
+                                    Json::Obj(vec![
+                                        ("activity_factor".into(), Json::Num(p.activity_factor)),
+                                        ("gated_ms".into(), Json::Num(p.gated_ms)),
+                                        ("ungated_ms".into(), Json::Num(p.ungated_ms)),
+                                        ("speedup".into(), Json::Num(p.speedup)),
+                                        (
+                                            "gates_skipped_quiet".into(),
+                                            Json::Num(p.gates_skipped_quiet as f64),
+                                        ),
+                                        ("gate_tasks".into(), Json::Num(p.gate_tasks as f64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
         Json::Obj(fields)
     }
 
@@ -266,6 +338,33 @@ impl PerfReport {
                 })
             }
         };
+        let activity_sweep = match value.get("activity_sweep") {
+            None | Some(Json::Null) => None,
+            Some(sweep) => {
+                let mut points = Vec::new();
+                for p in sweep
+                    .get("points")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| fail("missing activity_sweep points array"))?
+                {
+                    points.push(ActivityPoint {
+                        activity_factor: req_f64(p, "activity_factor")?,
+                        gated_ms: req_f64(p, "gated_ms")?,
+                        ungated_ms: req_f64(p, "ungated_ms")?,
+                        speedup: req_f64(p, "speedup")?,
+                        gates_skipped_quiet: req_u64(p, "gates_skipped_quiet")?,
+                        gate_tasks: req_u64(p, "gate_tasks")?,
+                    });
+                }
+                Some(ActivitySweep {
+                    circuit: req_str(sweep, "circuit")?,
+                    nodes: req_u64(sweep, "nodes")?,
+                    pairs: req_u64(sweep, "pairs")?,
+                    slots: req_u64(sweep, "slots")?,
+                    points,
+                })
+            }
+        };
         Ok(PerfReport {
             scale: req_f64(env, "scale")?,
             pairs_cap: req_u64(env, "pairs_cap")?,
@@ -274,6 +373,7 @@ impl PerfReport {
             os: req_str(env, "os")?,
             circuits,
             thread_scaling,
+            activity_sweep,
         })
     }
 
@@ -342,6 +442,30 @@ mod tests {
                     },
                 ],
             }),
+            activity_sweep: Some(ActivitySweep {
+                circuit: "c17".into(),
+                nodes: 17,
+                pairs: 8,
+                slots: 8,
+                points: vec![
+                    ActivityPoint {
+                        activity_factor: 0.1,
+                        gated_ms: 0.2,
+                        ungated_ms: 0.5,
+                        speedup: 2.5,
+                        gates_skipped_quiet: 40,
+                        gate_tasks: 48,
+                    },
+                    ActivityPoint {
+                        activity_factor: 1.0,
+                        gated_ms: 0.5,
+                        ungated_ms: 0.5,
+                        speedup: 1.0,
+                        gates_skipped_quiet: 0,
+                        gate_tasks: 48,
+                    },
+                ],
+            }),
         }
     }
 
@@ -371,6 +495,27 @@ mod tests {
             .prior_engine_elapsed_ms = None;
         let back = PerfReport::validate(&report.to_json().to_string_pretty()).expect("valid");
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn activity_sweep_is_optional() {
+        // Reports predating the activity-gated engine have no
+        // activity_sweep section and must keep validating.
+        let mut report = sample();
+        report.activity_sweep = None;
+        let text = report.to_json().to_string_pretty();
+        let back = PerfReport::validate(&text).expect("valid without activity_sweep");
+        assert_eq!(back, report);
+        // A corrupt section is rejected with a pointed message.
+        let mut v = sample().to_json();
+        if let Json::Obj(fields) = &mut v {
+            if let Some((_, Json::Obj(s))) = fields.iter_mut().find(|(k, _)| k == "activity_sweep")
+            {
+                s.retain(|(k, _)| k != "points");
+            }
+        }
+        let err = PerfReport::validate(&v.to_string_pretty()).unwrap_err();
+        assert!(err.contains("activity_sweep points"), "{err}");
     }
 
     #[test]

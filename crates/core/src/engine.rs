@@ -38,7 +38,7 @@ use avfs_netlist::{Levelization, Netlist, NodeId, NodeKind};
 use avfs_obs::{time_option, Metrics};
 use avfs_waveform::{
     evaluate_gate_bounded_raw, CapacityOverflow, GateScratch, LevelWriter, PinDelays,
-    SwitchingActivity, Waveform, WaveformArena, WaveformStats, WaveformView,
+    SwitchingActivity, Waveform, WaveformArena, WaveformRead, WaveformStats, WaveformView,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -92,6 +92,44 @@ pub struct SimOptions {
     /// or off; when off (the default) the only cost is an `Option`
     /// check per phase boundary.
     pub profiling: bool,
+    /// Activity-gated level execution (on by default): a gate whose fanin
+    /// cells all carry zero transitions — *quiet* inputs — has a constant
+    /// output, so the engine resolves it with a cheap constant cell write
+    /// on the coordinator and schedules only the remaining *active* gates
+    /// on the worker pool, skipping delay-kernel scheduling and inertial
+    /// pulse filtering for the quiet ones. Results are bit-for-bit
+    /// identical with gating on or off; the switch exists for A/B
+    /// measurement (see the `activity_sweep` bench bin).
+    ///
+    /// ```
+    /// use avfs_core::{slots, Engine, SimOptions};
+    /// use avfs_atpg::PatternSet;
+    /// use avfs_delay::{ParameterSpace, StaticModel, TimingAnnotation};
+    /// use avfs_netlist::CellLibrary;
+    /// use std::sync::Arc;
+    ///
+    /// let library = CellLibrary::nangate15_like();
+    /// let netlist = Arc::new(avfs_circuits::ripple_carry_adder(4, &library)?);
+    /// let engine = Engine::new(
+    ///     Arc::clone(&netlist),
+    ///     Arc::new(TimingAnnotation::zero(&netlist)),
+    ///     Arc::new(StaticModel::new(ParameterSpace::paper())),
+    /// )?;
+    /// let patterns = PatternSet::lfsr(netlist.inputs().len(), 4, 7);
+    /// let slot_list = slots::at_voltage(patterns.len(), 0.8);
+    /// let gated = engine.run(&patterns, &slot_list, &SimOptions::default())?;
+    /// let ungated = engine.run(
+    ///     &patterns,
+    ///     &slot_list,
+    ///     &SimOptions {
+    ///         activity_gating: false,
+    ///         ..SimOptions::default()
+    ///     },
+    /// )?;
+    /// assert_eq!(gated.slots, ungated.slots); // gating never changes results
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub activity_gating: bool,
 }
 
 impl SimOptions {
@@ -116,6 +154,7 @@ impl Default for SimOptions {
             arena_capacity: 0,
             overflow_retries: 4,
             profiling: false,
+            activity_gating: true,
         }
     }
 }
@@ -684,7 +723,7 @@ impl Engine {
             if live.is_empty() {
                 continue;
             }
-            let tasks = live.len() * gate_nodes.len();
+            let grid_tasks = live.len() * gate_nodes.len();
             let ctx = LevelCtx {
                 gate_nodes: &gate_nodes,
                 gate_offsets: &gate_offsets,
@@ -693,67 +732,126 @@ impl Engine {
                 live: &live,
                 nodes,
             };
-            // Verdicts (task index, fault) collected by workers; applied
-            // deterministically at the barrier below.
+            // Verdicts (grid-task index, fault) collected by workers;
+            // applied deterministically at the barrier below.
             let verdicts: Mutex<Vec<(usize, Dead)>> = Mutex::new(Vec::new());
             let merge_span = metrics.map(|m| m.span(phases::ENGINE_WAVEFORM_MERGE));
-            if tasks > 0 {
-                let workers = pool.map_or(1, WorkerPool::size).clamp(1, tasks);
-                let chunk_tasks =
-                    (tasks / (workers * STEAL_GRABS_PER_WORKER)).clamp(1, MAX_STEAL_CHUNK);
-                let cursor = AtomicUsize::new(0);
+            if grid_tasks > 0 {
                 // In-place epoch writer: tasks write this level's cells
                 // directly into the arena (claim-guarded, cell-disjoint)
                 // while reading only previous levels' cells — no per-task
                 // waveform allocation, no serial write-back.
                 let writer = arena.level_writer();
-                let ctx_ref = &ctx;
-                let writer_ref = &writer;
-                // One worker's share of the level: steal task chunks off
-                // the shared cursor until it runs dry, catching panics and
-                // capacity overflows per task.
-                let job = |w: usize| {
-                    let mut scratch = GateScratch::new();
-                    let mut inputs: Vec<WaveformView<'_>> = Vec::new();
-                    let mut local_verdicts: Vec<(usize, Dead)> = Vec::new();
-                    let mut executed = 0u64;
-                    let mut grabs = 0u64;
-                    loop {
-                        let t0 = cursor.fetch_add(chunk_tasks, Ordering::Relaxed);
-                        if t0 >= tasks {
-                            break;
-                        }
-                        grabs += 1;
-                        for t in t0..(t0 + chunk_tasks).min(tasks) {
-                            executed += 1;
-                            let r = catch_unwind(AssertUnwindSafe(|| {
-                                self.eval_task(t, ctx_ref, writer_ref, &mut scratch, &mut inputs)
-                            }));
-                            inputs.clear();
-                            match r {
-                                Ok(Ok(())) => {}
-                                Ok(Err(_)) => local_verdicts.push((t, Dead::Overflow)),
-                                Err(_) => local_verdicts.push((t, Dead::Panic)),
+                // Activity gating: a task whose fanin cells are all quiet
+                // (zero transitions) has a constant output — the
+                // coordinator resolves it with a constant cell write here
+                // and only the surviving *active* tasks go to the pool.
+                // The scan claims cells in slot-major grid order on one
+                // thread, so the schedule stays deterministic; retry
+                // rounds re-derive quiet bits from the surviving slots'
+                // freshly written cells.
+                let active: Option<Vec<usize>> = options.activity_gating.then(|| {
+                    let mut active = Vec::new();
+                    let mut values: Vec<bool> = Vec::new();
+                    for (li, &si) in live.iter().enumerate() {
+                        let base = si * nodes;
+                        for (pos, &node_id) in gate_nodes.iter().enumerate() {
+                            let node = self.netlist.node(node_id);
+                            let quiet = node
+                                .fanin()
+                                .iter()
+                                .all(|f| writer.is_quiet(base + f.index()));
+                            if quiet {
+                                values.clear();
+                                values.extend(
+                                    node.fanin()
+                                        .iter()
+                                        .map(|f| writer.view(base + f.index()).initial_value()),
+                                );
+                                let cell = self.netlist.cell_of(node_id).expect("gate has a cell");
+                                writer.write_constant(base + node_id.index(), cell.eval(&values));
+                            } else {
+                                active.push(li * gate_nodes.len() + pos);
                             }
                         }
                     }
-                    if !local_verdicts.is_empty() {
-                        verdicts
-                            .lock()
-                            .expect("verdict lock survives (worker panics are contained)")
-                            .extend(local_verdicts);
-                    }
-                    tallies.tasks[w].fetch_add(executed, Ordering::Relaxed);
-                    tallies.steals[w].fetch_add(grabs.saturating_sub(1), Ordering::Relaxed);
-                };
-                match pool {
-                    Some(p) => {
-                        let idle = p.run(&job, metrics.is_some());
-                        if let Some(m) = metrics {
-                            m.record_duration(phases::ENGINE_POOL_IDLE, idle);
+                    active
+                });
+                if let (Some(m), Some(active)) = (metrics, active.as_ref()) {
+                    m.add(
+                        phases::ENGINE_GATES_SKIPPED_QUIET,
+                        (grid_tasks - active.len()) as u64,
+                    );
+                    m.record(
+                        phases::ENGINE_LEVEL_ACTIVITY,
+                        (active.len() * 100 / grid_tasks) as u64,
+                    );
+                }
+                let tasks = active.as_ref().map_or(grid_tasks, Vec::len);
+                if tasks > 0 {
+                    let workers = pool.map_or(1, WorkerPool::size).clamp(1, tasks);
+                    let chunk_tasks =
+                        (tasks / (workers * STEAL_GRABS_PER_WORKER)).clamp(1, MAX_STEAL_CHUNK);
+                    let cursor = AtomicUsize::new(0);
+                    let ctx_ref = &ctx;
+                    let writer_ref = &writer;
+                    let active_ref = active.as_deref();
+                    // One worker's share of the level: steal task chunks
+                    // off the shared cursor until it runs dry, catching
+                    // panics and capacity overflows per task.
+                    let job = |w: usize| {
+                        let mut scratch = GateScratch::new();
+                        let mut inputs: Vec<WaveformView<'_>> = Vec::new();
+                        let mut local_verdicts: Vec<(usize, Dead)> = Vec::new();
+                        let mut executed = 0u64;
+                        let mut grabs = 0u64;
+                        loop {
+                            let t0 = cursor.fetch_add(chunk_tasks, Ordering::Relaxed);
+                            if t0 >= tasks {
+                                break;
+                            }
+                            grabs += 1;
+                            for t in t0..(t0 + chunk_tasks).min(tasks) {
+                                executed += 1;
+                                // Compacted → grid index; verdicts carry
+                                // the grid index so barrier reconciliation
+                                // is independent of gating.
+                                let g = active_ref.map_or(t, |a| a[t]);
+                                let r = catch_unwind(AssertUnwindSafe(|| {
+                                    self.eval_task(
+                                        g,
+                                        ctx_ref,
+                                        writer_ref,
+                                        &mut scratch,
+                                        &mut inputs,
+                                    )
+                                }));
+                                inputs.clear();
+                                match r {
+                                    Ok(Ok(())) => {}
+                                    Ok(Err(_)) => local_verdicts.push((g, Dead::Overflow)),
+                                    Err(_) => local_verdicts.push((g, Dead::Panic)),
+                                }
+                            }
                         }
+                        if !local_verdicts.is_empty() {
+                            verdicts
+                                .lock()
+                                .expect("verdict lock survives (worker panics are contained)")
+                                .extend(local_verdicts);
+                        }
+                        tallies.tasks[w].fetch_add(executed, Ordering::Relaxed);
+                        tallies.steals[w].fetch_add(grabs.saturating_sub(1), Ordering::Relaxed);
+                    };
+                    match pool {
+                        Some(p) => {
+                            let idle = p.run(&job, metrics.is_some());
+                            if let Some(m) = metrics {
+                                m.record_duration(phases::ENGINE_POOL_IDLE, idle);
+                            }
+                        }
+                        None => job(0),
                     }
-                    None => job(0),
                 }
             }
             if let Some(span) = merge_span {
@@ -814,6 +912,15 @@ impl Engine {
                     }
                     let activity =
                         SwitchingActivity::of((base..base + nodes).map(|i| arena.view(i)));
+                    if let Some(m) = metrics {
+                        // The activity headroom gating exploits: quiet
+                        // cells observed over the whole window (recorded
+                        // whether or not gating is on).
+                        m.add(
+                            phases::ENGINE_QUIET_CELLS,
+                            (activity.nets - activity.active_nets) as u64,
+                        );
+                    }
                     results[slot] = Some(SlotResult {
                         spec,
                         status: SlotStatus::Completed { retries: round },
@@ -1164,29 +1271,105 @@ mod tests {
             ),
         ];
         for (name, run) in &scenarios {
+            // The reference is the plainest possible path: single thread,
+            // unprofiled, activity gating off.
             let reference = run(SimOptions {
                 threads: 1,
                 profiling: false,
+                activity_gating: false,
                 ..SimOptions::default()
             });
             if *name == "overflow-retry" {
                 assert_eq!(reference.diagnostics.slot_retries, 4, "scenario {name}");
             }
-            for threads in [1, 2, 4, 8] {
-                for profiling in [false, true] {
-                    let got = run(SimOptions {
-                        threads,
-                        profiling,
-                        ..SimOptions::default()
-                    });
-                    let case = format!("{name}, threads={threads}, profiling={profiling}");
-                    assert_eq!(got.slots, reference.slots, "{case}");
-                    assert_eq!(got.diagnostics, reference.diagnostics, "{case}");
-                    assert_eq!(got.node_evaluations, reference.node_evaluations, "{case}");
-                    assert_eq!(got.profile.is_some(), profiling, "{case}");
+            for activity_gating in [false, true] {
+                for threads in [1, 2, 4, 8] {
+                    for profiling in [false, true] {
+                        let got = run(SimOptions {
+                            threads,
+                            profiling,
+                            activity_gating,
+                            ..SimOptions::default()
+                        });
+                        let case = format!(
+                            "{name}, threads={threads}, profiling={profiling}, \
+                             gating={activity_gating}"
+                        );
+                        assert_eq!(got.slots, reference.slots, "{case}");
+                        assert_eq!(got.diagnostics, reference.diagnostics, "{case}");
+                        assert_eq!(got.node_evaluations, reference.node_evaluations, "{case}");
+                        assert_eq!(got.profile.is_some(), profiling, "{case}");
+                    }
                 }
             }
         }
+    }
+
+    #[test]
+    fn quiet_stimuli_resolve_without_pool_tasks() {
+        // launch == capture: every stimulus is a constant, so every gate
+        // of every level is quiet and the whole run resolves through the
+        // coordinator's constant fast path — zero pool tasks.
+        use avfs_atpg::pattern::PatternPair;
+        let lib = CellLibrary::nangate15_like();
+        let cfg = avfs_circuits::GeneratorConfig::small();
+        let n = Arc::new(avfs_circuits::random_netlist("rnd", &cfg, &lib, 3).unwrap());
+        let engine = static_engine(&n, 8.0, 9.0);
+        let p = PatternSet::random(n.inputs().len(), 1, 0xBEEF).pairs()[0]
+            .launch
+            .clone();
+        let patterns: PatternSet =
+            std::iter::once(PatternPair::new(p.clone(), p).unwrap()).collect();
+        let opts = SimOptions {
+            threads: 1,
+            profiling: true,
+            keep_waveforms: true,
+            ..SimOptions::default()
+        };
+        let run = engine.run(&patterns, &at_voltage(1, 0.8), &opts).unwrap();
+        assert!(run.is_complete());
+        let gates = n
+            .iter()
+            .filter(|(_, node)| matches!(node.kind(), NodeKind::Gate(_)))
+            .count() as u64;
+        let profile = run.profile.as_ref().unwrap();
+        assert_eq!(
+            profile.counter(phases::ENGINE_GATES_SKIPPED_QUIET),
+            Some(gates),
+            "every gate resolved by the quiet fast path"
+        );
+        assert_eq!(
+            profile.counter(phases::ENGINE_QUIET_CELLS),
+            Some(n.num_nodes() as u64),
+            "every cell stayed quiet"
+        );
+        // Nothing toggles: every retained waveform is constant and the
+        // responses are the combinational function of the launch values.
+        assert_eq!(run.slots[0].activity.total_transitions, 0);
+        for wf in run.slots[0].waveforms.as_ref().unwrap() {
+            assert_eq!(wf.num_transitions(), 0);
+        }
+        // The ungated run agrees bit for bit and reports no skip counter.
+        let ungated = engine
+            .run(
+                &patterns,
+                &at_voltage(1, 0.8),
+                &SimOptions {
+                    activity_gating: false,
+                    ..opts
+                },
+            )
+            .unwrap();
+        assert_eq!(run.slots, ungated.slots);
+        assert_eq!(
+            ungated
+                .profile
+                .as_ref()
+                .unwrap()
+                .counter(phases::ENGINE_GATES_SKIPPED_QUIET),
+            None,
+            "ungated runs record no skip counter"
+        );
     }
 
     #[test]

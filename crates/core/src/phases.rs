@@ -73,6 +73,28 @@ pub const ENGINE_ARENA_OCCUPANCY: &str = "engine.arena_occupancy";
 /// Histogram of slots per launched batch.
 pub const ENGINE_BATCH_SLOTS: &str = "engine.batch_slots";
 
+/// Gate tasks resolved by the quiet-cell fast path instead of being
+/// scheduled on the pool, summed over levels, batches and retry rounds.
+/// Recorded only when [`SimOptions::activity_gating`] is enabled
+/// (otherwise no task is ever skipped).
+///
+/// [`SimOptions::activity_gating`]: crate::SimOptions::activity_gating
+pub const ENGINE_GATES_SKIPPED_QUIET: &str = "engine.gates_skipped_quiet";
+
+/// Quiet `(slot, net)` cells (zero transitions over the simulation
+/// window) observed at waveform analysis, summed over completed slots —
+/// the activity headroom gating can exploit. Recorded regardless of
+/// whether gating is enabled.
+pub const ENGINE_QUIET_CELLS: &str = "engine.quiet_cells";
+
+/// Histogram of per-level activity: for every gated level with at least
+/// one (slot, gate) task, the percentage (0–100) of tasks that were
+/// *active* — i.e. survived quiet-cell pruning and went to the pool.
+/// Recorded only when [`SimOptions::activity_gating`] is enabled.
+///
+/// [`SimOptions::activity_gating`]: crate::SimOptions::activity_gating
+pub const ENGINE_LEVEL_ACTIVITY: &str = "engine.level_activity";
+
 /// Work-stealing chunk grabs beyond each worker's first in a level,
 /// summed over the run — how often the atomic cursor rebalanced load
 /// across the pool.

@@ -158,6 +158,50 @@ mod tests {
     }
 
     #[test]
+    fn quiet_bit_edge_cases() {
+        // The engine's quiet bit is exactly `transitions == 0`. Constant
+        // waveforms of either polarity are quiet regardless of their value.
+        for initial in [false, true] {
+            let s = WaveformStats::of(&Waveform::constant(initial));
+            assert_eq!(s.transitions, 0);
+            assert_eq!(s.glitch_transitions, 0);
+            assert_eq!(s.latest_transition, None);
+            assert_eq!(s.final_value, initial);
+        }
+        // A single-transition net is NOT quiet even though it is entirely
+        // glitch-free: its one functional transition must still propagate.
+        let s = WaveformStats::of(&wf(true, &[42.0]));
+        assert_eq!(s.transitions, 1);
+        assert_eq!(s.glitch_transitions, 0);
+        assert_eq!(s.latest_transition, Some(42.0));
+        assert!(!s.final_value);
+        // A glitch-only net that returns to its initial value is NOT quiet
+        // either — its final value matches a constant, but the pulse can
+        // still stretch or propagate through downstream gates.
+        let s = WaveformStats::of(&wf(true, &[10.0, 11.5]));
+        assert_eq!(s.transitions, 2);
+        assert_eq!(s.glitch_transitions, 2);
+        assert_eq!(s.latest_transition, Some(11.5));
+        assert!(s.final_value, "returns to its initial value");
+    }
+
+    #[test]
+    fn inactive_nets_complement_active_nets() {
+        // `nets - active_nets` is the per-slot quiet-cell tally the engine
+        // reports as `engine.quiet_cells`.
+        let wfs = [
+            Waveform::constant(false),
+            wf(true, &[1.0]),
+            Waveform::constant(true),
+            wf(false, &[2.0, 3.0]),
+        ];
+        let act = SwitchingActivity::of(wfs.iter());
+        assert_eq!(act.nets, 4);
+        assert_eq!(act.active_nets, 2);
+        assert_eq!(act.nets - act.active_nets, 2);
+    }
+
+    #[test]
     fn aggregate_activity() {
         let wfs = [
             wf(false, &[5.0]),

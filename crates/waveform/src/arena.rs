@@ -413,6 +413,69 @@ impl LevelWriter<'_> {
         }
     }
 
+    /// Transition count of cell `idx` — the *quiet bit* source: a cell
+    /// with zero transitions carries a constant signal for the whole
+    /// simulation window. Like [`LevelWriter::view`], the cell must not be
+    /// written in this epoch (it is a fanin of the level being computed,
+    /// so it belongs to a strictly earlier level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or the cell was already written in
+    /// this epoch.
+    #[inline]
+    pub fn transition_count(&self, idx: usize) -> usize {
+        assert!(idx < self.entries, "arena cell {idx} out of range");
+        assert!(
+            !self.is_claimed(idx),
+            "read of arena cell {idx} written in the same level epoch"
+        );
+        // SAFETY: idx is in range; the cell is unclaimed, and under the
+        // levelization contract no writer will claim it during this epoch,
+        // so the plain read cannot race.
+        unsafe { *self.len.add(idx) as usize }
+    }
+
+    /// Whether cell `idx` is *quiet* — zero transitions, i.e. a constant
+    /// signal. A gate whose fanin cells are all quiet has a constant
+    /// output and needs no waveform evaluation. Same access discipline as
+    /// [`LevelWriter::transition_count`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or the cell was already written in
+    /// this epoch.
+    #[inline]
+    pub fn is_quiet(&self, idx: usize) -> bool {
+        self.transition_count(idx) == 0
+    }
+
+    /// Writes a constant signal of `value` into cell `idx`, claiming it
+    /// for this epoch — the quiet-cell fast path. Equivalent to
+    /// `write(idx, value, &[])` but infallible: a constant (zero
+    /// transitions) fits any capacity, so no overflow is possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or the cell was already written in
+    /// this epoch.
+    #[inline]
+    pub fn write_constant(&self, idx: usize, value: bool) {
+        assert!(idx < self.entries, "arena cell {idx} out of range");
+        assert!(
+            self.claim(idx),
+            "arena cell {idx} written twice within one level epoch"
+        );
+        // SAFETY: this caller won the claim for idx, so it has exclusive
+        // write access to the cell's initial/len storage for the rest of
+        // the epoch; idx is in bounds. The peak watermark is untouched —
+        // `max(peak, 0)` is the identity.
+        unsafe {
+            *self.initial.add(idx) = value;
+            *self.len.add(idx) = 0;
+        }
+    }
+
     /// Writes `transitions` (with initial value `initial`) into cell
     /// `idx`, claiming it for this epoch.
     ///
@@ -631,6 +694,46 @@ mod tests {
             assert_eq!(v.initial_value(), idx % 2 == 0);
             assert_eq!(v.transitions(), &[idx as f64 + 0.5]);
         }
+    }
+
+    #[test]
+    fn level_writer_quiet_bits_and_constant_writes() {
+        let mut arena = WaveformArena::new(4, 2);
+        let w = Waveform::with_transitions(true, vec![5.0]).unwrap();
+        arena.write(1, &w).unwrap();
+        arena.write(2, &Waveform::constant(true)).unwrap();
+        {
+            let writer = arena.level_writer();
+            // Quiet = zero transitions; a toggling cell is not quiet.
+            assert_eq!(writer.transition_count(0), 0);
+            assert!(writer.is_quiet(0));
+            assert_eq!(writer.transition_count(1), 1);
+            assert!(!writer.is_quiet(1));
+            assert!(writer.is_quiet(2), "constant-high is quiet too");
+            // The constant fast path claims the cell like a normal write.
+            writer.write_constant(3, true);
+            let double = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                writer.write_constant(3, false);
+            }));
+            assert!(double.is_err(), "double constant write must panic");
+            // Reading the quiet bit of a cell written this epoch trips
+            // the same wire as a dirty view.
+            let dirty = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = writer.is_quiet(3);
+            }));
+            assert!(dirty.is_err(), "same-epoch quiet read must panic");
+        }
+        assert_eq!(arena.to_waveform(3), Waveform::constant(true));
+        assert_eq!(arena.occupancy(3), 0);
+        // A constant write never moves the peak watermark.
+        assert_eq!(arena.peak_occupancy(), 1);
+        // write_constant is bit-for-bit equivalent to an empty write.
+        {
+            let writer = arena.level_writer();
+            writer.write_constant(0, true);
+            writer.write(3, true, &[]).unwrap();
+        }
+        assert_eq!(arena.to_waveform(0), arena.to_waveform(3));
     }
 
     #[test]

@@ -122,6 +122,28 @@ fn profile_reports_every_documented_phase() {
         .histogram(phases::ENGINE_POOL_WORKER_TASKS)
         .expect("per-worker task histogram recorded");
     assert_eq!(worker_tasks.count, 2, "one sample per pool worker");
+    // Activity-gating instruments (gating is on by default): the skip
+    // counter exists even when busy stimuli leave nothing to skip, the
+    // quiet-cell tally exists even when every net toggled, and every
+    // gated level samples its activity share as a 0–100 percentage.
+    assert!(
+        profile
+            .counter(phases::ENGINE_GATES_SKIPPED_QUIET)
+            .is_some(),
+        "quiet-skip counter present under default (gated) options"
+    );
+    assert!(
+        profile.counter(phases::ENGINE_QUIET_CELLS).is_some(),
+        "quiet-cell tally present"
+    );
+    let level_activity = profile
+        .histogram(phases::ENGINE_LEVEL_ACTIVITY)
+        .expect("per-level activity histogram recorded");
+    assert!(level_activity.count > 0, "one sample per gated level");
+    assert!(
+        level_activity.max <= 100,
+        "activity is a percentage of the level's tasks"
+    );
     // The profile survives its JSON round-trip unchanged.
     let json = profile.to_json().to_string_pretty();
     let parsed = avfs::obs::Json::parse(&json).expect("valid JSON");
