@@ -28,4 +28,7 @@ cargo run --release --offline -p avfs-bench --bin thread_scaling -- --smoke
 echo "==> activity_sweep --smoke (gating determinism gate)"
 cargo run --release --offline -p avfs-bench --bin activity_sweep -- --smoke
 
+echo "==> checker --smoke (static-analysis gate: avfs-check/1 schema, zero deny findings)"
+cargo run --release --offline -p avfs-bench --bin checker -- --smoke
+
 echo "CI OK"

@@ -23,6 +23,8 @@
 //! paths, which this crate provides deterministically (every generator is
 //! seeded).
 
+#![forbid(unsafe_code)]
+
 pub mod fault;
 pub mod paths;
 pub mod pattern;

@@ -1,0 +1,180 @@
+//! checker — the static-analysis gate emitting `avfs-check/1` JSON.
+//!
+//! Runs all three `avfs-check` analysis tiers, fully offline:
+//!
+//! 1. **netlist** — structural lints over the bundled benchmark circuits
+//!    (arity, cross-reference consistency, levelization, connectivity,
+//!    duplicate fan-in);
+//! 2. **delay model** — a grid audit of the characterized polynomial
+//!    kernel surfaces (finite coefficients, positive `1 + f(P)` scaling,
+//!    voltage monotonicity) plus the paper's operating corners;
+//! 3. **concurrency / unsafe** — exhaustive interleaving exploration of
+//!    the waveform-arena claim-bit and worker-pool epoch protocols, and
+//!    the SAFETY-comment lint over every `unsafe` site in the workspace
+//!    source tree.
+//!
+//! ```text
+//! cargo run -p avfs-bench --bin checker [-- --scale 0.01 --order 3 --out CHECK_report.json]
+//! cargo run -p avfs-bench --bin checker -- --smoke   # CI: validate, require zero deny findings, write nothing
+//! ```
+//!
+//! The process exits non-zero when any deny-severity finding exists, so
+//! the binary doubles as the CI gate (`ci.sh`).
+
+use avfs_bench::{characterize_used, Args};
+use avfs_check::{Report, Severity, Subject};
+use avfs_circuits::PAPER_PROFILES;
+use avfs_delay::OperatingPoint;
+use avfs_netlist::{CellLibrary, Netlist};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args = Args::capture();
+    if args.flag("--help") {
+        println!("checker: three-tier static analysis, avfs-check/1 JSON report");
+        println!("  --scale <f>   paper-circuit scale factor (default 0.01; full run only)");
+        println!("  --order <N>   characterization polynomial order (default 3)");
+        println!("  --out <path>  output path (default CHECK_report.json)");
+        println!("  --smoke       small circuits only, validate, require zero deny, no file");
+        return ExitCode::SUCCESS;
+    }
+    let smoke = args.flag("--smoke");
+    let scale: f64 = args.value("--scale").unwrap_or(0.01);
+    let order: usize = args.value("--order").unwrap_or(3);
+    let out: String = args
+        .value("--out")
+        .unwrap_or_else(|| "CHECK_report.json".into());
+    let library = CellLibrary::nangate15_like();
+    let mut report = Report::new();
+
+    // Tier 1 — netlist lints. The smoke gate sticks to the small bundled
+    // circuits; a full run also synthesizes the paper designs at --scale.
+    let mut netlists: Vec<(String, Netlist)> = vec![
+        (
+            "c17".into(),
+            avfs_circuits::c17(&library).expect("c17 builds"),
+        ),
+        (
+            "rca8".into(),
+            avfs_circuits::ripple_carry_adder(8, &library).expect("rca8 builds"),
+        ),
+        (
+            "rnd-small".into(),
+            avfs_circuits::random_netlist(
+                "rnd-small",
+                &avfs_circuits::GeneratorConfig::small(),
+                &library,
+                0xC0FFEE,
+            )
+            .expect("random netlist builds"),
+        ),
+    ];
+    if !smoke {
+        for profile in PAPER_PROFILES {
+            netlists.push((
+                profile.name.into(),
+                profile
+                    .synthesize(scale, &library)
+                    .expect("synthesis succeeds"),
+            ));
+        }
+    }
+    for (name, netlist) in &netlists {
+        report.push(Subject::new(
+            name.clone(),
+            "netlist",
+            avfs_check::netlist::lint_netlist(netlist),
+        ));
+    }
+
+    // Tier 2 — delay-model lints over a freshly characterized kernel:
+    // the grid audit of every fitted surface, plus the paper's corner
+    // operating points as intended-use checks.
+    let refs: Vec<&Netlist> = netlists.iter().map(|(_, n)| n).collect();
+    let chars = characterize_used(&refs, &library, order);
+    let space = chars.space();
+    let (v_min, v_max) = space.voltage_range();
+    let (c_min, c_max) = space.load_range();
+    let corners: Vec<(String, OperatingPoint)> = [
+        ("corner v_min/c_min", OperatingPoint::new(v_min, c_min)),
+        ("corner v_max/c_max", OperatingPoint::new(v_max, c_max)),
+        (
+            "nominal",
+            OperatingPoint::new(space.nominal_vdd(), (c_min + c_max) / 2.0),
+        ),
+    ]
+    .map(|(name, op)| (name.to_owned(), op))
+    .into();
+    report.push(Subject::new(
+        "characterized-model",
+        "delay-model",
+        avfs_check::model::lint_model(chars.model(), &corners),
+    ));
+
+    // Tier 3a — concurrency audit: exhaustive interleaving exploration of
+    // the claim-bit and epoch-barrier protocol models.
+    let (runs, findings) = avfs_check::protocols::audit_concurrency();
+    report.schedules_explored = runs
+        .iter()
+        .filter_map(|r| r.result.as_ref().ok())
+        .map(|e| e.schedules)
+        .sum();
+    for run in &runs {
+        match &run.result {
+            Ok(explored) => eprintln!(
+                "checker: {:<26} {} threads, {} schedules, depth {}",
+                run.protocol, run.threads, explored.schedules, explored.max_depth
+            ),
+            Err(err) => eprintln!("checker: {:<26} VIOLATION: {err}", run.protocol),
+        }
+    }
+    report.push(Subject::new("engine-protocols", "concurrency", findings));
+
+    // Tier 3b — SAFETY-comment lint over the workspace source tree.
+    let root = workspace_root();
+    let safety =
+        avfs_check::safety::lint_unsafe_comments(&root).expect("workspace tree is readable");
+    report.push(Subject::new("workspace", "safety", safety));
+
+    // The document must survive its own schema validation, always.
+    let text = report.to_json().to_string_pretty();
+    let back = Report::validate(&text).expect("emitted report validates against avfs-check/1");
+    assert_eq!(back, report, "round trip is identity");
+
+    println!(
+        "checker: {} subjects — {} deny / {} warn / {} info, {} schedules explored",
+        report.subjects.len(),
+        report.count(Severity::Deny),
+        report.count(Severity::Warn),
+        report.count(Severity::Info),
+        report.schedules_explored
+    );
+    for subject in &report.subjects {
+        for finding in &subject.findings {
+            println!("  {} ({}): {finding}", subject.name, subject.kind);
+        }
+    }
+
+    if smoke {
+        println!(
+            "checker --smoke: schema avfs-check/1 OK ({} bytes)",
+            text.len()
+        );
+    } else {
+        std::fs::write(&out, &text).expect("report written");
+        println!("checker: wrote {out}");
+    }
+    if report.passes_ci() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("checker: deny-severity findings present");
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root, two levels up from this crate's manifest — the
+/// tree the SAFETY lint walks.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}

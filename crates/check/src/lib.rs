@@ -1,0 +1,418 @@
+//! Static verification for the AVFS simulation workspace: catch bad
+//! inputs and concurrency regressions *before* a single kernel
+//! evaluation, the way an STA tool gates timing signoff.
+//!
+//! The paper's flow silently assumes well-formed inputs at every stage —
+//! a levelizable netlist (Sec. IV.B), delay polynomials that are finite,
+//! voltage-monotone and only evaluated inside the characterized `(v, c)`
+//! grid (Sec. III/IV.A) — and the engine's hot path rests on a
+//! hand-rolled atomic claim-bitmap + epoch-barrier protocol whose safety
+//! argument otherwise lives in comments only. This crate makes all of
+//! that statically checkable, in three tiers:
+//!
+//! * [`netlist`] — **tier 1**: structural lints over
+//!   [`avfs_netlist::Netlist`] (undriven/unreachable gates, dangling
+//!   nets, arity mismatches, graph-consistency, levelization, the
+//!   combinational-loop witness),
+//! * [`model`] — **tier 2**: delay-model lints over fitted
+//!   [`PolynomialModel`](avfs_delay::PolynomialModel)s (non-finite
+//!   coefficients, non-positive scaling factors `1 + f(P)`,
+//!   voltage-monotonicity violations, operating points outside the
+//!   characterized domain),
+//! * [`interleave`] + [`protocols`] — **tier 3**: a bounded
+//!   exhaustive-interleaving checker (mini-loom style, in-tree, no
+//!   dependencies) that model-checks the arena claim-bit single-winner
+//!   and worker-pool epoch-barrier protocols over 2–3 threads,
+//! * [`safety`] — a `SAFETY:` comment lint for every `unsafe` site in
+//!   the workspace, enforced in CI.
+//!
+//! All analyses are pure and offline. Findings aggregate into a
+//! schema-versioned [`Report`] (schema [`CHECK_SCHEMA`], `avfs-check/1`)
+//! with a JSON round-trip, consumed by the `checker` binary in
+//! `avfs-bench` and by the engine's
+//! `SimOptions::strict_validation` wiring in `avfs-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use avfs_check::{netlist::lint_netlist, Severity};
+//! use avfs_netlist::{CellLibrary, NetlistBuilder};
+//!
+//! # fn main() -> Result<(), avfs_netlist::NetlistError> {
+//! let lib = CellLibrary::nangate15_like();
+//! let mut b = NetlistBuilder::new("demo", &lib);
+//! let a = b.add_input("a")?;
+//! let unused = b.add_input("unused")?; // never read: AVC-N007
+//! let g = b.add_gate("g", "INV_X1", &[a])?;
+//! b.add_output("y", g)?;
+//! let _ = unused;
+//! let findings = lint_netlist(&b.finish()?);
+//! assert_eq!(findings.len(), 1);
+//! assert_eq!(findings[0].rule, "AVC-N007");
+//! assert_eq!(findings[0].severity, Severity::Warn);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod interleave;
+pub mod model;
+pub mod netlist;
+pub mod protocols;
+pub mod report;
+pub mod safety;
+
+pub use interleave::{explore, Explored, InterleaveError, StepResult, ThreadModel};
+pub use report::{Report, Subject, CHECK_SCHEMA};
+
+use std::fmt;
+
+/// How severe a finding is — mirrors a compiler's lint levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: legal but worth knowing (e.g. duplicate fan-in).
+    Info,
+    /// Suspicious: the simulation will run but results may not mean what
+    /// the user thinks (dead logic, extrapolated operating points).
+    Warn,
+    /// Broken: simulating this input is meaningless or unsound; CI and
+    /// `strict_validation = Deny` refuse it.
+    Deny,
+}
+
+impl Severity {
+    /// The canonical lower-case name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+
+    /// Parses the canonical name back (report round-trips).
+    pub fn from_name(name: &str) -> Option<Severity> {
+        match name {
+            "info" => Some(Severity::Info),
+            "warn" => Some(Severity::Warn),
+            "deny" => Some(Severity::Deny),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One lint finding: a rule violation at a concrete location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule identifier (`AVC-N001` …), see [`RULES`].
+    pub rule: &'static str,
+    /// The rule's severity.
+    pub severity: Severity,
+    /// Where the problem is (a node name, a `cell/pin` path, a
+    /// `file:line`), empty when the finding is global.
+    pub location: String,
+    /// Human-readable description of this occurrence.
+    pub message: String,
+}
+
+impl Finding {
+    /// Creates a finding for a registered rule, taking the severity from
+    /// the registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rule` is not in [`RULES`] — rule IDs are static by
+    /// design, so an unknown ID is a programming error.
+    pub fn new(
+        rule: &'static str,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Finding {
+        let spec = rule_spec(rule).unwrap_or_else(|| panic!("unregistered lint rule `{rule}`"));
+        Finding {
+            rule,
+            severity: spec.severity,
+            location: location.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    /// `severity rule [location]: message` — the one-line rendering used
+    /// by `RunDiagnostics` and the checker's text output.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.severity, self.rule)?;
+        if !self.location.is_empty() {
+            write!(f, " [{}]", self.location)?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Static description of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleSpec {
+    /// Stable identifier (`AVC-<tier letter><number>`).
+    pub id: &'static str,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// Default severity.
+    pub severity: Severity,
+    /// Which analysis tier owns the rule (1 = netlist, 2 = delay model,
+    /// 3 = concurrency/unsafe audit).
+    pub tier: u8,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// The complete rule registry — the check taxonomy of DESIGN.md §11.
+pub const RULES: &[RuleSpec] = &[
+    // ── Tier 1: netlist structure ──────────────────────────────────────
+    RuleSpec {
+        id: "AVC-N001",
+        name: "combinational-loop",
+        severity: Severity::Deny,
+        tier: 1,
+        summary: "netlist contains a combinational feedback loop (cycle witness attached)",
+    },
+    RuleSpec {
+        id: "AVC-N002",
+        name: "arity-mismatch",
+        severity: Severity::Deny,
+        tier: 1,
+        summary: "gate fan-in count disagrees with its library cell's input pin count",
+    },
+    RuleSpec {
+        id: "AVC-N003",
+        name: "graph-inconsistency",
+        severity: Severity::Deny,
+        tier: 1,
+        summary: "fan-in/fan-out cross-references disagree (corrupt or multi-driven wiring)",
+    },
+    RuleSpec {
+        id: "AVC-N004",
+        name: "level-invariant",
+        severity: Severity::Deny,
+        tier: 1,
+        summary: "a node's level does not exceed all of its fan-ins' levels",
+    },
+    RuleSpec {
+        id: "AVC-N005",
+        name: "dangling-net",
+        severity: Severity::Warn,
+        tier: 1,
+        summary: "internal gate output net has no fan-out (fanout-free cell)",
+    },
+    RuleSpec {
+        id: "AVC-N006",
+        name: "unobservable-gate",
+        severity: Severity::Warn,
+        tier: 1,
+        summary: "gate reaches no primary output (dead logic cone)",
+    },
+    RuleSpec {
+        id: "AVC-N007",
+        name: "unused-input",
+        severity: Severity::Warn,
+        tier: 1,
+        summary: "primary input drives nothing (floating stimulus)",
+    },
+    RuleSpec {
+        id: "AVC-N008",
+        name: "undriven-gate",
+        severity: Severity::Warn,
+        tier: 1,
+        summary: "gate is unreachable from every primary input (statically constant cone)",
+    },
+    RuleSpec {
+        id: "AVC-N009",
+        name: "duplicate-fanin",
+        severity: Severity::Info,
+        tier: 1,
+        summary: "the same net drives more than one input pin of a gate",
+    },
+    // ── Tier 2: delay models ───────────────────────────────────────────
+    RuleSpec {
+        id: "AVC-D001",
+        name: "non-finite-coefficient",
+        severity: Severity::Deny,
+        tier: 2,
+        summary: "a fitted polynomial surface carries a NaN or infinite coefficient",
+    },
+    RuleSpec {
+        id: "AVC-D002",
+        name: "non-positive-scaling",
+        severity: Severity::Deny,
+        tier: 2,
+        summary: "the scaling factor 1 + f(P) is ≤ 0 somewhere on the characterized grid",
+    },
+    RuleSpec {
+        id: "AVC-D003",
+        name: "voltage-monotonicity",
+        severity: Severity::Warn,
+        tier: 2,
+        summary: "delay factor increases with supply voltage on the sampled grid",
+    },
+    RuleSpec {
+        id: "AVC-D004",
+        name: "non-finite-factor",
+        severity: Severity::Deny,
+        tier: 2,
+        summary: "the delay factor evaluates to NaN or infinity on the characterized grid",
+    },
+    RuleSpec {
+        id: "AVC-D005",
+        name: "extrapolated-operating-point",
+        severity: Severity::Warn,
+        tier: 2,
+        summary: "an operating point lies outside the characterized (v, c) domain",
+    },
+    // ── Tier 3: concurrency / unsafe audit ─────────────────────────────
+    RuleSpec {
+        id: "AVC-C001",
+        name: "protocol-violation",
+        severity: Severity::Deny,
+        tier: 3,
+        summary: "the interleaving checker found a schedule violating a protocol invariant",
+    },
+    RuleSpec {
+        id: "AVC-S001",
+        name: "missing-safety-comment",
+        severity: Severity::Deny,
+        tier: 3,
+        summary: "an `unsafe` site lacks an adjacent `SAFETY:` comment",
+    },
+];
+
+/// Looks a rule up by its stable ID.
+pub fn rule_spec(id: &str) -> Option<&'static RuleSpec> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// How many detailed findings one rule may emit per subject before the
+/// linters summarize the rest into a single aggregate finding — keeps
+/// reports (and `RunDiagnostics`) bounded on million-node corpora.
+pub const MAX_FINDINGS_PER_RULE: usize = 8;
+
+/// Truncates `findings` so no rule exceeds [`MAX_FINDINGS_PER_RULE`]
+/// detailed entries, appending one aggregate finding per truncated rule.
+/// Order is preserved (registry order within a lint pass), so the result
+/// is deterministic.
+pub fn cap_findings(findings: Vec<Finding>) -> Vec<Finding> {
+    let mut out: Vec<Finding> = Vec::with_capacity(findings.len().min(64));
+    for rule in RULES {
+        let total = findings.iter().filter(|f| f.rule == rule.id).count();
+        if total == 0 {
+            continue;
+        }
+        out.extend(
+            findings
+                .iter()
+                .filter(|f| f.rule == rule.id)
+                .take(MAX_FINDINGS_PER_RULE)
+                .cloned(),
+        );
+        if total > MAX_FINDINGS_PER_RULE {
+            out.push(Finding::new(
+                rule.id,
+                "",
+                format!(
+                    "{} further `{}` occurrence(s) suppressed ({} total)",
+                    total - MAX_FINDINGS_PER_RULE,
+                    rule.name,
+                    total
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Phase names the checker records when handed a
+/// [`Metrics`](avfs_obs::Metrics) registry.
+pub mod phases {
+    /// Tier-1 netlist lint pass (one per subject).
+    pub const CHECK_NETLIST: &str = "check/netlist";
+    /// Tier-2 delay-model lint pass.
+    pub const CHECK_MODEL: &str = "check/model";
+    /// Tier-3 interleaving exploration.
+    pub const CHECK_INTERLEAVE: &str = "check/interleave";
+    /// Workspace `SAFETY:` comment audit.
+    pub const CHECK_SAFETY: &str = "check/safety";
+    /// Counter: deny-severity findings across all passes.
+    pub const CHECK_DENY: &str = "check.findings_deny";
+    /// Counter: warn-severity findings across all passes.
+    pub const CHECK_WARN: &str = "check.findings_warn";
+    /// Counter: info-severity findings across all passes.
+    pub const CHECK_INFO: &str = "check.findings_info";
+    /// Counter: interleavings (complete schedules) explored.
+    pub const CHECK_SCHEDULES: &str = "check.schedules";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_unique_and_resolvable() {
+        for (i, a) in RULES.iter().enumerate() {
+            for b in &RULES[i + 1..] {
+                assert_ne!(a.id, b.id, "duplicate rule id");
+                assert_ne!(a.name, b.name, "duplicate rule name");
+            }
+            assert_eq!(rule_spec(a.id), Some(a));
+        }
+        assert!(rule_spec("AVC-X999").is_none());
+    }
+
+    #[test]
+    fn severity_round_trips() {
+        for s in [Severity::Info, Severity::Warn, Severity::Deny] {
+            assert_eq!(Severity::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Severity::from_name("fatal"), None);
+        assert!(Severity::Deny > Severity::Warn && Severity::Warn > Severity::Info);
+    }
+
+    #[test]
+    fn finding_display_and_severity_lookup() {
+        let f = Finding::new("AVC-N005", "g3", "output net of `g3` drives nothing");
+        assert_eq!(f.severity, Severity::Warn);
+        assert_eq!(
+            f.to_string(),
+            "warn AVC-N005 [g3]: output net of `g3` drives nothing"
+        );
+        let global = Finding::new("AVC-C001", "", "boom");
+        assert_eq!(global.to_string(), "deny AVC-C001: boom");
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered lint rule")]
+    fn unknown_rule_panics() {
+        let _ = Finding::new("AVC-Z000", "", "nope");
+    }
+
+    #[test]
+    fn cap_findings_truncates_per_rule() {
+        let mut findings = Vec::new();
+        for i in 0..12 {
+            findings.push(Finding::new("AVC-N005", format!("g{i}"), "dangling"));
+        }
+        findings.push(Finding::new("AVC-N007", "a", "unused"));
+        let capped = cap_findings(findings);
+        let dangling: Vec<&Finding> = capped.iter().filter(|f| f.rule == "AVC-N005").collect();
+        // 8 detailed + 1 aggregate.
+        assert_eq!(dangling.len(), MAX_FINDINGS_PER_RULE + 1);
+        assert!(dangling.last().unwrap().message.contains("4 further"));
+        assert_eq!(capped.iter().filter(|f| f.rule == "AVC-N007").count(), 1);
+    }
+}

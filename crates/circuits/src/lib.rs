@@ -13,6 +13,8 @@
 //!   levelized DAGs) used by tests and examples,
 //! * the embedded ISCAS'85 [`C17_BENCH`] text via [`c17`].
 
+#![forbid(unsafe_code)]
+
 pub mod generate;
 pub mod profiles;
 

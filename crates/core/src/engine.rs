@@ -31,8 +31,9 @@ use crate::results::{RunDiagnostics, SimRun, SlotResult, SlotStatus};
 use crate::slots::SlotSpec;
 use crate::SimError;
 use avfs_atpg::PatternSet;
+use avfs_check::Finding;
 use avfs_delay::model::DelayModel;
-use avfs_delay::op::NormalizedPoint;
+use avfs_delay::op::{NormalizedPoint, OperatingPoint};
 use avfs_delay::TimingAnnotation;
 use avfs_netlist::{Levelization, Netlist, NodeId, NodeKind};
 use avfs_obs::{time_option, Metrics};
@@ -59,6 +60,28 @@ const STEAL_GRABS_PER_WORKER: usize = 4;
 
 /// Upper bound on one work-stealing chunk, so huge levels still rebalance.
 const MAX_STEAL_CHUNK: usize = 64;
+
+/// How much up-front validation a run performs.
+///
+/// The checks are the tier-1 (netlist) and tier-2 (operating point) lints
+/// of `avfs-check`, run against the engine's bound netlist and the slots
+/// of the launch. They catch inputs the engine would otherwise *silently
+/// repair* — most importantly operating points outside the delay model's
+/// characterized domain, which the online delay calculation clamps to the
+/// domain boundary and simulates anyway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ValidationMode {
+    /// Skip validation entirely (findings list stays empty).
+    Off,
+    /// Run the checks and record rendered findings in
+    /// [`RunDiagnostics::validation_findings`]; the simulation proceeds
+    /// regardless. The default.
+    #[default]
+    Warn,
+    /// Refuse to simulate when any warn-or-worse finding exists: the run
+    /// returns [`SimError::Validation`] carrying the findings.
+    Deny,
+}
 
 /// Runtime options of one engine launch.
 #[derive(Debug, Clone)]
@@ -130,6 +153,13 @@ pub struct SimOptions {
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     pub activity_gating: bool,
+    /// Up-front validation of the netlist and the launch's operating
+    /// points (tier-1/tier-2 `avfs-check` lints). Defaults to
+    /// [`ValidationMode::Warn`]: findings land in
+    /// [`RunDiagnostics::validation_findings`] without affecting the
+    /// simulation. [`ValidationMode::Deny`] turns warn-or-worse findings
+    /// into [`SimError::Validation`].
+    pub strict_validation: ValidationMode,
 }
 
 impl SimOptions {
@@ -155,6 +185,7 @@ impl Default for SimOptions {
             overflow_retries: 4,
             profiling: false,
             activity_gating: true,
+            strict_validation: ValidationMode::default(),
         }
     }
 }
@@ -174,6 +205,11 @@ pub struct Engine {
     /// normalization above clamped — reported per run in
     /// [`RunDiagnostics::clamped_loads`].
     clamped_loads: usize,
+    /// Tier-1/tier-2 findings computed once at engine construction
+    /// (netlist lints, levelization cross-check, clamped annotated
+    /// loads); replayed into every run's validation according to
+    /// [`SimOptions::strict_validation`].
+    setup_findings: Vec<Finding>,
 }
 
 impl Engine {
@@ -220,21 +256,39 @@ impl Engine {
         let space = model.space();
         let (c_lo, c_hi) = space.load_range();
         let mut clamped_loads = 0usize;
+        let mut load_findings: Vec<Finding> = Vec::new();
         let c_norm = netlist
             .iter()
-            .map(|(id, _)| {
+            .map(|(id, node)| {
                 let load = annotation.load_ff(id);
                 if load < c_lo || load > c_hi {
                     clamped_loads += 1;
+                    // Only gate loads feed the delay kernel; a dangling
+                    // or port net clamped at the boundary is expected and
+                    // not worth a finding.
+                    if matches!(node.kind(), NodeKind::Gate(_)) {
+                        if let Some(f) = avfs_check::model::lint_operating_point(
+                            space,
+                            node.name(),
+                            OperatingPoint::new(space.nominal_vdd(), load),
+                        ) {
+                            load_findings.push(f);
+                        }
+                    }
                 }
                 space
-                    .normalize_clamped(avfs_delay::op::OperatingPoint::new(
-                        space.nominal_vdd(),
-                        load,
-                    ))
+                    .normalize_clamped(OperatingPoint::new(space.nominal_vdd(), load))
                     .c
             })
             .collect();
+        // Tier-1/tier-2 lints over what this engine is permanently bound
+        // to: the netlist, its levelization, and the annotated loads the
+        // normalization above silently clamped into the characterized
+        // interval. Per-launch data (slot operating points) is checked at
+        // run time instead.
+        let mut setup_findings = avfs_check::netlist::lint_netlist(&netlist);
+        setup_findings.extend(avfs_check::netlist::lint_levels(&netlist, &levels));
+        setup_findings.extend(avfs_check::cap_findings(load_findings));
         Ok(Engine {
             netlist,
             levels,
@@ -242,6 +296,7 @@ impl Engine {
             model,
             c_norm,
             clamped_loads,
+            setup_findings,
         })
     }
 
@@ -265,6 +320,44 @@ impl Engine {
         &self.model
     }
 
+    /// The engine's cached tier-1/tier-2 findings (netlist lints,
+    /// levelization cross-check, clamped annotated loads) — the
+    /// construction-time part of what
+    /// [`SimOptions::strict_validation`] reports per run.
+    pub fn setup_findings(&self) -> &[Finding] {
+        &self.setup_findings
+    }
+
+    /// Runs the launch validation: the engine's cached setup findings
+    /// plus an `AVC-D005` check of every slot operating point in
+    /// `slot_points`. Returns the rendered findings for
+    /// [`RunDiagnostics::validation_findings`], or
+    /// [`SimError::Validation`] under [`ValidationMode::Deny`] when any
+    /// warn-or-worse finding exists.
+    fn validate_launch(
+        &self,
+        mode: ValidationMode,
+        slot_points: &[(String, OperatingPoint)],
+    ) -> Result<Vec<String>, SimError> {
+        if mode == ValidationMode::Off {
+            return Ok(Vec::new());
+        }
+        let mut findings = self.setup_findings.clone();
+        findings.extend(avfs_check::model::lint_operating_points(
+            self.model.space(),
+            slot_points,
+        ));
+        let rendered: Vec<String> = findings.iter().map(ToString::to_string).collect();
+        if mode == ValidationMode::Deny
+            && findings
+                .iter()
+                .any(|f| f.severity >= avfs_check::Severity::Warn)
+        {
+            return Err(SimError::Validation { findings: rendered });
+        }
+        Ok(rendered)
+    }
+
     /// Simulates `slots` over `patterns`.
     ///
     /// # Errors
@@ -274,6 +367,10 @@ impl Engine {
     ///   inconsistent stimuli,
     /// * [`SimError::InvalidOperatingPoint`] for a non-finite or
     ///   non-positive supply voltage,
+    /// * [`SimError::Validation`] under
+    ///   [`ValidationMode::Deny`] when the up-front checks find a
+    ///   warn-or-worse problem (e.g. a slot voltage outside the model's
+    ///   characterized domain, which `Warn` mode would clamp and record),
     /// * [`SimError::Model`] if the delay model rejects an operating point
     ///   or lacks a kernel,
     /// * [`SimError::AllSlotsFailed`] if no slot produced a usable result
@@ -311,26 +408,39 @@ impl Engine {
             }
         }
 
+        // Up-front validation: slot operating points are checked against
+        // the model's characterized domain *before* the normalization
+        // below clamps them into it, so an out-of-domain sweep point is
+        // recorded (Warn) or refused (Deny) instead of silently repaired.
+        let space = self.model.space();
+        let slot_points: Vec<(String, OperatingPoint)> = slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                (
+                    format!("slot {i}"),
+                    OperatingPoint::new(s.voltage, space.load_range().0),
+                )
+            })
+            .collect();
+        let validation = self.validate_launch(options.strict_validation, &slot_points)?;
+
         // Per-slot normalized voltage — computed once per slot, like the
         // paper's parameter memory (clamped so a sweep endpoint such as
         // exactly V_max stays valid under floating-point noise).
-        let space = self.model.space();
         let work: Vec<SlotWork> = slots
             .iter()
             .map(|s| SlotWork {
                 pattern: s.pattern,
                 assign: VoltageAssign::Uniform(
                     space
-                        .normalize_clamped(avfs_delay::op::OperatingPoint::new(
-                            s.voltage,
-                            space.load_range().0,
-                        ))
+                        .normalize_clamped(OperatingPoint::new(s.voltage, space.load_range().0))
                         .v,
                 ),
                 voltage: s.voltage,
             })
             .collect();
-        self.run_work(patterns, &work, options)
+        self.run_work(patterns, &work, options, validation)
     }
 
     /// Simulates with per-node voltage *domains* (voltage islands): every
@@ -364,6 +474,22 @@ impl Engine {
         }
         let space = self.model.space();
         let c_min = space.load_range().0;
+        // Each distinct (slot, domain) supply is a checked operating
+        // point — islands extend the validation the same way they extend
+        // the voltage assignment.
+        let slot_points: Vec<(String, OperatingPoint)> = specs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, spec)| {
+                spec.voltages.iter().enumerate().map(move |(d, &v)| {
+                    (
+                        format!("slot {i}/domain {d}"),
+                        OperatingPoint::new(v, c_min),
+                    )
+                })
+            })
+            .collect();
+        let validation = self.validate_launch(options.strict_validation, &slot_points)?;
         let work: Vec<SlotWork> = specs
             .iter()
             .map(|spec| {
@@ -401,7 +527,7 @@ impl Engine {
                 });
             }
         }
-        self.run_work(patterns, &work, options)
+        self.run_work(patterns, &work, options, validation)
     }
 
     fn run_work(
@@ -409,6 +535,7 @@ impl Engine {
         patterns: &PatternSet,
         work: &[SlotWork],
         options: &SimOptions,
+        validation_findings: Vec<String>,
     ) -> Result<SimRun, SimError> {
         let nodes = self.netlist.num_nodes();
         let base_cap = if options.arena_capacity == 0 {
@@ -434,6 +561,7 @@ impl Engine {
         let tallies = PoolTallies::new(pool.map_or(1, WorkerPool::size));
         let mut diag = RunDiagnostics {
             clamped_loads: self.clamped_loads,
+            validation_findings,
             ..RunDiagnostics::default()
         };
         let mut results: Vec<Option<SlotResult>> = vec![None; work.len()];
@@ -1913,6 +2041,101 @@ mod tests {
             )
             .unwrap();
         assert!(run.diagnostics.clamped_loads > 0);
+    }
+
+    #[test]
+    fn strict_validation_modes() {
+        let n = chain_netlist();
+        let engine = static_engine(&n, 10.0, 10.0);
+        let patterns = one_pattern();
+        // 0.3 V is well below the paper space's 0.55 V minimum; Warn (the
+        // default) clamps-and-records, Deny refuses the launch.
+        let low = at_voltage(1, 0.3);
+        let warn = engine
+            .run(
+                &patterns,
+                &low,
+                &SimOptions {
+                    threads: 1,
+                    ..SimOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(
+            warn.diagnostics
+                .validation_findings
+                .iter()
+                .any(|f| f.contains("AVC-D005") && f.contains("slot 0")),
+            "{:?}",
+            warn.diagnostics.validation_findings
+        );
+        let off = engine
+            .run(
+                &patterns,
+                &low,
+                &SimOptions {
+                    threads: 1,
+                    strict_validation: ValidationMode::Off,
+                    ..SimOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(off.diagnostics.validation_findings.is_empty());
+        assert_eq!(off.slots, warn.slots, "validation never changes results");
+        let denied = engine.run(
+            &patterns,
+            &low,
+            &SimOptions {
+                threads: 1,
+                strict_validation: ValidationMode::Deny,
+                ..SimOptions::default()
+            },
+        );
+        match denied {
+            Err(SimError::Validation { findings }) => {
+                assert!(findings.iter().any(|f| f.contains("AVC-D005")));
+            }
+            other => panic!("expected SimError::Validation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deny_passes_a_clean_launch() {
+        // Explicit in-range loads so the setup stage has nothing to clamp.
+        let n = chain_netlist();
+        let delays = n
+            .nodes()
+            .iter()
+            .map(|node| {
+                vec![
+                    PinDelays {
+                        rise: 10.0,
+                        fall: 10.0
+                    };
+                    node.fanin().len()
+                ]
+            })
+            .collect();
+        let ann = TimingAnnotation::from_parts(delays, vec![1.0; n.num_nodes()]);
+        let engine = Engine::new(
+            Arc::clone(&n),
+            Arc::new(ann),
+            Arc::new(StaticModel::new(ParameterSpace::paper())),
+        )
+        .unwrap();
+        assert!(engine.setup_findings().is_empty());
+        let run = engine
+            .run(
+                &one_pattern(),
+                &at_voltage(1, 0.8),
+                &SimOptions {
+                    threads: 1,
+                    strict_validation: ValidationMode::Deny,
+                    ..SimOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(run.diagnostics.validation_findings.is_empty());
     }
 
     #[test]

@@ -29,6 +29,8 @@
 //! * [`api::TimeSimulator`] — a high-level facade wiring netlist,
 //!   annotation, model and engine together for the examples and benches.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod api;
 pub mod delay_fault;
 pub mod domains;
@@ -47,7 +49,7 @@ pub use api::TimeSimulator;
 pub use avfs_obs::{Metrics, PhaseStats, Profile};
 pub use delay_fault::{DelayFaultSimulator, FaultVerdict, SmallDelayFault};
 pub use domains::{DomainSlotSpec, VoltageDomains};
-pub use engine::{Engine, SimOptions};
+pub use engine::{Engine, SimOptions, ValidationMode};
 pub use event_driven::EventDrivenSimulator;
 pub use power::{energy_by_voltage, slot_energy, EnergyEstimate};
 pub use results::{RunDiagnostics, SimRun, SlotResult, SlotStatus};
@@ -115,6 +117,17 @@ pub enum SimError {
         /// Number of slots that failed (= number requested).
         slots: usize,
     },
+    /// Up-front validation refused the launch
+    /// ([`SimOptions::strict_validation`](engine::SimOptions) is
+    /// [`ValidationMode::Deny`](engine::ValidationMode) and a
+    /// warn-or-worse finding exists).
+    Validation {
+        /// Every rendered finding of the launch, one
+        /// `severity rule [location]: message` line each (the same
+        /// strings `Warn` mode records in
+        /// [`RunDiagnostics::validation_findings`]).
+        findings: Vec<String>,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -152,6 +165,17 @@ impl fmt::Display for SimError {
             }
             SimError::AllSlotsFailed { slots } => {
                 write!(f, "all {slots} simulation slots failed; no usable result")
+            }
+            SimError::Validation { findings } => {
+                write!(
+                    f,
+                    "strict validation refused the launch ({} finding(s))",
+                    findings.len()
+                )?;
+                match findings.first() {
+                    Some(first) => write!(f, "; first: {first}"),
+                    None => Ok(()),
+                }
             }
         }
     }

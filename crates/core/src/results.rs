@@ -74,6 +74,12 @@ pub struct RunDiagnostics {
     /// Largest per-`(slot, net)` transition count observed in the arena —
     /// compare against the configured capacity to judge headroom.
     pub peak_arena_occupancy: usize,
+    /// Rendered `avfs-check` findings from the run's up-front validation
+    /// (`severity rule [location]: message` per line). Empty when
+    /// [`SimOptions::strict_validation`](crate::engine::SimOptions) is
+    /// `Off` or the launch is clean; under `Deny` a warn-or-worse finding
+    /// aborts the run instead of landing here.
+    pub validation_findings: Vec<String>,
 }
 
 impl fmt::Display for RunDiagnostics {
@@ -96,6 +102,14 @@ impl fmt::Display for RunDiagnostics {
             "  peak arena use   : {} transitions/net",
             self.peak_arena_occupancy
         )?;
+        writeln!(
+            f,
+            "  validation       : {} finding(s)",
+            self.validation_findings.len()
+        )?;
+        for finding in &self.validation_findings {
+            writeln!(f, "    {finding}")?;
+        }
         Ok(())
     }
 }

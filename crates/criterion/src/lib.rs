@@ -10,6 +10,8 @@
 //! element throughput when declared). No statistics, plots, or saved
 //! baselines.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 

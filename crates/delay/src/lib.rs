@@ -31,6 +31,8 @@
 //! load-dependent SDF annotation: `d' = d_SDF(c) · (1 + f(v, c))`.
 //! `DESIGN.md` discusses this interpretation.
 
+#![forbid(unsafe_code)]
+
 pub mod annotation;
 pub mod characterize;
 pub mod io;

@@ -42,6 +42,21 @@ impl CoefficientTable {
         self.order
     }
 
+    /// Number of cell-type slots the table was created for (characterized
+    /// or not) — the iteration bound for table-wide audits.
+    pub fn num_cells(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Number of input pins characterized for `cell` (0 when the cell has
+    /// no kernels installed).
+    pub fn num_pins(&self, cell: CellId) -> usize {
+        match self.offsets.get(cell.index()) {
+            Some(Some(_)) => self.pins[cell.index()] as usize,
+            _ => 0,
+        }
+    }
+
     /// Number of cell types with kernels installed.
     pub fn num_characterized(&self) -> usize {
         self.offsets.iter().filter(|o| o.is_some()).count()

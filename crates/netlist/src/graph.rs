@@ -173,6 +173,23 @@ impl Netlist {
         self.cell_of(id).map(|c| c.kind())
     }
 
+    /// Clears the fan-out list of `node` without touching its sinks'
+    /// fan-in pins, leaving the two edge sets inconsistent.
+    ///
+    /// Test hook for graph-integrity lints (`avfs-check` rule AVC-N003):
+    /// every public construction path keeps fan-in and fan-out
+    /// cross-references consistent, so re-proving that property needs a
+    /// way to corrupt an owned netlist. Production code has no use for
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[doc(hidden)]
+    pub fn clear_fanout_unchecked(&mut self, node: NodeId) {
+        self.nodes[node.index()].fanout.clear();
+    }
+
     /// Computes the capacitive load (fF) on every node's output net:
     /// the sum of the fan-out pins' input capacitances, a wire estimate of
     /// [`WIRE_CAP_PER_FANOUT_FF`] per branch, and [`OUTPUT_PORT_CAP_FF`]
@@ -400,6 +417,21 @@ impl NetlistBuilder {
     #[doc(hidden)]
     pub fn rewire_unchecked(&mut self, sink: NodeId, pin: usize, driver: NodeId) {
         self.nodes[sink.index()].fanin[pin] = driver;
+    }
+
+    /// Drops the last fan-in pin of `sink` without revalidation.
+    ///
+    /// Test hook paired with [`NetlistBuilder::finish_unchecked`]: the
+    /// normal `add_gate` path enforces cell arity, so lints that re-prove
+    /// it (`avfs-check` rule AVC-N002) need this to construct a positive
+    /// fixture. Production code has no use for it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sink` is out of range.
+    #[doc(hidden)]
+    pub fn pop_fanin_unchecked(&mut self, sink: NodeId) {
+        self.nodes[sink.index()].fanin.pop();
     }
 
     /// Computes fanouts and moves the builder's parts into a `Netlist`.

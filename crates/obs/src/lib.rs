@@ -55,6 +55,7 @@
 //! println!("{profile}");
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod histogram;

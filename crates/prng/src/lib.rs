@@ -27,6 +27,8 @@
 //! assert_eq!(word, again.gen::<u64>());
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// A source of pseudo-random numbers (the subset of `rand::Rng` the

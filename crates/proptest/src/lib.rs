@@ -10,6 +10,8 @@
 //! reproduce exactly; there is no shrinking (a failing case reports its
 //! inputs via the standard assertion message instead).
 
+#![forbid(unsafe_code)]
+
 use avfs_prng::{Rng, SeedableRng, SmallRng};
 use std::ops::{Range, RangeInclusive};
 

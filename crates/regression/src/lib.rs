@@ -35,6 +35,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod grid;
 pub mod linreg;
 pub mod matrix;

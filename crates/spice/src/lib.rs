@@ -36,6 +36,8 @@
 //! assert!(d_low > d_nom, "lower supply voltage must slow the cell");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod characterize;
 pub mod mosfet;
 pub mod sweep;

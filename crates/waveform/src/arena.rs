@@ -360,6 +360,10 @@ pub struct LevelWriter<'a> {
 // exclusive winner per cell per epoch); reads are claim-checked. The raw
 // pointers are valid for the arena borrow 'a.
 unsafe impl Send for LevelWriter<'_> {}
+// SAFETY: shared references only permit claim-protocol-mediated access
+// (same argument as Send above): `write`/`write_constant` first win the
+// per-cell atomic claim, and `view`/`transition_count` assert the cell is
+// unclaimed for the epoch, so `&LevelWriter` is safe to share.
 unsafe impl Sync for LevelWriter<'_> {}
 
 impl LevelWriter<'_> {

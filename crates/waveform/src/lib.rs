@@ -32,6 +32,8 @@
 //! # }
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod activity;
 pub mod arena;
 pub mod vcd;

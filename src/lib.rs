@@ -20,7 +20,10 @@
 //! * [`atpg`] — pattern-pair generation (transition + timing-aware),
 //! * [`circuits`] — benchmark circuits and Table-I/II profiles,
 //! * [`obs`] — phase timers, counters and histograms behind
-//!   [`SimOptions::profiling`](sim::SimOptions) (dependency-free).
+//!   [`SimOptions::profiling`](sim::SimOptions) (dependency-free),
+//! * [`check`] — three-tier static analysis: netlist lints, delay-model
+//!   lints, and the concurrency/unsafe audit behind the `checker` CI gate
+//!   and [`SimOptions::strict_validation`](sim::SimOptions).
 //!
 //! # Quickstart
 //!
@@ -66,7 +69,10 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use avfs_atpg as atpg;
+pub use avfs_check as check;
 pub use avfs_circuits as circuits;
 pub use avfs_core as sim;
 pub use avfs_delay as delay;
