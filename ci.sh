@@ -31,4 +31,7 @@ cargo run --release --offline -p avfs-bench --bin activity_sweep -- --smoke
 echo "==> checker --smoke (static-analysis gate: avfs-check/1 schema, zero deny findings)"
 cargo run --release --offline -p avfs-bench --bin checker -- --smoke
 
+echo "==> chaos --smoke (fault-injection gate: avfs-chaos/1 schema, 100% site coverage)"
+cargo run --release --offline -p avfs-bench --bin chaos -- --smoke
+
 echo "CI OK"

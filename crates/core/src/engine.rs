@@ -26,8 +26,8 @@
 //! slot fails does a run return an error.
 
 use crate::phases;
-use crate::pool::WorkerPool;
-use crate::results::{RunDiagnostics, SimRun, SlotResult, SlotStatus};
+use crate::pool::{Watchdog, WorkerPool};
+use crate::results::{RunDiagnostics, SimRun, SlotResult, SlotStatus, TrippedBudget};
 use crate::slots::SlotSpec;
 use crate::SimError;
 use avfs_atpg::PatternSet;
@@ -35,6 +35,7 @@ use avfs_check::Finding;
 use avfs_delay::model::DelayModel;
 use avfs_delay::op::{NormalizedPoint, OperatingPoint};
 use avfs_delay::TimingAnnotation;
+use avfs_inject::{FaultPlan, InjectionSite, Injector};
 use avfs_netlist::{Levelization, Netlist, NodeId, NodeKind};
 use avfs_obs::{time_option, Metrics};
 use avfs_waveform::{
@@ -44,7 +45,7 @@ use avfs_waveform::{
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Default per-`(slot, net)` transition capacity when
 /// [`SimOptions::arena_capacity`] is 0 (auto).
@@ -160,6 +161,39 @@ pub struct SimOptions {
     /// simulation. [`ValidationMode::Deny`] turns warn-or-worse findings
     /// into [`SimError::Validation`].
     pub strict_validation: ValidationMode,
+    /// Armed fault plan for deterministic fault injection (`None` — the
+    /// default — compiles every probe down to one `Option`-discriminant
+    /// branch). An *empty* plan (all rates zero) is bit-for-bit identical
+    /// to no plan at all; a firing plan exercises the engine's quarantine,
+    /// containment and budget paths exactly as the matching organic fault
+    /// would. Decisions are pure functions of `(seed, site, key, salt)`,
+    /// so a plan replays identically across thread counts and runs; the
+    /// plan also records what fired (see [`FaultPlan`]).
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Wall-clock budget for the whole run, checked cooperatively at
+    /// level barriers and between batches and retry rounds. On expiry the
+    /// run degrades gracefully: slots already completed are returned,
+    /// every unfinished slot resolves to
+    /// [`SlotStatus::DeadlineExceeded`], and
+    /// [`RunDiagnostics::budget_tripped`] records the trip. `None` (the
+    /// default) never expires. A run whose *every* slot hits the deadline
+    /// returns [`SimError::AllSlotsFailed`] like any other total loss.
+    pub deadline: Option<Duration>,
+    /// Arms a coordinator-side watchdog that samples pool progress and
+    /// counts stalls longer than this timeout into
+    /// [`RunDiagnostics::watchdog_stalls`]. Observation only — a stalled
+    /// epoch is waited out, never killed — so the deterministic schedule
+    /// is untouched. `None` (the default) runs without a watchdog.
+    pub stall_timeout: Option<Duration>,
+    /// Global memory budget in bytes for quarantine-retry capacity
+    /// growth (admission control): a retry round is only admitted when
+    /// its projected per-slot arena footprint
+    /// (`nodes × capacity × sizeof(f64)` plus per-cell bookkeeping) fits
+    /// the budget. Denied slots resolve to
+    /// [`SlotStatus::BudgetExceeded`] without growing capacity, counted
+    /// in [`RunDiagnostics::budget_denials`]. `0` (the default) is
+    /// unlimited — the seed behavior of unconditional ×4 growth.
+    pub memory_budget: usize,
 }
 
 impl SimOptions {
@@ -186,8 +220,24 @@ impl Default for SimOptions {
             profiling: false,
             activity_gating: true,
             strict_validation: ValidationMode::default(),
+            fault_plan: None,
+            deadline: None,
+            stall_timeout: None,
+            memory_budget: 0,
         }
     }
+}
+
+/// Projected arena bytes one slot needs at `capacity` transitions per
+/// cell: the `times` lane (`f64`), the `len` lane (`u32`) and the
+/// `initial`/claim bookkeeping — the accounting unit of
+/// [`SimOptions::memory_budget`].
+fn slot_arena_bytes(nodes: usize, capacity: usize) -> usize {
+    nodes.saturating_mul(
+        capacity
+            .saturating_mul(std::mem::size_of::<f64>())
+            .saturating_add(std::mem::size_of::<u32>() + 2),
+    )
 }
 
 /// The parallel time simulator bound to one netlist, annotation and delay
@@ -551,12 +601,27 @@ impl Engine {
         let metrics = metrics.as_ref();
         let run_span = metrics.map(|m| m.span(phases::ENGINE_RUN));
         let start = Instant::now();
+        // Fault injection: unarmed (the default) reduces every probe to
+        // one Option-discriminant branch; an armed plan is consulted with
+        // pure (site, key, salt) decisions, so the schedule — and with an
+        // all-zero plan, every result bit — is identical to a clean run.
+        let injector = options
+            .fault_plan
+            .as_ref()
+            .map_or_else(Injector::unarmed, |p| Injector::armed(Arc::clone(p)));
+        // Snapshot so a plan reused across runs reports per-run deltas.
+        let fired_before = options.fault_plan.as_ref().map_or(0, |p| p.total_fired());
+        let deadline_at = options.deadline.map(|d| start + d);
+        // The watchdog observes coordinator progress (bumped at level
+        // barriers) from a monitor thread; it never intervenes, so arming
+        // it cannot perturb results. Disarmed on drop, Err paths included.
+        let watchdog = options.stall_timeout.map(Watchdog::arm);
         // The persistent pool: workers are spawned once here and parked
         // between levels; every level of every batch and retry round is
         // released through its epoch barrier (the GPU grid analogue). A
         // single-threaded run needs no pool at all.
         let threads = options.resolved_threads();
-        let pool = (threads > 1).then(|| WorkerPool::new(threads));
+        let pool = (threads > 1).then(|| WorkerPool::new(threads, injector.clone()));
         let pool = pool.as_ref();
         let tallies = PoolTallies::new(pool.map_or(1, WorkerPool::size));
         let mut diag = RunDiagnostics {
@@ -579,6 +644,25 @@ impl Engine {
             let mut arena = WaveformArena::new(batch_slots * nodes, cap);
             let mut overflowed: Vec<usize> = Vec::new();
             for chunk in pending.chunks(batch_slots) {
+                // Between-batch deadline check: once the budget is spent,
+                // remaining batches are not even launched — their slots
+                // resolve to DeadlineExceeded while completed ones keep
+                // their results (graceful degradation).
+                if deadline_at.is_some_and(|t| Instant::now() >= t) {
+                    for &slot in chunk {
+                        results[slot] = Some(SlotResult::failed(
+                            SlotSpec {
+                                pattern: work[slot].pattern,
+                                voltage: work[slot].voltage,
+                            },
+                            SlotStatus::DeadlineExceeded,
+                        ));
+                        diag.deadline_aborts += 1;
+                        diag.budget_tripped = Some(TrippedBudget::Deadline);
+                        diag.failed_slots.push(slot);
+                    }
+                    continue;
+                }
                 slot_sims += chunk.len() as u64;
                 if let Some(m) = metrics {
                     m.add(phases::ENGINE_BATCHES, 1);
@@ -592,6 +676,9 @@ impl Engine {
                     round,
                     pool,
                     &tallies,
+                    &injector,
+                    deadline_at,
+                    watchdog.as_ref(),
                     &mut arena,
                     &mut results,
                     &mut overflowed,
@@ -628,16 +715,70 @@ impl Engine {
                 break;
             }
             round += 1;
+            // Retry admission control: growing the arena ×4 is the one
+            // place the engine's memory use escalates, so the memory
+            // budget (and the injected allocation-cap breach that
+            // rehearses it) gates entry into the next round. Denied slots
+            // fail as BudgetExceeded at today's capacity instead of
+            // growing it.
+            let next_cap = cap.saturating_mul(CAPACITY_GROWTH);
+            let admitted: Vec<usize> = if options.memory_budget != 0 || injector.is_armed() {
+                let mut admitted = Vec::with_capacity(overflowed.len());
+                for &slot in &overflowed {
+                    let over_budget = options.memory_budget != 0
+                        && slot_arena_bytes(nodes, next_cap) > options.memory_budget;
+                    let injected = injector.fires(
+                        InjectionSite::AllocCapBreach,
+                        slot as u64,
+                        u64::from(round),
+                    );
+                    if over_budget || injected {
+                        results[slot] = Some(SlotResult::failed(
+                            SlotSpec {
+                                pattern: work[slot].pattern,
+                                voltage: work[slot].voltage,
+                            },
+                            SlotStatus::BudgetExceeded,
+                        ));
+                        diag.budget_denials += 1;
+                        diag.budget_tripped = Some(TrippedBudget::Memory);
+                        diag.failed_slots.push(slot);
+                    } else {
+                        admitted.push(slot);
+                    }
+                }
+                admitted
+            } else {
+                overflowed
+            };
+            if admitted.is_empty() {
+                break;
+            }
             if let Some(m) = metrics {
                 m.add(phases::ENGINE_RETRY_ROUNDS, 1);
             }
-            diag.slot_retries += overflowed.len() as u64;
-            cap = cap.saturating_mul(CAPACITY_GROWTH);
-            pending = overflowed;
+            diag.slot_retries += admitted.len() as u64;
+            cap = next_cap;
+            pending = admitted;
         }
         diag.overflowed_slots.sort_unstable();
         diag.panicked_slots.sort_unstable();
         diag.failed_slots.sort_unstable();
+        if let Some(wd) = &watchdog {
+            diag.watchdog_stalls = wd.stalls();
+        }
+        diag.faults_injected = options
+            .fault_plan
+            .as_ref()
+            .map_or(0, |p| p.total_fired())
+            .saturating_sub(fired_before);
+        if let Some(m) = metrics {
+            // Always recorded (created at zero on clean runs) so report
+            // tooling can assert a profiled run was fault- and budget-free.
+            m.add(phases::ENGINE_FAULTS_INJECTED, diag.faults_injected);
+            m.add(phases::ENGINE_DEADLINE_ABORTS, diag.deadline_aborts);
+            m.add(phases::ENGINE_BUDGET_DENIALS, diag.budget_denials);
+        }
         let slots: Vec<SlotResult> = results
             .into_iter()
             .map(|r| r.expect("every slot resolved by the retry loop"))
@@ -684,6 +825,9 @@ impl Engine {
         round: u32,
         pool: Option<&WorkerPool>,
         tallies: &PoolTallies,
+        injector: &Injector,
+        deadline_at: Option<Instant>,
+        watchdog: Option<&Watchdog>,
         arena: &mut WaveformArena,
         results: &mut [Option<SlotResult>],
         overflowed: &mut Vec<usize>,
@@ -784,6 +928,18 @@ impl Engine {
                     continue;
                 }
                 let assign = group_assigns[g];
+                // Injected non-finite kernel output, keyed by the global
+                // slot of the group's first batch member (voltage groups
+                // share one kernel evaluation, so the site is per group):
+                // corrupted factors flow into scale_or_fallback exactly
+                // like an organically broken kernel would.
+                let nf_key = injector.is_armed().then(|| {
+                    let si = group_of_slot
+                        .iter()
+                        .position(|&gg| gg == g)
+                        .expect("live group has a member");
+                    chunk[si] as u64
+                });
                 let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<u64, SimError> {
                     let mut fb = 0u64;
                     for &node_id in level_nodes {
@@ -794,18 +950,22 @@ impl Engine {
                                 c: self.c_norm[node_id.index()],
                             };
                             for (pin, d) in nominal.iter().enumerate() {
-                                let f_rise = self.model.factor(
+                                let mut f_rise = self.model.factor(
                                     cell_id,
                                     pin,
                                     avfs_netlist::library::Polarity::Rise,
                                     p,
                                 )?;
-                                let f_fall = self.model.factor(
+                                let mut f_fall = self.model.factor(
                                     cell_id,
                                     pin,
                                     avfs_netlist::library::Polarity::Fall,
                                     p,
                                 )?;
+                                if let Some(key) = nf_key {
+                                    f_rise = injector.corrupt_factor(f_rise, key, u64::from(round));
+                                    f_fall = injector.corrupt_factor(f_fall, key, u64::from(round));
+                                }
                                 buf.push(PinDelays {
                                     rise: scale_or_fallback(d.rise, f_rise, &mut fb),
                                     fall: scale_or_fallback(d.fall, f_fall, &mut fb),
@@ -865,11 +1025,27 @@ impl Engine {
             let verdicts: Mutex<Vec<(usize, Dead)>> = Mutex::new(Vec::new());
             let merge_span = metrics.map(|m| m.span(phases::ENGINE_WAVEFORM_MERGE));
             if grid_tasks > 0 {
+                // Injected forced overflow: an armed run installs a hook
+                // that maps the written cell back to its global slot and
+                // asks the plan; a firing cell reports CapacityOverflow
+                // exactly like a real capacity miss, feeding the same
+                // quarantine-and-retry loop.
+                let overflow_hook = injector.is_armed().then_some(move |idx: usize| {
+                    injector.fires(
+                        InjectionSite::ArenaOverflow,
+                        chunk[idx / nodes] as u64,
+                        u64::from(round),
+                    )
+                });
                 // In-place epoch writer: tasks write this level's cells
                 // directly into the arena (claim-guarded, cell-disjoint)
                 // while reading only previous levels' cells — no per-task
                 // waveform allocation, no serial write-back.
-                let writer = arena.level_writer();
+                let writer = arena.level_writer_hooked(
+                    overflow_hook
+                        .as_ref()
+                        .map(|h| h as &avfs_waveform::OverflowHook),
+                );
                 // Activity gating: a task whose fanin cells are all quiet
                 // (zero transitions) has a constant output — the
                 // coordinator resolves it with a constant cell write here
@@ -946,6 +1122,20 @@ impl Engine {
                                 // is independent of gating.
                                 let g = active_ref.map_or(t, |a| a[t]);
                                 let r = catch_unwind(AssertUnwindSafe(|| {
+                                    // Injected kernel panic: every task of
+                                    // the affected (slot, round) panics, so
+                                    // the first-in-task-order verdict is
+                                    // schedule-independent.
+                                    if injector.is_armed() {
+                                        let si = ctx_ref.live[g / ctx_ref.gate_nodes.len()];
+                                        if injector.fires(
+                                            InjectionSite::KernelPanic,
+                                            chunk[si] as u64,
+                                            u64::from(round),
+                                        ) {
+                                            panic!("injected kernel panic (slot {})", chunk[si]);
+                                        }
+                                    }
                                     self.eval_task(
                                         g,
                                         ctx_ref,
@@ -1008,6 +1198,21 @@ impl Engine {
                     }
                 }
             });
+            // Level-barrier progress bump (the watchdog's liveness signal)
+            // and the cooperative deadline check: a level runs to its
+            // barrier, then every still-live slot of an expired batch is
+            // abandoned at once.
+            if let Some(wd) = watchdog {
+                wd.progress();
+            }
+            if deadline_at.is_some_and(|t| Instant::now() >= t) {
+                for d in dead.iter_mut() {
+                    if d.is_none() {
+                        *d = Some(Dead::Deadline);
+                    }
+                }
+                break;
+            }
         }
         diag.kernel_fallbacks += fallbacks;
 
@@ -1024,6 +1229,12 @@ impl Engine {
                 Some(Dead::Panic) => {
                     results[slot] = Some(SlotResult::failed(spec, SlotStatus::Panicked));
                     diag.panicked_slots.push(slot);
+                    diag.failed_slots.push(slot);
+                }
+                Some(Dead::Deadline) => {
+                    results[slot] = Some(SlotResult::failed(spec, SlotStatus::DeadlineExceeded));
+                    diag.deadline_aborts += 1;
+                    diag.budget_tripped = Some(TrippedBudget::Deadline);
                     diag.failed_slots.push(slot);
                 }
                 None => {
@@ -1132,6 +1343,9 @@ enum Dead {
     Overflow,
     /// The slot's evaluation panicked — contained, no retry.
     Panic,
+    /// The run's wall-clock deadline expired at a level barrier — the
+    /// slot is abandoned, no retry.
+    Deadline,
 }
 
 /// Per-worker execution tallies over a whole run (tasks executed and
@@ -1410,24 +1624,35 @@ mod tests {
             if *name == "overflow-retry" {
                 assert_eq!(reference.diagnostics.slot_retries, 4, "scenario {name}");
             }
-            for activity_gating in [false, true] {
-                for threads in [1, 2, 4, 8] {
-                    for profiling in [false, true] {
-                        let got = run(SimOptions {
-                            threads,
-                            profiling,
-                            activity_gating,
-                            ..SimOptions::default()
-                        });
-                        let case = format!(
-                            "{name}, threads={threads}, profiling={profiling}, \
-                             gating={activity_gating}"
-                        );
-                        assert_eq!(got.slots, reference.slots, "{case}");
-                        assert_eq!(got.diagnostics, reference.diagnostics, "{case}");
-                        assert_eq!(got.node_evaluations, reference.node_evaluations, "{case}");
-                        assert_eq!(got.profile.is_some(), profiling, "{case}");
+            for injection in ["unarmed", "armed-empty"] {
+                // The profiled-identity principle extended to injection:
+                // an armed-but-empty fault plan (every rate zero) must be
+                // bit-for-bit identical to no plan at all.
+                let fault_plan =
+                    (injection == "armed-empty").then(|| Arc::new(FaultPlan::empty(0xC0FFEE)));
+                for activity_gating in [false, true] {
+                    for threads in [1, 2, 4, 8] {
+                        for profiling in [false, true] {
+                            let got = run(SimOptions {
+                                threads,
+                                profiling,
+                                activity_gating,
+                                fault_plan: fault_plan.clone(),
+                                ..SimOptions::default()
+                            });
+                            let case = format!(
+                                "{name}, threads={threads}, profiling={profiling}, \
+                                 gating={activity_gating}, injection={injection}"
+                            );
+                            assert_eq!(got.slots, reference.slots, "{case}");
+                            assert_eq!(got.diagnostics, reference.diagnostics, "{case}");
+                            assert_eq!(got.node_evaluations, reference.node_evaluations, "{case}");
+                            assert_eq!(got.profile.is_some(), profiling, "{case}");
+                        }
                     }
+                }
+                if let Some(plan) = &fault_plan {
+                    assert_eq!(plan.total_fired(), 0, "an empty plan never fires");
                 }
             }
         }
@@ -2171,5 +2396,375 @@ mod tests {
         assert_eq!(x_wf.num_transitions(), 2, "expected a glitch pulse");
         assert!(x_wf.initial_value() && x_wf.final_value());
         assert!(slot.activity.total_glitch_transitions >= 2);
+    }
+
+    /// A delay model that sleeps at the poisoned operating point (v_norm
+    /// ≈ 1): the kernel phase runs on the coordinator, so the sleep
+    /// stalls exactly the path the deadline and the watchdog observe.
+    #[derive(Debug)]
+    struct SlowModel {
+        inner: StaticModel,
+        sleep: Duration,
+    }
+
+    impl avfs_delay::model::DelayModel for SlowModel {
+        fn factor(
+            &self,
+            cell: avfs_netlist::CellId,
+            pin: usize,
+            polarity: avfs_netlist::library::Polarity,
+            p: NormalizedPoint,
+        ) -> Result<f64, avfs_delay::DelayError> {
+            if p.v >= 0.999 {
+                std::thread::sleep(self.sleep);
+            }
+            self.inner.factor(cell, pin, polarity, p)
+        }
+        fn name(&self) -> &str {
+            "slow"
+        }
+        fn space(&self) -> &ParameterSpace {
+            self.inner.space()
+        }
+    }
+
+    fn slow_engine(netlist: &Arc<Netlist>, sleep: Duration) -> Engine {
+        Engine::new(
+            Arc::clone(netlist),
+            Arc::new(
+                static_engine(netlist, 10.0, 10.0)
+                    .annotation()
+                    .as_ref()
+                    .clone(),
+            ),
+            Arc::new(SlowModel {
+                inner: StaticModel::new(ParameterSpace::paper()),
+                sleep,
+            }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn memory_budget_denies_retry_growth() {
+        // The glitch slot needs capacity 2, so the capacity-1 round
+        // overflows and the retry wants cap 4 — which the budget refuses.
+        let n = glitch_netlist();
+        let engine = static_engine(&n, 10.0, 10.0);
+        use avfs_atpg::pattern::{Pattern, PatternPair};
+        let patterns: PatternSet = [
+            PatternPair::new(Pattern::from_bits([false]), Pattern::from_bits([true])).unwrap(),
+            PatternPair::new(Pattern::from_bits([false]), Pattern::from_bits([false])).unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        let slots = [
+            SlotSpec {
+                pattern: 0,
+                voltage: 0.8,
+            },
+            SlotSpec {
+                pattern: 1,
+                voltage: 0.8,
+            },
+        ];
+        let budget = super::slot_arena_bytes(n.num_nodes(), 4) - 1;
+        let run = engine
+            .run(
+                &patterns,
+                &slots,
+                &SimOptions {
+                    threads: 1,
+                    arena_capacity: 1,
+                    memory_budget: budget,
+                    ..SimOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(run.slots[0].status, SlotStatus::BudgetExceeded);
+        assert!(run.slots[0].responses.is_empty());
+        assert_eq!(run.slots[1].status, SlotStatus::Completed { retries: 0 });
+        assert_eq!(run.diagnostics.budget_denials, 1);
+        assert_eq!(run.diagnostics.budget_tripped, Some(TrippedBudget::Memory));
+        // Admission was denied, so no retry round ran and no capacity grew.
+        assert_eq!(run.diagnostics.slot_retries, 0);
+        assert_eq!(run.diagnostics.peak_arena_occupancy, 1);
+        assert_eq!(run.diagnostics.failed_slots, vec![0]);
+        // One byte more admits the retry and the slot completes.
+        let run = engine
+            .run(
+                &patterns,
+                &slots,
+                &SimOptions {
+                    threads: 1,
+                    arena_capacity: 1,
+                    memory_budget: budget + 1,
+                    ..SimOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(run.slots[0].status, SlotStatus::Completed { retries: 1 });
+        assert_eq!(run.diagnostics.budget_denials, 0);
+        assert_eq!(run.diagnostics.budget_tripped, None);
+    }
+
+    #[test]
+    fn zero_deadline_fails_every_slot() {
+        // An already-expired deadline abandons every slot before any
+        // batch launches — and an all-loss run is an error, like any
+        // other total failure.
+        let n = chain_netlist();
+        let engine = static_engine(&n, 10.0, 10.0);
+        let err = engine.run(
+            &one_pattern(),
+            &cross(1, &[0.7, 0.8, 0.9]),
+            &SimOptions {
+                threads: 1,
+                deadline: Some(Duration::ZERO),
+                ..SimOptions::default()
+            },
+        );
+        assert!(matches!(err, Err(SimError::AllSlotsFailed { slots: 3 })));
+    }
+
+    #[test]
+    fn deadline_degrades_gracefully_mid_run() {
+        // One-slot batches; the second slot's kernel phase sleeps past
+        // the deadline, so the first slot's completed result is returned
+        // while the second resolves to DeadlineExceeded at the barrier.
+        let n = chain_netlist();
+        let engine = slow_engine(&n, Duration::from_millis(40));
+        // 1.1 V normalizes to the slow operating point.
+        let slots = cross(1, &[0.8, 1.1]);
+        let run = engine
+            .run(
+                &one_pattern(),
+                &slots,
+                &SimOptions {
+                    threads: 1,
+                    waveform_budget: 1, // → one slot per batch
+                    deadline: Some(Duration::from_millis(60)),
+                    ..SimOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(!run.is_complete());
+        assert_eq!(run.slots[0].status, SlotStatus::Completed { retries: 0 });
+        assert_eq!(run.slots[0].responses, vec![true]);
+        assert_eq!(run.slots[1].status, SlotStatus::DeadlineExceeded);
+        assert!(run.slots[1].responses.is_empty());
+        assert_eq!(run.diagnostics.deadline_aborts, 1);
+        assert_eq!(
+            run.diagnostics.budget_tripped,
+            Some(TrippedBudget::Deadline)
+        );
+        assert_eq!(run.diagnostics.failed_slots, vec![1]);
+    }
+
+    #[test]
+    fn watchdog_counts_engine_stalls() {
+        let n = chain_netlist();
+        let engine = slow_engine(&n, Duration::from_millis(40));
+        // The slow kernel phase stalls far past the 5 ms timeout; the
+        // watchdog observes it but the run still completes untouched.
+        let run = engine
+            .run(
+                &one_pattern(),
+                &at_voltage(1, 1.1),
+                &SimOptions {
+                    threads: 1,
+                    stall_timeout: Some(Duration::from_millis(5)),
+                    ..SimOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(run.is_complete());
+        assert!(
+            run.diagnostics.watchdog_stalls >= 1,
+            "stalls: {}",
+            run.diagnostics.watchdog_stalls
+        );
+        // A generous timeout on a fast run records nothing.
+        let calm = engine
+            .run(
+                &one_pattern(),
+                &at_voltage(1, 0.8),
+                &SimOptions {
+                    threads: 1,
+                    stall_timeout: Some(Duration::from_secs(10)),
+                    ..SimOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(calm.diagnostics.watchdog_stalls, 0);
+        assert_eq!(calm.slots[0].responses, run.slots[0].responses);
+    }
+
+    #[test]
+    fn injected_overflow_hits_predicted_slots_and_replays() {
+        // The plan's decisions are pure (site, key, salt) hashes, so the
+        // harness can predict the affected slots offline — and a second
+        // run with the same seed replays bit for bit.
+        let n = chain_netlist();
+        let engine = static_engine(&n, 10.0, 10.0);
+        let slots = cross(1, &[0.8; 4]);
+        let mk_plan = || Arc::new(FaultPlan::empty(7).with_rate(InjectionSite::ArenaOverflow, 0.5));
+        let plan = mk_plan();
+        let opts = SimOptions {
+            threads: 2,
+            overflow_retries: 0,
+            fault_plan: Some(Arc::clone(&plan)),
+            ..SimOptions::default()
+        };
+        let run = engine.run(&one_pattern(), &slots, &opts).unwrap();
+        let mut predicted_hits = 0;
+        for (i, slot) in run.slots.iter().enumerate() {
+            if plan.decide(InjectionSite::ArenaOverflow, i as u64, 0) {
+                predicted_hits += 1;
+                assert_eq!(
+                    slot.status,
+                    SlotStatus::Overflowed { capacity: 64 },
+                    "slot {i}"
+                );
+            } else {
+                assert_eq!(
+                    slot.status,
+                    SlotStatus::Completed { retries: 0 },
+                    "slot {i}"
+                );
+            }
+        }
+        assert!(predicted_hits >= 1, "seed 7 must hit at least one slot");
+        assert!(predicted_hits < 4, "seed 7 must spare at least one slot");
+        assert_eq!(run.diagnostics.faults_injected, plan.total_fired());
+        assert_eq!(
+            plan.fired_keys(InjectionSite::ArenaOverflow).len(),
+            predicted_hits
+        );
+        // Replay from a fresh plan with the same seed.
+        let replay = engine
+            .run(
+                &one_pattern(),
+                &slots,
+                &SimOptions {
+                    fault_plan: Some(mk_plan()),
+                    ..opts.clone()
+                },
+            )
+            .unwrap();
+        assert_eq!(replay.slots, run.slots);
+        assert_eq!(replay.diagnostics, run.diagnostics);
+    }
+
+    #[test]
+    fn injected_kernel_panic_is_contained_like_an_organic_one() {
+        let n = chain_netlist();
+        let engine = static_engine(&n, 10.0, 10.0);
+        let slots = cross(1, &[0.8; 4]);
+        let plan = Arc::new(FaultPlan::empty(3).with_rate(InjectionSite::KernelPanic, 0.5));
+        let run = engine
+            .run(
+                &one_pattern(),
+                &slots,
+                &SimOptions {
+                    threads: 2,
+                    fault_plan: Some(Arc::clone(&plan)),
+                    ..SimOptions::default()
+                },
+            )
+            .unwrap();
+        let mut panicked = Vec::new();
+        for (i, slot) in run.slots.iter().enumerate() {
+            if plan.decide(InjectionSite::KernelPanic, i as u64, 0) {
+                panicked.push(i);
+                assert_eq!(slot.status, SlotStatus::Panicked, "slot {i}");
+            } else {
+                assert_eq!(
+                    slot.status,
+                    SlotStatus::Completed { retries: 0 },
+                    "slot {i}"
+                );
+            }
+        }
+        assert!(!panicked.is_empty() && panicked.len() < 4, "{panicked:?}");
+        assert_eq!(run.diagnostics.panicked_slots, panicked);
+    }
+
+    #[test]
+    fn injected_nonfinite_kernel_falls_back_to_nominal() {
+        // A corrupted (infinite) kernel factor exercises the
+        // scale_or_fallback guard: results equal the nominal-delay run,
+        // with the fallback and the fault both on the books.
+        let n = chain_netlist();
+        let engine = static_engine(&n, 10.0, 10.0);
+        let plan = Arc::new(FaultPlan::empty(1).with_rate(InjectionSite::NonFiniteKernel, 1.0));
+        let opts = SimOptions {
+            threads: 1,
+            ..SimOptions::default()
+        };
+        let injected = engine
+            .run(
+                &one_pattern(),
+                &at_voltage(1, 0.8),
+                &SimOptions {
+                    fault_plan: Some(Arc::clone(&plan)),
+                    ..opts.clone()
+                },
+            )
+            .unwrap();
+        let clean = engine
+            .run(&one_pattern(), &at_voltage(1, 0.8), &opts)
+            .unwrap();
+        assert!(injected.is_complete());
+        assert!(injected.diagnostics.kernel_fallbacks > 0);
+        assert!(injected.diagnostics.faults_injected > 0);
+        assert_eq!(injected.slots, clean.slots);
+        assert_eq!(clean.diagnostics.kernel_fallbacks, 0);
+        assert_eq!(clean.diagnostics.faults_injected, 0);
+    }
+
+    #[test]
+    fn injected_alloc_cap_breach_denies_the_retry() {
+        // Rate-1.0 AllocCapBreach: the organic overflow wants a retry,
+        // the injected breach denies the admission — BudgetExceeded
+        // without any memory_budget configured.
+        let n = glitch_netlist();
+        let engine = static_engine(&n, 10.0, 10.0);
+        use avfs_atpg::pattern::{Pattern, PatternPair};
+        let patterns: PatternSet = [
+            PatternPair::new(Pattern::from_bits([false]), Pattern::from_bits([true])).unwrap(),
+            PatternPair::new(Pattern::from_bits([false]), Pattern::from_bits([false])).unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        let slots = [
+            SlotSpec {
+                pattern: 0,
+                voltage: 0.8,
+            },
+            SlotSpec {
+                pattern: 1,
+                voltage: 0.8,
+            },
+        ];
+        let plan = Arc::new(FaultPlan::empty(9).with_rate(InjectionSite::AllocCapBreach, 1.0));
+        let run = engine
+            .run(
+                &patterns,
+                &slots,
+                &SimOptions {
+                    threads: 1,
+                    arena_capacity: 1,
+                    fault_plan: Some(Arc::clone(&plan)),
+                    ..SimOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(run.slots[0].status, SlotStatus::BudgetExceeded);
+        assert_eq!(run.slots[1].status, SlotStatus::Completed { retries: 0 });
+        assert_eq!(run.diagnostics.budget_denials, 1);
+        assert_eq!(run.diagnostics.budget_tripped, Some(TrippedBudget::Memory));
+        assert_eq!(run.diagnostics.slot_retries, 0);
+        assert_eq!(plan.fired_keys(InjectionSite::AllocCapBreach), vec![0]);
     }
 }

@@ -21,11 +21,13 @@ use crate::slots::SlotSpec;
 use crate::SimError;
 use avfs_atpg::{zero_delay_values, PatternSet};
 use avfs_delay::TimingAnnotation;
+use avfs_inject::{FaultPlan, InjectionSite, Injector};
 use avfs_netlist::{Levelization, Netlist, NodeId, NodeKind};
 use avfs_obs::{Histogram, Metrics};
 use avfs_waveform::{SwitchingActivity, Waveform, WaveformStats};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -132,6 +134,32 @@ impl EventDrivenSimulator {
         keep_waveforms: bool,
         profiling: bool,
     ) -> Result<SimRun, SimError> {
+        self.run_with_plan(patterns, slots, keep_waveforms, profiling, None)
+    }
+
+    /// [`EventDrivenSimulator::run_profiled`] with an optional armed
+    /// fault plan, giving the baseline the same per-slot fault envelope
+    /// as the engine: a panicking slot — organic or injected
+    /// ([`InjectionSite::KernelPanic`] keyed by the slot index, salt 0) —
+    /// is contained via `catch_unwind` and reported as
+    /// [`SlotStatus::Panicked`] in slot results and
+    /// [`RunDiagnostics::panicked_slots`], while every healthy slot is
+    /// reported [`SlotStatus::Completed`]. Like the engine, a run in
+    /// which *no* slot completes returns [`SimError::AllSlotsFailed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the same validation errors as
+    /// [`EventDrivenSimulator::run`], plus [`SimError::AllSlotsFailed`]
+    /// on total loss.
+    pub fn run_with_plan(
+        &self,
+        patterns: &PatternSet,
+        slots: &[SlotSpec],
+        keep_waveforms: bool,
+        profiling: bool,
+        plan: Option<&Arc<FaultPlan>>,
+    ) -> Result<SimRun, SimError> {
         if slots.is_empty() {
             return Err(SimError::EmptySlots);
         }
@@ -144,13 +172,16 @@ impl EventDrivenSimulator {
                 });
             }
         }
+        let injector = plan.map_or_else(Injector::unarmed, |p| Injector::armed(Arc::clone(p)));
+        let fired_before = plan.map_or(0, |p| p.total_fired());
         let metrics = profiling.then(|| Metrics::new("event_driven"));
         let mut depth_hist = profiling.then(Histogram::new);
         let mut total_events = 0u64;
         let simulate_span = metrics.as_ref().map(|m| m.span(phases::ED_SIMULATE));
         let start = Instant::now();
+        let mut diag = RunDiagnostics::default();
         let mut results = Vec::with_capacity(slots.len());
-        for spec in slots {
+        for (i, spec) in slots.iter().enumerate() {
             let pair = patterns
                 .pairs()
                 .get(spec.pattern)
@@ -158,7 +189,25 @@ impl EventDrivenSimulator {
                     index: spec.pattern,
                     available: patterns.len(),
                 })?;
-            let outcome = self.simulate_pair_sampled(pair, 0.0, depth_hist.as_mut());
+            // Per-slot containment, exactly like the engine's: a panic —
+            // injected or organic — fails this slot, not the run. The
+            // queue-depth histogram may hold samples from the aborted
+            // slot; the depth distribution is observational only.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if injector.fires(InjectionSite::KernelPanic, i as u64, 0) {
+                    panic!("injected kernel panic (slot {i})");
+                }
+                self.simulate_pair_sampled(pair, 0.0, depth_hist.as_mut())
+            }));
+            let outcome = match outcome {
+                Ok(outcome) => outcome,
+                Err(_) => {
+                    results.push(SlotResult::failed(*spec, SlotStatus::Panicked));
+                    diag.panicked_slots.push(i);
+                    diag.failed_slots.push(i);
+                    continue;
+                }
+            };
             total_events += outcome.events;
             let mut responses = Vec::with_capacity(self.netlist.outputs().len());
             let mut latest: Option<f64> = None;
@@ -173,11 +222,19 @@ impl EventDrivenSimulator {
             let activity = SwitchingActivity::of(outcome.waveforms.iter());
             results.push(SlotResult {
                 spec: *spec,
-                status: SlotStatus::default(),
+                status: SlotStatus::Completed { retries: 0 },
                 responses,
                 latest_output_transition_ps: latest,
                 activity,
                 waveforms: keep_waveforms.then_some(outcome.waveforms),
+            });
+        }
+        diag.faults_injected = plan
+            .map_or(0, |p| p.total_fired())
+            .saturating_sub(fired_before);
+        if results.iter().all(|s| !s.status.is_completed()) {
+            return Err(SimError::AllSlotsFailed {
+                slots: results.len(),
             });
         }
         let elapsed = start.elapsed();
@@ -198,7 +255,7 @@ impl EventDrivenSimulator {
             slots: results,
             elapsed,
             node_evaluations: (self.netlist.num_nodes() as u64) * (slots.len() as u64),
-            diagnostics: RunDiagnostics::default(),
+            diagnostics: diag,
             profile: metrics.as_ref().map(Metrics::snapshot),
         })
     }
@@ -525,5 +582,75 @@ mod tests {
         let quiet =
             PatternPair::new(Pattern::from_bits([true]), Pattern::from_bits([true])).unwrap();
         assert_eq!(ed.simulate_pair(&quiet, 0.0).events, 0);
+    }
+
+    #[test]
+    fn injected_panic_contained_per_slot() {
+        // Baseline parity with the engine's fault envelope: injected
+        // panics fail exactly the predicted slots, healthy slots report
+        // Completed, and the diagnostics carry the loss.
+        let n = inverter_chain();
+        let ann = Arc::new(annotate_static(&n, 5));
+        let ed = EventDrivenSimulator::new(Arc::clone(&n), ann).unwrap();
+        let patterns: PatternSet = std::iter::once(
+            PatternPair::new(Pattern::from_bits([false]), Pattern::from_bits([true])).unwrap(),
+        )
+        .collect();
+        let slots: Vec<SlotSpec> = (0..4)
+            .map(|_| SlotSpec {
+                pattern: 0,
+                voltage: 0.8,
+            })
+            .collect();
+        let plan = Arc::new(
+            avfs_inject::FaultPlan::empty(11)
+                .with_rate(avfs_inject::InjectionSite::KernelPanic, 0.5),
+        );
+        let run = ed
+            .run_with_plan(&patterns, &slots, false, false, Some(&plan))
+            .unwrap();
+        let mut panicked = Vec::new();
+        for (i, slot) in run.slots.iter().enumerate() {
+            if plan.decide(avfs_inject::InjectionSite::KernelPanic, i as u64, 0) {
+                panicked.push(i);
+                assert_eq!(slot.status, SlotStatus::Panicked, "slot {i}");
+                assert!(slot.responses.is_empty());
+            } else {
+                assert_eq!(
+                    slot.status,
+                    SlotStatus::Completed { retries: 0 },
+                    "slot {i}"
+                );
+            }
+        }
+        assert!(!panicked.is_empty() && panicked.len() < 4, "{panicked:?}");
+        assert_eq!(run.diagnostics.panicked_slots, panicked);
+        assert_eq!(run.diagnostics.failed_slots, panicked);
+        assert_eq!(run.diagnostics.faults_injected, plan.total_fired());
+        // Rate 1.0 fails every slot — a total loss is an error here too.
+        let all = Arc::new(
+            avfs_inject::FaultPlan::empty(11)
+                .with_rate(avfs_inject::InjectionSite::KernelPanic, 1.0),
+        );
+        assert!(matches!(
+            ed.run_with_plan(&patterns, &slots, false, false, Some(&all)),
+            Err(SimError::AllSlotsFailed { slots: 4 })
+        ));
+    }
+
+    #[test]
+    fn clean_runs_report_completed_status() {
+        let n = inverter_chain();
+        let ann = Arc::new(annotate_static(&n, 9));
+        let ed = EventDrivenSimulator::new(Arc::clone(&n), ann).unwrap();
+        let patterns: PatternSet = std::iter::once(
+            PatternPair::new(Pattern::from_bits([false]), Pattern::from_bits([true])).unwrap(),
+        )
+        .collect();
+        let run = ed.run(&patterns, &at_voltage(1, 0.8), false).unwrap();
+        assert_eq!(run.slots[0].status, SlotStatus::Completed { retries: 0 });
+        assert!(run.is_complete());
+        assert_eq!(run.diagnostics.faults_injected, 0);
+        assert!(run.diagnostics.panicked_slots.is_empty());
     }
 }

@@ -105,6 +105,21 @@ pub const ENGINE_POOL_STEALS: &str = "engine.pool_steals";
 /// work-stealing schedule.
 pub const ENGINE_POOL_WORKER_TASKS: &str = "engine.pool_worker_tasks";
 
+/// Faults fired by an armed fault plan during the run — always recorded
+/// (0 on clean runs), so report tooling can assert a run was fault-free.
+/// See [`SimOptions::fault_plan`](crate::SimOptions::fault_plan).
+pub const ENGINE_FAULTS_INJECTED: &str = "engine.faults_injected";
+
+/// Slots abandoned because the wall-clock
+/// [`deadline`](crate::SimOptions::deadline) expired — always recorded
+/// (0 on clean runs).
+pub const ENGINE_DEADLINE_ABORTS: &str = "engine.deadline_aborts";
+
+/// Quarantine-retry admissions denied by the
+/// [`memory_budget`](crate::SimOptions::memory_budget) (or an injected
+/// allocation-cap breach) — always recorded (0 on clean runs).
+pub const ENGINE_BUDGET_DENIALS: &str = "engine.budget_denials";
+
 /// Whole event-driven baseline run (all slots, serial).
 pub const ED_SIMULATE: &str = "ed/simulate";
 

@@ -16,7 +16,9 @@
 //! returning — even by unwinding — until every worker has finished the
 //! epoch and dropped its reference.
 
+use avfs_inject::Injector;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -59,7 +61,14 @@ impl WorkerPool {
     /// Creates a pool of `size` workers total: `size - 1` OS threads plus
     /// the calling thread, which participates as worker 0 inside
     /// [`WorkerPool::run`]. `size` is clamped to at least 1.
-    pub fn new(size: usize) -> WorkerPool {
+    ///
+    /// `injector` carries the run's fault plan for the
+    /// [`WorkerStall`](avfs_inject::InjectionSite::WorkerStall) site:
+    /// a firing probe — keyed `(worker index, epoch)` — makes the worker
+    /// sleep before taking its share, which perturbs timing (exercising
+    /// the stall watchdog and the work-stealing rebalance) but never
+    /// results. Unarmed, the probe is one branch per worker per epoch.
+    pub fn new(size: usize, injector: Injector) -> WorkerPool {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 epoch: 0,
@@ -74,9 +83,10 @@ impl WorkerPool {
         let handles = (1..size.max(1))
             .map(|index| {
                 let shared = Arc::clone(&shared);
+                let injector = injector.clone();
                 std::thread::Builder::new()
                     .name(format!("avfs-worker-{index}"))
-                    .spawn(move || worker_loop(index, &shared))
+                    .spawn(move || worker_loop(index, &shared, &injector))
                     .expect("worker thread spawns")
             })
             .collect();
@@ -158,7 +168,7 @@ impl std::fmt::Debug for WorkerPool {
 
 /// Body of one spawned worker: wait for an epoch bump, run the job,
 /// report completion, park again.
-fn worker_loop(index: usize, shared: &Shared) {
+fn worker_loop(index: usize, shared: &Shared, injector: &Injector) {
     let mut seen = 0u64;
     loop {
         let job = {
@@ -175,6 +185,13 @@ fn worker_loop(index: usize, shared: &Shared) {
             seen = state.epoch;
             state.job.expect("an epoch bump always publishes a job")
         };
+        // Injected slow-worker stall: sleep before taking a share, so the
+        // chunked cursor sheds this worker's load onto its peers and the
+        // watchdog sees a quiet epoch. Timing only — results are schedule
+        // independent (§9 reconciliation).
+        if let Some(stall) = injector.stall_duration(index as u64, seen) {
+            std::thread::sleep(stall);
+        }
         // Contain job panics so the barrier protocol (and the engine's
         // borrow lifetimes) survive; the coordinator re-raises.
         let outcome = catch_unwind(AssertUnwindSafe(|| job(index)));
@@ -189,14 +206,129 @@ fn worker_loop(index: usize, shared: &Shared) {
     }
 }
 
+/// A coordinator-side stall detector for the epoch barrier.
+///
+/// Armed by [`SimOptions::stall_timeout`](crate::SimOptions::stall_timeout):
+/// a monitor thread watches a progress counter the coordinator bumps at
+/// every level barrier. When no progress lands within the timeout, one
+/// stall is recorded for that quiet period (re-armed by the next
+/// progress bump). The watchdog only *observes* — a stalled epoch is
+/// waited out, never killed, because workers may hold borrows into
+/// level-local state — so it can never change results; its tally
+/// surfaces as `RunDiagnostics::watchdog_stalls`. Dropping the handle
+/// disarms: the monitor is woken and joined.
+pub(crate) struct Watchdog {
+    shared: Arc<WatchdogShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+struct WatchdogShared {
+    /// Bumped by the coordinator at every level barrier.
+    progress: AtomicU64,
+    /// Quiet periods of at least `timeout` with no progress.
+    stalls: AtomicU64,
+    /// Disarm flag + wakeup bell for the monitor thread.
+    disarm: Mutex<bool>,
+    bell: Condvar,
+    timeout: Duration,
+}
+
+impl Watchdog {
+    /// Arms a watchdog: spawns the monitor thread with the given stall
+    /// timeout (clamped to at least 1 ms so a zero timeout cannot spin).
+    pub fn arm(timeout: Duration) -> Watchdog {
+        let shared = Arc::new(WatchdogShared {
+            progress: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
+            disarm: Mutex::new(false),
+            bell: Condvar::new(),
+            timeout: timeout.max(Duration::from_millis(1)),
+        });
+        let monitor = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("avfs-watchdog".to_owned())
+            .spawn(move || watchdog_loop(&monitor))
+            .expect("watchdog thread spawns");
+        Watchdog {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Reports forward progress (called at every level barrier).
+    pub fn progress(&self) {
+        self.shared.progress.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Stall periods detected so far.
+    pub fn stalls(&self) -> u64 {
+        self.shared.stalls.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        *self.shared.disarm.lock().expect("watchdog lock") = true;
+        self.shared.bell.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Watchdog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Watchdog")
+            .field("timeout", &self.shared.timeout)
+            .field("stalls", &self.stalls())
+            .finish()
+    }
+}
+
+/// Monitor body: sample the progress counter every quarter timeout;
+/// record one stall per quiet period of at least the full timeout.
+fn watchdog_loop(shared: &WatchdogShared) {
+    let tick = (shared.timeout / 4).max(Duration::from_millis(1));
+    let mut last_seen = shared.progress.load(Ordering::Relaxed);
+    let mut quiet = Duration::ZERO;
+    let mut flagged = false;
+    let mut disarmed = shared.disarm.lock().expect("watchdog lock");
+    loop {
+        if *disarmed {
+            return;
+        }
+        let (guard, timeout) = shared
+            .bell
+            .wait_timeout(disarmed, tick)
+            .expect("watchdog lock");
+        disarmed = guard;
+        if !timeout.timed_out() {
+            continue; // Woken by disarm (or spuriously); re-check the flag.
+        }
+        let now = shared.progress.load(Ordering::Relaxed);
+        if now != last_seen {
+            last_seen = now;
+            quiet = Duration::ZERO;
+            flagged = false;
+        } else {
+            quiet += tick;
+            if quiet >= shared.timeout && !flagged {
+                shared.stalls.fetch_add(1, Ordering::Relaxed);
+                flagged = true;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use avfs_inject::{FaultPlan, InjectionSite};
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn single_worker_pool_runs_inline() {
-        let pool = WorkerPool::new(1);
+        let pool = WorkerPool::new(1, Injector::unarmed());
         assert_eq!(pool.size(), 1);
         let hits = AtomicUsize::new(0);
         let idle = pool.run(
@@ -212,7 +344,7 @@ mod tests {
 
     #[test]
     fn epochs_reuse_the_same_workers() {
-        let pool = WorkerPool::new(4);
+        let pool = WorkerPool::new(4, Injector::unarmed());
         assert_eq!(pool.size(), 4);
         let total = AtomicUsize::new(0);
         // Many epochs over the same pool: every worker runs every epoch,
@@ -235,7 +367,7 @@ mod tests {
 
     #[test]
     fn work_stealing_cursor_covers_all_tasks_once() {
-        let pool = WorkerPool::new(3);
+        let pool = WorkerPool::new(3, Injector::unarmed());
         let tasks = 1000usize;
         let cursor = AtomicUsize::new(0);
         let done: Vec<AtomicUsize> = (0..tasks).map(|_| AtomicUsize::new(0)).collect();
@@ -256,7 +388,7 @@ mod tests {
 
     #[test]
     fn coordinator_panic_defers_past_the_barrier() {
-        let pool = WorkerPool::new(2);
+        let pool = WorkerPool::new(2, Injector::unarmed());
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             pool.run(
                 &|w| {
@@ -281,7 +413,7 @@ mod tests {
 
     #[test]
     fn worker_panic_is_reported() {
-        let pool = WorkerPool::new(2);
+        let pool = WorkerPool::new(2, Injector::unarmed());
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             pool.run(
                 &|w| {
@@ -293,5 +425,63 @@ mod tests {
             );
         }));
         assert!(outcome.is_err());
+    }
+
+    #[test]
+    fn injected_stall_delays_but_preserves_the_epoch() {
+        let plan = Arc::new(
+            FaultPlan::empty(5)
+                .with_rate(InjectionSite::WorkerStall, 1.0)
+                .with_stall(Duration::from_millis(10)),
+        );
+        let pool = WorkerPool::new(2, Injector::armed(Arc::clone(&plan)));
+        let hits = AtomicUsize::new(0);
+        let t0 = Instant::now();
+        pool.run(
+            &|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            },
+            false,
+        );
+        assert_eq!(hits.load(Ordering::Relaxed), 2, "both shares still ran");
+        assert!(
+            t0.elapsed() >= Duration::from_millis(10),
+            "the stalled worker held the barrier"
+        );
+        assert!(plan.hits(InjectionSite::WorkerStall) >= 1);
+        assert_eq!(plan.fired_keys(InjectionSite::WorkerStall), vec![1]);
+    }
+
+    #[test]
+    fn watchdog_detects_a_stalled_epoch() {
+        let dog = Watchdog::arm(Duration::from_millis(10));
+        assert_eq!(dog.stalls(), 0);
+        // No progress for many timeouts: exactly one stall is recorded
+        // for the quiet period (the flag re-arms only on progress).
+        std::thread::sleep(Duration::from_millis(120));
+        assert_eq!(dog.stalls(), 1, "one stall per quiet period");
+        // Progress re-arms the detector; a second quiet period records a
+        // second stall.
+        dog.progress();
+        std::thread::sleep(Duration::from_millis(120));
+        assert_eq!(dog.stalls(), 2);
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_under_progress_and_disarms_cleanly() {
+        let dog = Watchdog::arm(Duration::from_millis(40));
+        for _ in 0..20 {
+            dog.progress();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(dog.stalls(), 0, "steady progress must never stall");
+        // Disarm (drop) must join the monitor promptly, not wait out a
+        // full timeout cycle left over from arming.
+        let t0 = Instant::now();
+        drop(dog);
+        assert!(
+            t0.elapsed() < Duration::from_millis(40),
+            "disarm joins the monitor without waiting a full timeout"
+        );
     }
 }

@@ -517,6 +517,34 @@ pub fn characterize_library_metered(
     cells: Option<&[CellId]>,
     metrics: Option<&Metrics>,
 ) -> Result<CharacterizedLibrary, DelayError> {
+    characterize_library_injected(
+        library,
+        tech,
+        config,
+        cells,
+        metrics,
+        &avfs_inject::Injector::unarmed(),
+    )
+}
+
+/// [`characterize_library_metered`] with a fault injector: an armed plan
+/// firing [`avfs_inject::InjectionSite::SpiceFailure`] (keyed by the cell
+/// index, salt 0) makes that cell's characterization fail with
+/// [`DelayError::Characterization`], rehearsing a transistor-level sweep
+/// blowing up mid-flow. An unarmed injector (or an empty plan) is
+/// behaviorally identical to [`characterize_library_metered`].
+///
+/// # Errors
+///
+/// Identical to [`characterize_library`], plus the injected failure.
+pub fn characterize_library_injected(
+    library: &CellLibrary,
+    tech: &Technology,
+    config: &CharacterizationConfig,
+    cells: Option<&[CellId]>,
+    metrics: Option<&Metrics>,
+    injector: &avfs_inject::Injector,
+) -> Result<CharacterizedLibrary, DelayError> {
     let (v_min, v_max) = (
         config.sweep.voltages[0],
         *config.sweep.voltages.last().expect("validated below"),
@@ -561,6 +589,18 @@ pub fn characterize_library_metered(
     for &cell_id in selected {
         let cell_span = metrics.map(|m| m.span("delay/characterize"));
         let cell = library.cell(cell_id);
+        // Injected SPICE failure: the whole flow aborts on the affected
+        // cell, exactly as an organic sweep error would propagate.
+        if injector.fires(
+            avfs_inject::InjectionSite::SpiceFailure,
+            cell_id.index() as u64,
+            0,
+        ) {
+            return Err(DelayError::Characterization {
+                cell: cell.name().to_owned(),
+                message: "injected SPICE failure (transient sweep aborted)".to_owned(),
+            });
+        }
         let mut surfaces: Vec<[SurfacePolynomial; 2]> = Vec::with_capacity(cell.num_inputs());
         let mut lut_grids: Vec<[DataGrid; 2]> = Vec::with_capacity(cell.num_inputs());
         let mut curves: Vec<[NominalCurve; 2]> = Vec::with_capacity(cell.num_inputs());
@@ -698,6 +738,51 @@ mod tests {
         let hi = ch.space().normalize(OperatingPoint::new(1.1, 4.0)).unwrap();
         assert!(ch.model().factor(id, 0, Polarity::Fall, lo).unwrap() > 1.15);
         assert!(ch.model().factor(id, 0, Polarity::Fall, hi).unwrap() < 0.95);
+    }
+
+    #[test]
+    fn injected_spice_failure_aborts_the_flow() {
+        let lib = CellLibrary::nangate15_like();
+        let tech = Technology::nm15();
+        let cfg = CharacterizationConfig::fast();
+        let ids = subset(&lib, &["INV_X1"]);
+        let plan = std::sync::Arc::new(
+            avfs_inject::FaultPlan::empty(2)
+                .with_rate(avfs_inject::InjectionSite::SpiceFailure, 1.0),
+        );
+        let err = characterize_library_injected(
+            &lib,
+            &tech,
+            &cfg,
+            Some(&ids),
+            None,
+            &avfs_inject::Injector::armed(std::sync::Arc::clone(&plan)),
+        )
+        .unwrap_err();
+        match err {
+            DelayError::Characterization { cell, message } => {
+                assert_eq!(cell, "INV_X1");
+                assert!(message.contains("injected"), "{message}");
+            }
+            other => panic!("expected Characterization, got {other:?}"),
+        }
+        assert_eq!(
+            plan.fired_keys(avfs_inject::InjectionSite::SpiceFailure),
+            vec![ids[0].index() as u64]
+        );
+        // An empty plan characterizes normally.
+        let empty = std::sync::Arc::new(avfs_inject::FaultPlan::empty(2));
+        let ch = characterize_library_injected(
+            &lib,
+            &tech,
+            &cfg,
+            Some(&ids),
+            None,
+            &avfs_inject::Injector::armed(std::sync::Arc::clone(&empty)),
+        )
+        .unwrap();
+        assert_eq!(ch.reports().len(), 1);
+        assert_eq!(empty.total_fired(), 0);
     }
 
     #[test]

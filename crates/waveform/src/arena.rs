@@ -237,6 +237,22 @@ impl WaveformArena {
     /// write each cell at most once. See [`LevelWriter`] for the access
     /// discipline.
     pub fn level_writer(&mut self) -> LevelWriter<'_> {
+        self.level_writer_hooked(None)
+    }
+
+    /// [`Self::level_writer`] with a fault-injection hook: when `hook`
+    /// is present, every *non-empty* [`LevelWriter::write`] consults
+    /// `hook(idx)` first and reports [`CapacityOverflow`] — cell
+    /// untouched, unclaimed — when it returns `true`, exactly as if the
+    /// waveform had outgrown the cell. The hook must be pure per `(epoch,
+    /// idx)` (it runs on whichever worker owns the task), and it is never
+    /// consulted for empty writes or [`LevelWriter::write_constant`], so
+    /// a quiet cell can not be forced to overflow — the activity-gating
+    /// invariant ("a quiet task cannot overflow") survives injection.
+    pub fn level_writer_hooked<'a>(
+        &'a mut self,
+        hook: Option<&'a OverflowHook<'a>>,
+    ) -> LevelWriter<'a> {
         for word in &mut self.claims {
             *word.get_mut() = 0;
         }
@@ -249,10 +265,17 @@ impl WaveformArena {
             times: self.times.as_mut_ptr(),
             claims: &self.claims,
             peak: &self.peak,
+            overflow_hook: hook,
             _arena: std::marker::PhantomData,
         }
     }
 }
+
+/// A forced-overflow predicate for [`WaveformArena::level_writer_hooked`]:
+/// `hook(cell index) == true` makes that cell's write report
+/// [`CapacityOverflow`]. Installed by fault-injection harnesses; `Sync`
+/// because it is consulted from pool workers.
+pub type OverflowHook<'h> = dyn Fn(usize) -> bool + Sync + 'h;
 
 /// One contiguous, exclusively-owned range of arena cells, produced by
 /// [`WaveformArena::partitions`]. Indices are *local* to the partition;
@@ -344,7 +367,6 @@ impl ArenaPartition<'_> {
 /// The writer is `Send + Sync`; it borrows the arena mutably, so no other
 /// access to the arena is possible until it is dropped — the epoch's
 /// *barrier* is simply the end of the borrow.
-#[derive(Debug)]
 pub struct LevelWriter<'a> {
     capacity: usize,
     entries: usize,
@@ -353,7 +375,21 @@ pub struct LevelWriter<'a> {
     times: *mut f64,
     claims: &'a [AtomicU32],
     peak: &'a AtomicUsize,
+    /// Fault-injection forced-overflow predicate (see
+    /// [`WaveformArena::level_writer_hooked`]); `None` on every normal
+    /// epoch, so the unarmed cost is one discriminant branch per write.
+    overflow_hook: Option<&'a OverflowHook<'a>>,
     _arena: std::marker::PhantomData<&'a mut WaveformArena>,
+}
+
+impl std::fmt::Debug for LevelWriter<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LevelWriter")
+            .field("capacity", &self.capacity)
+            .field("entries", &self.entries)
+            .field("hooked", &self.overflow_hook.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 // SAFETY: all mutation goes through the per-cell claim protocol (one
@@ -503,6 +539,17 @@ impl LevelWriter<'_> {
             return Err(CapacityOverflow {
                 capacity: self.capacity,
             });
+        }
+        // Injected forced overflow: same observable outcome as a real
+        // capacity miss — cell untouched and unclaimed — taken before the
+        // claim so quarantine sees a clean cell. Empty writes are exempt
+        // (a constant output fits any capacity, hooked or not).
+        if let Some(hook) = self.overflow_hook {
+            if !transitions.is_empty() && hook(idx) {
+                return Err(CapacityOverflow {
+                    capacity: self.capacity,
+                });
+            }
         }
         assert!(
             self.claim(idx),
@@ -738,6 +785,37 @@ mod tests {
             writer.write(3, true, &[]).unwrap();
         }
         assert_eq!(arena.to_waveform(0), arena.to_waveform(3));
+    }
+
+    #[test]
+    fn overflow_hook_forces_capacity_miss_and_leaves_cell_unclaimed() {
+        let mut arena = WaveformArena::new(4, 8);
+        let hook = |idx: usize| idx == 1;
+        {
+            let writer = arena.level_writer_hooked(Some(&hook));
+            writer.write(0, false, &[1.0]).unwrap();
+            // The hooked cell reports the same error a real capacity miss
+            // would, even though 1 transition fits a capacity of 8 ...
+            assert_eq!(
+                writer.write(1, false, &[2.0]),
+                Err(CapacityOverflow { capacity: 8 })
+            );
+            // ... and an empty write is exempt: a quiet cell can not be
+            // forced to overflow.
+            writer.write(2, true, &[]).unwrap();
+        }
+        assert_eq!(arena.to_waveform(1), Waveform::constant(false));
+        assert_eq!(arena.to_waveform(2), Waveform::constant(true));
+        // The cell was left unclaimed: the quarantine epoch (no hook)
+        // writes it normally.
+        {
+            let writer = arena.level_writer();
+            writer.write(1, false, &[2.0]).unwrap();
+        }
+        assert_eq!(
+            arena.to_waveform(1),
+            Waveform::with_transitions(false, vec![2.0]).unwrap()
+        );
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod arena;
 pub mod vcd;
 
 pub use activity::{SwitchingActivity, WaveformStats};
-pub use arena::{ArenaPartition, LevelWriter, WaveformArena, WaveformView};
+pub use arena::{ArenaPartition, LevelWriter, OverflowHook, WaveformArena, WaveformView};
 
 use std::error::Error;
 use std::fmt;

@@ -23,7 +23,11 @@
 //!   [`SimOptions::profiling`](sim::SimOptions) (dependency-free),
 //! * [`check`] — three-tier static analysis: netlist lints, delay-model
 //!   lints, and the concurrency/unsafe audit behind the `checker` CI gate
-//!   and [`SimOptions::strict_validation`](sim::SimOptions).
+//!   and [`SimOptions::strict_validation`](sim::SimOptions),
+//! * [`inject`] — deterministic fault injection: seeded
+//!   [`FaultPlan`](inject::FaultPlan)s behind
+//!   [`SimOptions::fault_plan`](sim::SimOptions) and the `chaos` soak
+//!   harness (dependency-free; no-op when unarmed).
 //!
 //! # Quickstart
 //!
@@ -76,6 +80,7 @@ pub use avfs_check as check;
 pub use avfs_circuits as circuits;
 pub use avfs_core as sim;
 pub use avfs_delay as delay;
+pub use avfs_inject as inject;
 pub use avfs_netlist as netlist;
 pub use avfs_obs as obs;
 pub use avfs_regression as regression;

@@ -144,6 +144,20 @@ fn profile_reports_every_documented_phase() {
         level_activity.max <= 100,
         "activity is a percentage of the level's tasks"
     );
+    // Robustness counters are recorded unconditionally, so a clean run
+    // reports them present *and zero* — their absence would mean the
+    // instrumentation rotted, a nonzero value an unexpected fault.
+    for counter in [
+        phases::ENGINE_FAULTS_INJECTED,
+        phases::ENGINE_DEADLINE_ABORTS,
+        phases::ENGINE_BUDGET_DENIALS,
+    ] {
+        assert_eq!(
+            profile.counter(counter),
+            Some(0),
+            "robustness counter `{counter}` must be present and zero on a clean run"
+        );
+    }
     // The profile survives its JSON round-trip unchanged.
     let json = profile.to_json().to_string_pretty();
     let parsed = avfs::obs::Json::parse(&json).expect("valid JSON");

@@ -12,6 +12,7 @@ use avfs::netlist::library::Polarity;
 use avfs::netlist::{CellId, CellLibrary, Netlist, NetlistBuilder, NodeKind};
 use avfs::sim::{slots, Engine, EventDrivenSimulator, SimError, SimOptions, SimRun, SlotStatus};
 use avfs::waveform::PinDelays;
+use proptest::prelude::*;
 use std::sync::Arc;
 
 /// Uniform static pin delays so the engine (factor-1 model) and the
@@ -207,5 +208,78 @@ fn every_slot_poisoned_is_a_run_error() {
     match engine.run(&patterns, &slots::cross(1, &[1.1]), &SimOptions::default()) {
         Err(SimError::AllSlotsFailed { slots: 1 }) => {}
         other => panic!("expected AllSlotsFailed, got {other:?}"),
+    }
+}
+
+/// A fixed engine + stimuli pair for the fault-plan property below: a
+/// glitchy netlist (so injected overflows and retries actually bite)
+/// with static delays and eight mixed-voltage slots.
+fn chaos_fixture() -> (Engine, PatternSet, Vec<slots::SlotSpec>) {
+    let netlist = glitch_cascade(3);
+    let annotation = Arc::new(static_annotation(&netlist, 4.0, 6.0));
+    let engine = Engine::new(
+        Arc::clone(&netlist),
+        annotation,
+        Arc::new(StaticModel::new(ParameterSpace::paper())),
+    )
+    .unwrap();
+    let patterns: PatternSet = std::iter::once(
+        PatternPair::new(Pattern::from_bits([false]), Pattern::from_bits([true])).unwrap(),
+    )
+    .collect();
+    let specs = slots::cross(
+        patterns.len(),
+        &[0.7, 0.8, 0.9, 1.0, 0.75, 0.85, 0.95, 1.05],
+    );
+    (engine, patterns, specs)
+}
+
+proptest! {
+    /// Any randomized fault plan replays bit-for-bit from its seed
+    /// alone: two runs under independently constructed plans with the
+    /// same seed agree on every slot outcome and every diagnostic, and
+    /// fire the exact same injection-site keys.
+    #[test]
+    fn randomized_fault_plans_replay_deterministically(
+        seed in 0u64..1_000_000,
+        max_rate in 0.0f64..0.6,
+        threads in 1usize..5,
+    ) {
+        use avfs::inject::{FaultPlan, InjectionSite};
+        let (engine, patterns, specs) = chaos_fixture();
+        let run = |plan: Arc<FaultPlan>| {
+            engine.run(
+                &patterns,
+                &specs,
+                &SimOptions {
+                    threads,
+                    arena_capacity: 4, // small enough for organic retries
+                    fault_plan: Some(plan),
+                    ..SimOptions::default()
+                },
+            )
+        };
+        let a_plan = Arc::new(FaultPlan::randomized(seed, max_rate));
+        let b_plan = Arc::new(FaultPlan::randomized(seed, max_rate));
+        match (run(Arc::clone(&a_plan)), run(Arc::clone(&b_plan))) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(&a.slots, &b.slots);
+                prop_assert_eq!(&a.diagnostics, &b.diagnostics);
+                prop_assert_eq!(a.node_evaluations, b.node_evaluations);
+            }
+            (
+                Err(SimError::AllSlotsFailed { slots: a }),
+                Err(SimError::AllSlotsFailed { slots: b }),
+            ) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(
+                false,
+                "replay outcome class diverged: {:?} vs {:?}",
+                a.map(|r| r.summary()),
+                b.map(|r| r.summary())
+            ),
+        }
+        for site in InjectionSite::ALL {
+            prop_assert_eq!(a_plan.fired_keys(site), b_plan.fired_keys(site));
+        }
     }
 }
