@@ -28,6 +28,9 @@ cargo run --release --offline -p avfs-bench --bin thread_scaling -- --smoke
 echo "==> activity_sweep --smoke (gating determinism gate)"
 cargo run --release --offline -p avfs-bench --bin activity_sweep -- --smoke
 
+echo "==> lane_scaling --smoke (lane-major identity gate)"
+cargo run --release --offline -p avfs-bench --bin lane_scaling -- --smoke
+
 echo "==> checker --smoke (static-analysis gate: avfs-check/1 schema, zero deny findings)"
 cargo run --release --offline -p avfs-bench --bin checker -- --smoke
 

@@ -15,7 +15,9 @@
 
 use avfs_atpg::timing_aware::{collect_pairs, generate_timing_aware};
 use avfs_atpg::{k_longest_paths, PatternSet};
-use avfs_bench::perf::{ActivitySweep, CircuitPerf, PerfReport, ScalingPoint, ThreadScaling};
+use avfs_bench::perf::{
+    ActivitySweep, CircuitPerf, LanePoint, LaneScaling, PerfReport, ScalingPoint, ThreadScaling,
+};
 use avfs_bench::{activity_patterns, characterize_used, measure_activity_point, Args};
 use avfs_circuits::{CircuitProfile, PAPER_PROFILES};
 use avfs_core::{slots, Engine, EventDrivenSimulator, SimOptions, SimRun};
@@ -58,6 +60,7 @@ fn main() {
         circuits: Vec::new(),
         thread_scaling: None,
         activity_sweep: None,
+        lane_scaling: None,
     };
 
     if args.flag("--smoke") {
@@ -90,6 +93,15 @@ fn main() {
             &chars,
             4,
             &[0.0, 1.0],
+            threads,
+        ));
+        report.lane_scaling = Some(lane_sweep(
+            "c17",
+            &c17,
+            &annotation,
+            &chars,
+            &patterns,
+            &[1, 4],
             threads,
         ));
         let text = report.to_json().to_string_pretty();
@@ -193,6 +205,27 @@ fn main() {
             );
         }
         report.activity_sweep = Some(sweep);
+
+        // Lane-width scaling sweep on the same design: the lane-major
+        // layout at widths 1…16 on identical inputs, identity asserted
+        // against the scalar point.
+        eprintln!("perf_report: lane-scaling sweep on {} ...", profile.name);
+        let sweep = lane_sweep(
+            profile.name,
+            netlist,
+            &annotation,
+            &chars,
+            &patterns,
+            &[1, 4, 8, 16],
+            threads,
+        );
+        for p in &sweep.points {
+            eprintln!(
+                "perf_report:   lanes={:<3} {:>9.1} ms  ({:.2}x vs scalar)",
+                p.lanes, p.elapsed_ms, p.speedup_vs_scalar
+            );
+        }
+        report.lane_scaling = Some(sweep);
     }
 
     let text = report.to_json().to_string_pretty();
@@ -316,6 +349,70 @@ fn scaling_sweep(
         pairs: patterns.len() as u64,
         slots: slot_list.len() as u64,
         prior_engine_elapsed_ms,
+        points,
+    }
+}
+
+/// Re-runs the engine on identical inputs at each lane width of `sweep`,
+/// asserting bit-for-bit identical results against the scalar (lane
+/// width 1) point (the lane-major engine's hard invariant) and reporting
+/// wall-clock speedups against it.
+fn lane_sweep(
+    name: &str,
+    netlist: &Arc<Netlist>,
+    annotation: &Arc<TimingAnnotation>,
+    chars: &CharacterizedLibrary,
+    patterns: &PatternSet,
+    sweep: &[usize],
+    threads: usize,
+) -> LaneScaling {
+    let engine = Engine::new(
+        Arc::clone(netlist),
+        Arc::clone(annotation),
+        Arc::new(chars.model().clone()),
+    )
+    .expect("engine builds");
+    let slot_list = slots::at_voltage(patterns.len(), 0.8);
+    let mut reference: Option<SimRun> = None;
+    let mut points = Vec::new();
+    let mut scalar_ms = 0.0;
+    for &lanes in sweep {
+        let run = engine
+            .run(
+                patterns,
+                &slot_list,
+                &SimOptions {
+                    threads,
+                    lanes,
+                    ..SimOptions::default()
+                },
+            )
+            .expect("engine runs");
+        let elapsed_ms = run.elapsed.as_secs_f64() * 1e3;
+        match &reference {
+            None => {
+                scalar_ms = elapsed_ms;
+                reference = Some(run);
+            }
+            Some(r) => {
+                assert_eq!(
+                    r.slots, run.slots,
+                    "{name}: results diverge at lanes={lanes}"
+                );
+                assert_eq!(r.diagnostics, run.diagnostics);
+            }
+        }
+        points.push(LanePoint {
+            lanes: lanes as u64,
+            elapsed_ms,
+            speedup_vs_scalar: scalar_ms / elapsed_ms.max(1e-9),
+        });
+    }
+    LaneScaling {
+        circuit: name.to_owned(),
+        nodes: netlist.num_nodes() as u64,
+        pairs: patterns.len() as u64,
+        slots: slot_list.len() as u64,
         points,
     }
 }

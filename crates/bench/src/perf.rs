@@ -34,6 +34,38 @@ pub struct PerfReport {
     /// Activity-gating sweep over one circuit (absent in reports
     /// predating the activity-gated engine).
     pub activity_sweep: Option<ActivitySweep>,
+    /// Lane-width scaling sweep over one circuit (absent in reports
+    /// predating the lane-major engine).
+    pub lane_scaling: Option<LaneScaling>,
+}
+
+/// Lane-width scaling sweep of the lane-major engine: the report's
+/// largest circuit re-run at increasing lane widths on otherwise
+/// identical inputs, with results asserted bit-identical to the sweep's
+/// own scalar (lane width 1) point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneScaling {
+    /// Circuit the sweep ran on.
+    pub circuit: String,
+    /// Netlist nodes of that circuit.
+    pub nodes: u64,
+    /// Pattern pairs simulated per point.
+    pub pairs: u64,
+    /// Simulation slots per point.
+    pub slots: u64,
+    /// One measurement per lane width, ascending.
+    pub points: Vec<LanePoint>,
+}
+
+/// One point of a [`LaneScaling`] sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LanePoint {
+    /// Lane width of this point.
+    pub lanes: u64,
+    /// Engine wall-clock, milliseconds.
+    pub elapsed_ms: f64,
+    /// Speedup versus the sweep's own scalar (lane width 1) point.
+    pub speedup_vs_scalar: f64,
 }
 
 /// Activity-gating sweep: the report's largest circuit re-run at
@@ -211,6 +243,35 @@ impl PerfReport {
                 ]),
             ));
         }
+        if let Some(ls) = &self.lane_scaling {
+            fields.push((
+                "lane_scaling".into(),
+                Json::Obj(vec![
+                    ("circuit".into(), Json::Str(ls.circuit.clone())),
+                    ("nodes".into(), Json::Num(ls.nodes as f64)),
+                    ("pairs".into(), Json::Num(ls.pairs as f64)),
+                    ("slots".into(), Json::Num(ls.slots as f64)),
+                    (
+                        "points".into(),
+                        Json::Arr(
+                            ls.points
+                                .iter()
+                                .map(|p| {
+                                    Json::Obj(vec![
+                                        ("lanes".into(), Json::Num(p.lanes as f64)),
+                                        ("elapsed_ms".into(), Json::Num(p.elapsed_ms)),
+                                        (
+                                            "speedup_vs_scalar".into(),
+                                            Json::Num(p.speedup_vs_scalar),
+                                        ),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
         if let Some(sweep) = &self.activity_sweep {
             fields.push((
                 "activity_sweep".into(),
@@ -338,6 +399,30 @@ impl PerfReport {
                 })
             }
         };
+        let lane_scaling = match value.get("lane_scaling") {
+            None | Some(Json::Null) => None,
+            Some(ls) => {
+                let mut points = Vec::new();
+                for p in ls
+                    .get("points")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| fail("missing lane_scaling points array"))?
+                {
+                    points.push(LanePoint {
+                        lanes: req_u64(p, "lanes")?,
+                        elapsed_ms: req_f64(p, "elapsed_ms")?,
+                        speedup_vs_scalar: req_f64(p, "speedup_vs_scalar")?,
+                    });
+                }
+                Some(LaneScaling {
+                    circuit: req_str(ls, "circuit")?,
+                    nodes: req_u64(ls, "nodes")?,
+                    pairs: req_u64(ls, "pairs")?,
+                    slots: req_u64(ls, "slots")?,
+                    points,
+                })
+            }
+        };
         let activity_sweep = match value.get("activity_sweep") {
             None | Some(Json::Null) => None,
             Some(sweep) => {
@@ -374,6 +459,7 @@ impl PerfReport {
             circuits,
             thread_scaling,
             activity_sweep,
+            lane_scaling,
         })
     }
 
@@ -439,6 +525,24 @@ mod tests {
                         threads: 4,
                         elapsed_ms: 0.2,
                         speedup_vs_single: 3.0,
+                    },
+                ],
+            }),
+            lane_scaling: Some(LaneScaling {
+                circuit: "c17".into(),
+                nodes: 17,
+                pairs: 8,
+                slots: 8,
+                points: vec![
+                    LanePoint {
+                        lanes: 1,
+                        elapsed_ms: 0.6,
+                        speedup_vs_scalar: 1.0,
+                    },
+                    LanePoint {
+                        lanes: 8,
+                        elapsed_ms: 0.3,
+                        speedup_vs_scalar: 2.0,
                     },
                 ],
             }),
@@ -516,6 +620,26 @@ mod tests {
         }
         let err = PerfReport::validate(&v.to_string_pretty()).unwrap_err();
         assert!(err.contains("activity_sweep points"), "{err}");
+    }
+
+    #[test]
+    fn lane_scaling_is_optional() {
+        // Reports predating the lane-major engine have no lane_scaling
+        // section and must keep validating.
+        let mut report = sample();
+        report.lane_scaling = None;
+        let text = report.to_json().to_string_pretty();
+        let back = PerfReport::validate(&text).expect("valid without lane_scaling");
+        assert_eq!(back, report);
+        // A corrupt section is rejected with a pointed message.
+        let mut v = sample().to_json();
+        if let Json::Obj(fields) = &mut v {
+            if let Some((_, Json::Obj(s))) = fields.iter_mut().find(|(k, _)| k == "lane_scaling") {
+                s.retain(|(k, _)| k != "points");
+            }
+        }
+        let err = PerfReport::validate(&v.to_string_pretty()).unwrap_err();
+        assert!(err.contains("lane_scaling points"), "{err}");
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Models of the engine's two lock-free protocols, checked exhaustively.
+//! Models of the engine's lock-free protocols, checked exhaustively.
 //!
 //! These mirror the real implementations step-for-step at the atomic
 //! granularity of the code:
@@ -9,6 +9,12 @@
 //!   exclusive write access to the cell's transition storage. Writers
 //!   that hit arena overflow skip the claim entirely and leave the cell
 //!   unclaimed for quarantine-and-retry.
+//! * **Lane-claim protocol** (`avfs-waveform`'s `claim_run` /
+//!   `write_constant_run`): the lane-major generalization — one
+//!   `fetch_or(AcqRel)` claims a whole lane *mask* of a run's claim word
+//!   and the writer wins exactly the bits it observed clear, so the
+//!   single-winner invariant must hold per lane even when racing masks
+//!   overlap on some lanes and not others.
 //! * **Epoch protocol** (`avfs-core`'s `WorkerPool`): the coordinator
 //!   publishes a job, bumps the epoch counter to release parked workers,
 //!   then waits for the running count to drain back to zero before
@@ -156,6 +162,192 @@ pub fn check_claim_protocol(
             Some(id) => Err(format!("overflow writer {id} wrote the cell")),
             None => Err("claim won but cell never written".into()),
         }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Lane-claim protocol (WaveformArena masked run claims)
+// ---------------------------------------------------------------------
+
+/// Lanes in the lane-claim model. Two suffice: every masked-claim race is
+/// a per-bit race, and the interesting schedules are writers whose masks
+/// overlap on one lane while differing on another.
+const MODEL_LANES: usize = 2;
+
+/// Shared state of the lane-claim model: one claim *word* covering the
+/// lanes of a run, plus per-lane instrumentation. This mirrors
+/// `claim_run` in `avfs-waveform`: a writer claims a whole lane mask with
+/// one `fetch_or(AcqRel)` and wins exactly the bits it observed clear.
+#[derive(Clone, Debug)]
+struct LaneClaimState {
+    /// The run's claim bits (a window of the real `AtomicU64` bitmap).
+    claimed: u64,
+    /// Writers currently inside each lane's write section.
+    writers_in_section: [u32; MODEL_LANES],
+    /// Which writer's payload each lane holds.
+    lane_value: [Option<usize>; MODEL_LANES],
+    /// Writes performed on each lane.
+    writes: [u32; MODEL_LANES],
+    /// Threads that observed themselves as each lane's claim winner.
+    winners: [u32; MODEL_LANES],
+}
+
+/// One writer racing to claim a lane mask and fill its won lanes.
+#[derive(Clone)]
+struct LaneClaimWriter {
+    id: usize,
+    /// The lane mask this writer claims (quiet lanes of its gate run).
+    mask: u64,
+    /// Lanes actually won by the single `fetch_or`.
+    won: u64,
+    /// Writers past the capacity watermark skip the claim entirely.
+    overflow: bool,
+    /// Program counter: 0 = claim, then per-lane enter/write/leave.
+    pc: u8,
+}
+
+impl ThreadModel<LaneClaimState> for LaneClaimWriter {
+    fn step(&mut self, shared: &mut LaneClaimState) -> StepResult {
+        if self.overflow {
+            return StepResult::Finished;
+        }
+        if self.pc == 0 {
+            // fetch_or(mask, AcqRel): one atomic step claims every lane
+            // of the mask at once; the bits observed clear are won.
+            let prev = shared.claimed;
+            shared.claimed |= self.mask;
+            self.won = self.mask & !prev;
+            if self.won == 0 {
+                return StepResult::Finished; // lost every lane
+            }
+            for lane in 0..MODEL_LANES {
+                if self.won & (1 << lane) != 0 {
+                    shared.winners[lane] += 1;
+                }
+            }
+            self.pc = 1;
+            return StepResult::Ran;
+        }
+        // Per-lane write section, one lane per scheduling step — the
+        // masked constant store of `write_constant_run` iterates its won
+        // bits without further synchronization.
+        let step = self.pc - 1;
+        let lane = (step / 3) as usize;
+        if lane >= MODEL_LANES {
+            return StepResult::Finished;
+        }
+        if self.won & (1 << lane) == 0 {
+            // Lost (or never claimed) this lane: skip its three steps.
+            self.pc += 3;
+            return StepResult::Ran;
+        }
+        match step % 3 {
+            0 => shared.writers_in_section[lane] += 1,
+            1 => {
+                shared.lane_value[lane] = Some(self.id);
+                shared.writes[lane] += 1;
+            }
+            _ => shared.writers_in_section[lane] -= 1,
+        }
+        self.pc += 1;
+        StepResult::Ran
+    }
+}
+
+fn lane_claim_invariant(s: &LaneClaimState) -> Result<(), String> {
+    for lane in 0..MODEL_LANES {
+        if s.writers_in_section[lane] > 1 {
+            return Err(format!(
+                "{} writers inside lane {lane}'s write section",
+                s.writers_in_section[lane]
+            ));
+        }
+        if s.winners[lane] > 1 {
+            return Err(format!(
+                "{} threads won the claim for lane {lane}",
+                s.winners[lane]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks the per-lane single-winner invariant of masked run claims:
+/// `masks[i]` is writer `i`'s claim mask (clamped to
+/// [`MAX_MODEL_THREADS`] writers over `MODEL_LANES` = 2 lanes), with
+/// `overflow_writers` additional threads taking the capacity bail-out
+/// path (mask held but never claimed).
+///
+/// # Errors
+///
+/// Returns the failing schedule if any interleaving admits two winners of
+/// one lane, two concurrent writers in one lane's section, a covered lane
+/// left unwritten, or an overflow-path write.
+pub fn check_lane_claim_protocol(
+    masks: &[u64],
+    overflow_writers: usize,
+) -> Result<Explored, InterleaveError> {
+    let lane_mask = (1u64 << MODEL_LANES) - 1;
+    let mut threads: Vec<LaneClaimWriter> = masks
+        .iter()
+        .take(MAX_MODEL_THREADS)
+        .enumerate()
+        .map(|(id, &mask)| LaneClaimWriter {
+            id,
+            mask: mask & lane_mask,
+            won: 0,
+            overflow: false,
+            pc: 0,
+        })
+        .collect();
+    let normal = threads.len();
+    threads.extend(
+        (0..overflow_writers.min(MAX_MODEL_THREADS)).map(|i| LaneClaimWriter {
+            id: normal + i,
+            mask: lane_mask,
+            won: 0,
+            overflow: true,
+            pc: 0,
+        }),
+    );
+    let covered: u64 = threads
+        .iter()
+        .filter(|t| !t.overflow)
+        .fold(0, |acc, t| acc | t.mask);
+    let shared = LaneClaimState {
+        claimed: 0,
+        writers_in_section: [0; MODEL_LANES],
+        lane_value: [None; MODEL_LANES],
+        writes: [0; MODEL_LANES],
+        winners: [0; MODEL_LANES],
+    };
+    explore(&shared, &threads, &lane_claim_invariant, &|s| {
+        for lane in 0..MODEL_LANES {
+            if covered & (1 << lane) == 0 {
+                if s.writes[lane] != 0 {
+                    return Err(format!("uncovered lane {lane} was written"));
+                }
+                continue;
+            }
+            if s.winners[lane] != 1 {
+                return Err(format!(
+                    "lane {lane}: expected exactly one winner, saw {}",
+                    s.winners[lane]
+                ));
+            }
+            if s.writes[lane] != 1 {
+                return Err(format!(
+                    "lane {lane} written {} times, want exactly 1",
+                    s.writes[lane]
+                ));
+            }
+            match s.lane_value[lane] {
+                Some(id) if id < normal => {}
+                Some(id) => return Err(format!("overflow writer {id} wrote lane {lane}")),
+                None => return Err(format!("lane {lane} claim won but never written")),
+            }
+        }
+        Ok(())
     })
 }
 
@@ -366,10 +558,12 @@ pub struct ProtocolRun {
     pub result: Result<Explored, InterleaveError>,
 }
 
-/// Runs the full tier-3 concurrency audit: both protocols at 2 and 3
-/// threads (the epoch model over two epochs, so job invalidation and
-/// re-publish are both exercised). Returns the per-run outcomes plus
-/// `AVC-C001` findings for any run that uncovered a violation.
+/// Runs the full tier-3 concurrency audit: all three protocols at 2 and
+/// 3 threads (the epoch model over two epochs, so job invalidation and
+/// re-publish are both exercised; the lane-claim model over overlapping,
+/// partially overlapping, and overflow-path masks). Returns the per-run
+/// outcomes plus `AVC-C001` findings for any run that uncovered a
+/// violation.
 pub fn audit_concurrency() -> (Vec<ProtocolRun>, Vec<Finding>) {
     let runs = vec![
         ProtocolRun {
@@ -386,6 +580,21 @@ pub fn audit_concurrency() -> (Vec<ProtocolRun>, Vec<Finding>) {
             protocol: "claim/2-writers+overflow",
             threads: 3,
             result: check_claim_protocol(2, 1),
+        },
+        ProtocolRun {
+            protocol: "lane-claim/2-overlapping",
+            threads: 2,
+            result: check_lane_claim_protocol(&[0b11, 0b11], 0),
+        },
+        ProtocolRun {
+            protocol: "lane-claim/partial-overlap",
+            threads: 3,
+            result: check_lane_claim_protocol(&[0b01, 0b11, 0b10], 0),
+        },
+        ProtocolRun {
+            protocol: "lane-claim/2-writers+overflow",
+            threads: 3,
+            result: check_lane_claim_protocol(&[0b11, 0b01], 1),
         },
         ProtocolRun {
             protocol: "epoch/1-worker-2-epochs",
@@ -430,6 +639,99 @@ mod tests {
     fn overflow_writers_never_touch_the_cell() {
         let explored = check_claim_protocol(2, 1).unwrap();
         assert!(explored.schedules >= 1);
+    }
+
+    #[test]
+    fn lane_claim_single_winner_holds_per_lane() {
+        // Fully overlapping, partially overlapping, and disjoint masks
+        // all uphold the per-lane single-winner invariant.
+        for masks in [
+            &[0b11u64, 0b11][..],
+            &[0b01, 0b11, 0b10],
+            &[0b01, 0b10],
+            &[0b11, 0b01, 0b10],
+        ] {
+            let explored = check_lane_claim_protocol(masks, 0).unwrap();
+            assert!(explored.schedules >= 1, "masks {masks:?}");
+        }
+    }
+
+    #[test]
+    fn lane_claim_overflow_writers_never_touch_lanes() {
+        let explored = check_lane_claim_protocol(&[0b11, 0b01], 1).unwrap();
+        assert!(explored.schedules >= 1);
+    }
+
+    /// A lane claim performed as a load + store of the whole claim word
+    /// instead of one `fetch_or`: the window between observing the bits
+    /// clear and publishing the mask admits two winners of one lane.
+    #[derive(Clone)]
+    struct TornLaneClaimWriter {
+        id: usize,
+        mask: u64,
+        seen: u64,
+        pc: u8,
+    }
+
+    impl ThreadModel<LaneClaimState> for TornLaneClaimWriter {
+        fn step(&mut self, shared: &mut LaneClaimState) -> StepResult {
+            match self.pc {
+                0 => {
+                    self.seen = shared.claimed;
+                    self.pc = 1;
+                    StepResult::Ran
+                }
+                1 => {
+                    shared.claimed |= self.mask;
+                    let won = self.mask & !self.seen;
+                    if won == 0 {
+                        return StepResult::Finished;
+                    }
+                    for lane in 0..MODEL_LANES {
+                        if won & (1 << lane) != 0 {
+                            shared.winners[lane] += 1;
+                            shared.writers_in_section[lane] += 1;
+                            shared.lane_value[lane] = Some(self.id);
+                            shared.writes[lane] += 1;
+                            shared.writers_in_section[lane] -= 1;
+                        }
+                    }
+                    StepResult::Finished
+                }
+                _ => StepResult::Finished,
+            }
+        }
+    }
+
+    #[test]
+    fn torn_lane_claim_is_caught() {
+        let threads = vec![
+            TornLaneClaimWriter {
+                id: 0,
+                mask: 0b11,
+                seen: 0,
+                pc: 0,
+            },
+            TornLaneClaimWriter {
+                id: 1,
+                mask: 0b11,
+                seen: 0,
+                pc: 0,
+            },
+        ];
+        let shared = LaneClaimState {
+            claimed: 0,
+            writers_in_section: [0; MODEL_LANES],
+            lane_value: [None; MODEL_LANES],
+            writes: [0; MODEL_LANES],
+            winners: [0; MODEL_LANES],
+        };
+        let err = explore(&shared, &threads, &lane_claim_invariant, &|_| Ok(())).unwrap_err();
+        assert!(
+            matches!(err, InterleaveError::InvariantViolated { ref message, .. }
+                if message.contains("won the claim for lane")),
+            "expected a per-lane single-winner violation, got {err}"
+        );
     }
 
     #[test]
@@ -527,7 +829,7 @@ mod tests {
     #[test]
     fn audit_is_clean() {
         let (runs, findings) = audit_concurrency();
-        assert_eq!(runs.len(), 5);
+        assert_eq!(runs.len(), 8);
         assert!(
             findings.is_empty(),
             "concurrency audit found violations: {findings:?}"

@@ -39,8 +39,8 @@ use avfs_inject::{FaultPlan, InjectionSite, Injector};
 use avfs_netlist::{Levelization, Netlist, NodeId, NodeKind};
 use avfs_obs::{time_option, Metrics};
 use avfs_waveform::{
-    evaluate_gate_bounded_raw, CapacityOverflow, GateScratch, LevelWriter, PinDelays,
-    SwitchingActivity, Waveform, WaveformArena, WaveformRead, WaveformStats, WaveformView,
+    evaluate_gate_bounded_raw, CapacityOverflow, GateScratch, LaneLayout, LevelWriter, PinDelays,
+    SwitchingActivity, Waveform, WaveformArena, WaveformStats, WaveformView,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -53,6 +53,11 @@ const DEFAULT_ARENA_CAPACITY: usize = 64;
 
 /// Capacity growth factor per quarantine-and-retry round.
 const CAPACITY_GROWTH: usize = 4;
+
+/// Default lane width when [`SimOptions::lanes`] is 0 (auto): 8 slots
+/// per lane group balances lane-word utilization on typical launches
+/// against partial-tail waste on small ones.
+const DEFAULT_LANES: usize = 8;
 
 /// Work-stealing granularity: the cursor hands out chunks sized so each
 /// worker sees about this many grabs per level, bounding both contention
@@ -154,6 +159,20 @@ pub struct SimOptions {
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     pub activity_gating: bool,
+    /// Lane width `L` of the slot-packed (lane-major) arena layout: slots
+    /// are grouped `L` at a time and one net's `L` waveforms are stored
+    /// contiguously, so gate evaluation advances `L` slots per pass —
+    /// logic values bit-packed into `u64` lane words on the quiet fast
+    /// path, the delay kernel batched with hand-unrolled Horner blocks,
+    /// and claim/quiet bookkeeping handled as per-lane-word masks. Must
+    /// be a power of two ≤ 64 (lane masks are single `u64` words, and
+    /// power-of-two widths keep a full group's claim run inside one
+    /// atomic word); 0 — the default — selects 8. `lanes: 1` is exactly
+    /// the scalar slot-major path, and every lane width produces
+    /// bit-for-bit identical results: the layout change is a pure memory
+    /// permutation and the batched arithmetic performs the identical
+    /// per-lane operation sequence.
+    pub lanes: usize,
     /// Up-front validation of the netlist and the launch's operating
     /// points (tier-1/tier-2 `avfs-check` lints). Defaults to
     /// [`ValidationMode::Warn`]: findings land in
@@ -206,6 +225,16 @@ impl SimOptions {
             self.threads
         }
     }
+
+    /// The effective lane width: `lanes`, with 0 resolved to the default
+    /// of 8.
+    pub fn resolved_lanes(&self) -> usize {
+        if self.lanes == 0 {
+            DEFAULT_LANES
+        } else {
+            self.lanes
+        }
+    }
 }
 
 impl Default for SimOptions {
@@ -219,6 +248,7 @@ impl Default for SimOptions {
             overflow_retries: 4,
             profiling: false,
             activity_gating: true,
+            lanes: 0,
             strict_validation: ValidationMode::default(),
             fault_plan: None,
             deadline: None,
@@ -588,6 +618,15 @@ impl Engine {
         validation_findings: Vec<String>,
     ) -> Result<SimRun, SimError> {
         let nodes = self.netlist.num_nodes();
+        // Lane-width hygiene before any work launches: masks are single
+        // u64 words and power-of-two widths keep full lane groups inside
+        // one claim word.
+        let lanes = options.resolved_lanes();
+        if !lanes.is_power_of_two() || lanes > 64 {
+            return Err(SimError::InvalidLanes {
+                lanes: options.lanes,
+            });
+        }
         let base_cap = if options.arena_capacity == 0 {
             DEFAULT_ARENA_CAPACITY
         } else {
@@ -600,6 +639,9 @@ impl Engine {
         let metrics = options.profiling.then(|| Metrics::new("engine"));
         let metrics = metrics.as_ref();
         let run_span = metrics.map(|m| m.span(phases::ENGINE_RUN));
+        if let Some(m) = metrics {
+            m.record(phases::ENGINE_LANES_WIDTH, lanes as u64);
+        }
         let start = Instant::now();
         // Fault injection: unarmed (the default) reduces every probe to
         // one Option-discriminant branch; an armed plan is consulted with
@@ -835,6 +877,12 @@ impl Engine {
         metrics: Option<&Metrics>,
     ) -> Result<(), SimError> {
         let nodes = self.netlist.num_nodes();
+        // The lane-major (slot-packed) address map of this batch: chunk
+        // slots are grouped `L` at a time and one net's `L` waveforms are
+        // stored contiguously, so every per-gate pass below advances a
+        // whole lane group. `L = 1` degenerates exactly to the slot-major
+        // layout, which is what the determinism matrix compares against.
+        let layout = LaneLayout::new(options.resolved_lanes(), nodes.max(1), chunk.len());
         arena.reset();
 
         // Per-slot fault status within this batch. A dead slot's remaining
@@ -842,19 +890,30 @@ impl Engine {
         // schedule stays deterministic.
         let mut dead: Vec<Option<Dead>> = vec![None; chunk.len()];
 
-        // Level 0: stimuli waveforms, written through slot-disjoint arena
-        // partitions (one per slot of the batch).
+        // Level 0: stimuli waveforms, written through lane-group-disjoint
+        // arena partitions (one per lane group of the batch; a group's
+        // cells are contiguous by construction).
         time_option(metrics, phases::ENGINE_STIMULI, || {
-            for (si, mut part) in arena.partitions(nodes.max(1)).take(chunk.len()).enumerate() {
-                let pair = &patterns.pairs()[work[chunk[si]].pattern];
-                for (k, &pi) in self.netlist.inputs().iter().enumerate() {
-                    let wf = Waveform::from_pattern(
-                        pair.launch.bit(k),
-                        pair.capture.bit(k),
-                        options.launch_time_ps,
-                    );
-                    if part.write(pi.index(), &wf).is_err() {
-                        dead[si] = Some(Dead::Overflow);
+            for (g, mut part) in arena
+                .partitions(layout.group_entries())
+                .take(layout.groups())
+                .enumerate()
+            {
+                let w = layout.group_width(g);
+                for lane in 0..w {
+                    let si = layout.group_slot(g) + lane;
+                    let pair = &patterns.pairs()[work[chunk[si]].pattern];
+                    for (k, &pi) in self.netlist.inputs().iter().enumerate() {
+                        let wf = Waveform::from_pattern(
+                            pair.launch.bit(k),
+                            pair.capture.bit(k),
+                            options.launch_time_ps,
+                        );
+                        // Partition-local lane-major index: net-major
+                        // within the group, lanes contiguous.
+                        if part.write(pi.index() * w + lane, &wf).is_err() {
+                            dead[si] = Some(Dead::Overflow);
+                        }
                     }
                 }
             }
@@ -918,75 +977,178 @@ impl Engine {
             }
             let kernel_span = metrics.map(|m| m.span(phases::ENGINE_DELAY_KERNEL));
             let mut kernel_evals = 0u64;
-            for (g, buf) in level_delays.iter_mut().enumerate() {
+            let mut lane_batches = 0u64;
+            for buf in level_delays.iter_mut() {
                 buf.clear();
-                let group_live = group_of_slot
-                    .iter()
-                    .zip(&dead)
-                    .any(|(&gg, d)| gg == g && d.is_none());
-                if !group_live {
-                    continue;
-                }
-                let assign = group_assigns[g];
-                // Injected non-finite kernel output, keyed by the global
-                // slot of the group's first batch member (voltage groups
-                // share one kernel evaluation, so the site is per group):
-                // corrupted factors flow into scale_or_fallback exactly
-                // like an organically broken kernel would.
-                let nf_key = injector.is_armed().then(|| {
-                    let si = group_of_slot
+            }
+            // Voltage groups still live this level (a group is live while
+            // any of its slots is).
+            let live_vgroups: Vec<usize> = (0..group_assigns.len())
+                .filter(|&g| {
+                    group_of_slot
                         .iter()
-                        .position(|&gg| gg == g)
-                        .expect("live group has a member");
-                    chunk[si] as u64
-                });
-                let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<u64, SimError> {
+                        .zip(&dead)
+                        .any(|(&gg, d)| gg == g && d.is_none())
+                })
+                .collect();
+            // Injected non-finite kernel output, keyed by the global slot
+            // of each group's first batch member (voltage groups share one
+            // kernel evaluation, so the site is per group): corrupted
+            // factors flow into scale_or_fallback exactly like an
+            // organically broken kernel would.
+            let nf_keys: Vec<Option<u64>> = live_vgroups
+                .iter()
+                .map(|&g| {
+                    injector.is_armed().then(|| {
+                        let si = group_of_slot
+                            .iter()
+                            .position(|&gg| gg == g)
+                            .expect("live group has a member");
+                        chunk[si] as u64
+                    })
+                })
+                .collect();
+            // Lane-batched kernel initialization: for each (gate, pin,
+            // polarity) the factors of ALL live voltage groups are
+            // evaluated in one `factor_lanes` call — the hand-unrolled
+            // Horner path of `avfs_delay`. The batched arithmetic performs
+            // the identical per-lane operation sequence as scalar
+            // `factor`, so this path and the per-group scalar fallback
+            // below produce bit-identical delays; the fallback exists only
+            // to preserve per-group panic attribution when a model panics
+            // mid-batch.
+            let batched = (!live_vgroups.is_empty()).then(|| {
+                catch_unwind(AssertUnwindSafe(|| -> Result<u64, SimError> {
                     let mut fb = 0u64;
+                    let mut points: Vec<NormalizedPoint> = Vec::with_capacity(live_vgroups.len());
+                    let mut f_rise = vec![0.0f64; live_vgroups.len()];
+                    let mut f_fall = vec![0.0f64; live_vgroups.len()];
                     for &node_id in level_nodes {
                         if let NodeKind::Gate(cell_id) = self.netlist.node(node_id).kind() {
                             let nominal = self.annotation.node_delays(node_id);
-                            let p = NormalizedPoint {
-                                v: assign.v_norm_for(node_id.index()),
+                            points.clear();
+                            points.extend(live_vgroups.iter().map(|&g| NormalizedPoint {
+                                v: group_assigns[g].v_norm_for(node_id.index()),
                                 c: self.c_norm[node_id.index()],
-                            };
+                            }));
                             for (pin, d) in nominal.iter().enumerate() {
-                                let mut f_rise = self.model.factor(
+                                self.model.factor_lanes(
                                     cell_id,
                                     pin,
                                     avfs_netlist::library::Polarity::Rise,
-                                    p,
+                                    &points,
+                                    &mut f_rise,
                                 )?;
-                                let mut f_fall = self.model.factor(
+                                self.model.factor_lanes(
                                     cell_id,
                                     pin,
                                     avfs_netlist::library::Polarity::Fall,
-                                    p,
+                                    &points,
+                                    &mut f_fall,
                                 )?;
-                                if let Some(key) = nf_key {
-                                    f_rise = injector.corrupt_factor(f_rise, key, u64::from(round));
-                                    f_fall = injector.corrupt_factor(f_fall, key, u64::from(round));
+                                lane_batches += 2;
+                                for (k, &g) in live_vgroups.iter().enumerate() {
+                                    let (mut fr, mut ff) = (f_rise[k], f_fall[k]);
+                                    if let Some(key) = nf_keys[k] {
+                                        fr = injector.corrupt_factor(fr, key, u64::from(round));
+                                        ff = injector.corrupt_factor(ff, key, u64::from(round));
+                                    }
+                                    level_delays[g].push(PinDelays {
+                                        rise: scale_or_fallback(d.rise, fr, &mut fb),
+                                        fall: scale_or_fallback(d.fall, ff, &mut fb),
+                                    });
                                 }
-                                buf.push(PinDelays {
-                                    rise: scale_or_fallback(d.rise, f_rise, &mut fb),
-                                    fall: scale_or_fallback(d.fall, f_fall, &mut fb),
-                                });
                             }
                         }
                     }
                     Ok(fb)
-                }));
-                match outcome {
-                    Ok(Ok(fb)) => {
-                        fallbacks += fb;
-                        // Two kernel evaluations (rise + fall) per pin.
-                        kernel_evals += 2 * buf.len() as u64;
+                }))
+            });
+            match batched {
+                None => {}
+                Some(Ok(Ok(fb))) => {
+                    fallbacks += fb;
+                    // Two kernel evaluations (rise + fall) per pin per
+                    // live group.
+                    for &g in &live_vgroups {
+                        kernel_evals += 2 * level_delays[g].len() as u64;
                     }
-                    Ok(Err(e)) => return Err(e),
-                    Err(_) => {
+                }
+                Some(Ok(Err(e))) => return Err(e),
+                Some(Err(_)) => {
+                    // A model panicked mid-batch. Re-run group by group so
+                    // the panic is attributed to exactly the poisoned
+                    // voltage group(s), as a scalar engine would; healthy
+                    // groups recompute their (bit-identical) delays.
+                    lane_batches = 0;
+                    for buf in level_delays.iter_mut() {
                         buf.clear();
-                        for (si, &gg) in group_of_slot.iter().enumerate() {
-                            if gg == g && dead[si].is_none() {
-                                dead[si] = Some(Dead::Panic);
+                    }
+                    for (k, &g) in live_vgroups.iter().enumerate() {
+                        let buf = &mut level_delays[g];
+                        let assign = group_assigns[g];
+                        let nf_key = nf_keys[k];
+                        let outcome =
+                            catch_unwind(AssertUnwindSafe(|| -> Result<u64, SimError> {
+                                let mut fb = 0u64;
+                                for &node_id in level_nodes {
+                                    if let NodeKind::Gate(cell_id) =
+                                        self.netlist.node(node_id).kind()
+                                    {
+                                        let nominal = self.annotation.node_delays(node_id);
+                                        let p = NormalizedPoint {
+                                            v: assign.v_norm_for(node_id.index()),
+                                            c: self.c_norm[node_id.index()],
+                                        };
+                                        for (pin, d) in nominal.iter().enumerate() {
+                                            let mut f_rise = self.model.factor(
+                                                cell_id,
+                                                pin,
+                                                avfs_netlist::library::Polarity::Rise,
+                                                p,
+                                            )?;
+                                            let mut f_fall = self.model.factor(
+                                                cell_id,
+                                                pin,
+                                                avfs_netlist::library::Polarity::Fall,
+                                                p,
+                                            )?;
+                                            if let Some(key) = nf_key {
+                                                f_rise = injector.corrupt_factor(
+                                                    f_rise,
+                                                    key,
+                                                    u64::from(round),
+                                                );
+                                                f_fall = injector.corrupt_factor(
+                                                    f_fall,
+                                                    key,
+                                                    u64::from(round),
+                                                );
+                                            }
+                                            buf.push(PinDelays {
+                                                rise: scale_or_fallback(d.rise, f_rise, &mut fb),
+                                                fall: scale_or_fallback(d.fall, f_fall, &mut fb),
+                                            });
+                                        }
+                                    }
+                                }
+                                Ok(fb)
+                            }));
+                        match outcome {
+                            Ok(Ok(fb)) => {
+                                fallbacks += fb;
+                                // Two kernel evaluations (rise + fall) per
+                                // pin.
+                                kernel_evals += 2 * buf.len() as u64;
+                            }
+                            Ok(Err(e)) => return Err(e),
+                            Err(_) => {
+                                buf.clear();
+                                for (si, &gg) in group_of_slot.iter().enumerate() {
+                                    if gg == g && dead[si].is_none() {
+                                        dead[si] = Some(Dead::Panic);
+                                    }
+                                }
                             }
                         }
                     }
@@ -995,30 +1157,44 @@ impl Engine {
 
             if let Some(m) = metrics {
                 m.add(phases::ENGINE_KERNEL_EVALS, kernel_evals);
+                m.add(phases::ENGINE_LANES_KERNEL_BATCHES, lane_batches);
             }
             if let Some(span) = kernel_span {
                 span.finish();
             }
 
-            // Task grid of the level: live slots × gates. Dead slots are
-            // compacted out up front, so neither round 0 nor retry rounds
-            // ever iterate a quarantined slot's tasks.
-            let live: Vec<usize> = dead
-                .iter()
-                .enumerate()
-                .filter_map(|(si, d)| d.is_none().then_some(si))
+            // Task grid of the level: live lane groups × gates. Dead
+            // lanes are masked out of their group's live mask up front, so
+            // neither round 0 nor retry rounds ever evaluate a quarantined
+            // slot's lanes; a fully dead group is dropped from the grid.
+            let live_count = dead.iter().filter(|d| d.is_none()).count();
+            let live_groups: Vec<(usize, u64)> = (0..layout.groups())
+                .filter_map(|g| {
+                    let mut mask = 0u64;
+                    for lane in 0..layout.group_width(g) {
+                        if dead[layout.group_slot(g) + lane].is_none() {
+                            mask |= 1 << lane;
+                        }
+                    }
+                    (mask != 0).then_some((g, mask))
+                })
                 .collect();
-            if live.is_empty() {
+            if live_groups.is_empty() {
                 continue;
             }
-            let grid_tasks = live.len() * gate_nodes.len();
+            if let Some(m) = metrics {
+                m.add(phases::ENGINE_LANES_GROUPS, live_groups.len() as u64);
+            }
+            // Per-(slot, gate) grid size — the unit the activity counters
+            // are denominated in, independent of the lane width.
+            let grid_tasks = live_count * gate_nodes.len();
             let ctx = LevelCtx {
                 gate_nodes: &gate_nodes,
                 gate_offsets: &gate_offsets,
                 level_delays: &level_delays,
                 group_of_slot: &group_of_slot,
-                live: &live,
-                nodes,
+                live_groups: &live_groups,
+                layout,
             };
             // Verdicts (grid-task index, fault) collected by workers;
             // applied deterministically at the barrier below.
@@ -1033,7 +1209,7 @@ impl Engine {
                 let overflow_hook = injector.is_armed().then_some(move |idx: usize| {
                     injector.fires(
                         InjectionSite::ArenaOverflow,
-                        chunk[idx / nodes] as u64,
+                        chunk[layout.slot_of(idx)] as u64,
                         u64::from(round),
                     )
                 });
@@ -1046,52 +1222,80 @@ impl Engine {
                         .as_ref()
                         .map(|h| h as &avfs_waveform::OverflowHook),
                 );
-                // Activity gating: a task whose fanin cells are all quiet
-                // (zero transitions) has a constant output — the
-                // coordinator resolves it with a constant cell write here
-                // and only the surviving *active* tasks go to the pool.
-                // The scan claims cells in slot-major grid order on one
-                // thread, so the schedule stays deterministic; retry
-                // rounds re-derive quiet bits from the surviving slots'
-                // freshly written cells.
-                let active: Option<Vec<usize>> = options.activity_gating.then(|| {
-                    let mut active = Vec::new();
-                    let mut values: Vec<bool> = Vec::new();
-                    for (li, &si) in live.iter().enumerate() {
-                        let base = si * nodes;
+                // Activity gating, lane-packed: a gate whose fanin cells
+                // are all quiet (zero transitions) has a constant output.
+                // Per (lane group, gate) the quiet lanes are found with
+                // word-wide quiet-bit reads, the constant outputs computed
+                // with one bit-parallel `eval_lanes` word op, and written
+                // back under a single masked run claim — the coordinator
+                // resolves whole lane words at once and only lanes with
+                // active fanin survive into the scheduled task list. The
+                // scan claims runs in (group, gate) order on one thread,
+                // so the schedule stays deterministic; retry rounds
+                // re-derive quiet bits from the surviving lanes' freshly
+                // written cells.
+                let active: Option<(Vec<(usize, u64)>, u64)> = options.activity_gating.then(|| {
+                    let mut active: Vec<(usize, u64)> = Vec::new();
+                    let mut quiet_lanes = 0u64;
+                    let mut fan_words: Vec<u64> = Vec::new();
+                    for (gi, &(g, live_mask)) in live_groups.iter().enumerate() {
+                        let w = layout.group_width(g);
                         for (pos, &node_id) in gate_nodes.iter().enumerate() {
                             let node = self.netlist.node(node_id);
-                            let quiet = node
-                                .fanin()
-                                .iter()
-                                .all(|f| writer.is_quiet(base + f.index()));
-                            if quiet {
-                                values.clear();
-                                values.extend(
-                                    node.fanin()
-                                        .iter()
-                                        .map(|f| writer.view(base + f.index()).initial_value()),
-                                );
+                            let mut quiet = live_mask;
+                            for f in node.fanin() {
+                                if quiet == 0 {
+                                    break;
+                                }
+                                quiet &= writer.quiet_run(layout.run_start(g, f.index()), w);
+                            }
+                            if quiet != 0 {
+                                fan_words.clear();
+                                fan_words.extend(node.fanin().iter().map(|f| {
+                                    writer.initial_run(layout.run_start(g, f.index()), w)
+                                }));
                                 let cell = self.netlist.cell_of(node_id).expect("gate has a cell");
-                                writer.write_constant(base + node_id.index(), cell.eval(&values));
-                            } else {
-                                active.push(li * gate_nodes.len() + pos);
+                                writer.write_constant_run(
+                                    layout.run_start(g, node_id.index()),
+                                    quiet,
+                                    cell.eval_lanes(&fan_words),
+                                );
+                                quiet_lanes += u64::from(quiet.count_ones());
+                            }
+                            let rest = live_mask & !quiet;
+                            if rest != 0 {
+                                active.push((gi * gate_nodes.len() + pos, rest));
                             }
                         }
                     }
-                    active
+                    (active, quiet_lanes)
                 });
-                if let (Some(m), Some(active)) = (metrics, active.as_ref()) {
-                    m.add(
-                        phases::ENGINE_GATES_SKIPPED_QUIET,
-                        (grid_tasks - active.len()) as u64,
-                    );
+                if let (Some(m), Some((active, quiet_lanes))) = (metrics, active.as_ref()) {
+                    m.add(phases::ENGINE_GATES_SKIPPED_QUIET, *quiet_lanes);
+                    let active_lanes: u64 = active
+                        .iter()
+                        .map(|&(_, mask)| u64::from(mask.count_ones()))
+                        .sum();
                     m.record(
                         phases::ENGINE_LEVEL_ACTIVITY,
-                        (active.len() * 100 / grid_tasks) as u64,
+                        active_lanes * 100 / grid_tasks as u64,
                     );
                 }
-                let tasks = active.as_ref().map_or(grid_tasks, Vec::len);
+                // The scheduled task list: (lane-group grid index, eval
+                // mask) pairs — the whole grid when ungated, the surviving
+                // active lanes when gated.
+                let gates = gate_nodes.len();
+                let scheduled: Vec<(usize, u64)> = match active {
+                    Some((active, _)) => active,
+                    None => live_groups
+                        .iter()
+                        .enumerate()
+                        .flat_map(|(gi, &(_, mask))| {
+                            (0..gates).map(move |pos| (gi * gates + pos, mask))
+                        })
+                        .collect(),
+                };
+                let tasks = scheduled.len();
                 if tasks > 0 {
                     let workers = pool.map_or(1, WorkerPool::size).clamp(1, tasks);
                     let chunk_tasks =
@@ -1099,10 +1303,13 @@ impl Engine {
                     let cursor = AtomicUsize::new(0);
                     let ctx_ref = &ctx;
                     let writer_ref = &writer;
-                    let active_ref = active.as_deref();
+                    let scheduled_ref = &scheduled;
                     // One worker's share of the level: steal task chunks
-                    // off the shared cursor until it runs dry, catching
-                    // panics and capacity overflows per task.
+                    // off the shared cursor until it runs dry. A task is
+                    // one (lane group, gate) pair; its eval mask names the
+                    // lanes to run, each evaluated under its own
+                    // catch_unwind so one lane's panic or overflow never
+                    // takes down the group's other slots.
                     let job = |w: usize| {
                         let mut scratch = GateScratch::new();
                         let mut inputs: Vec<WaveformView<'_>> = Vec::new();
@@ -1115,40 +1322,54 @@ impl Engine {
                                 break;
                             }
                             grabs += 1;
-                            for t in t0..(t0 + chunk_tasks).min(tasks) {
-                                executed += 1;
-                                // Compacted → grid index; verdicts carry
-                                // the grid index so barrier reconciliation
-                                // is independent of gating.
-                                let g = active_ref.map_or(t, |a| a[t]);
-                                let r = catch_unwind(AssertUnwindSafe(|| {
-                                    // Injected kernel panic: every task of
-                                    // the affected (slot, round) panics, so
-                                    // the first-in-task-order verdict is
-                                    // schedule-independent.
-                                    if injector.is_armed() {
-                                        let si = ctx_ref.live[g / ctx_ref.gate_nodes.len()];
-                                        if injector.fires(
-                                            InjectionSite::KernelPanic,
-                                            chunk[si] as u64,
-                                            u64::from(round),
-                                        ) {
+                            let t1 = (t0 + chunk_tasks).min(tasks);
+                            for &(gt, mask) in &scheduled_ref[t0..t1] {
+                                let gi = gt / ctx_ref.gate_nodes.len();
+                                let pos = gt % ctx_ref.gate_nodes.len();
+                                let (g, _) = ctx_ref.live_groups[gi];
+                                let mut rem = mask;
+                                while rem != 0 {
+                                    let lane = rem.trailing_zeros() as usize;
+                                    rem &= rem - 1;
+                                    let si = ctx_ref.layout.group_slot(g) + lane;
+                                    executed += 1;
+                                    // Verdicts carry the slot-major grid
+                                    // index (slot × gates + gate) so
+                                    // barrier reconciliation is independent
+                                    // of gating, lane width and stealing.
+                                    let grid = si * ctx_ref.gate_nodes.len() + pos;
+                                    let r = catch_unwind(AssertUnwindSafe(|| {
+                                        // Injected kernel panic: every lane
+                                        // task of the affected (slot,
+                                        // round) panics, so the
+                                        // first-in-grid-order verdict is
+                                        // schedule-independent.
+                                        if injector.is_armed()
+                                            && injector.fires(
+                                                InjectionSite::KernelPanic,
+                                                chunk[si] as u64,
+                                                u64::from(round),
+                                            )
+                                        {
                                             panic!("injected kernel panic (slot {})", chunk[si]);
                                         }
+                                        self.eval_lane(
+                                            si,
+                                            pos,
+                                            ctx_ref,
+                                            writer_ref,
+                                            &mut scratch,
+                                            &mut inputs,
+                                        )
+                                    }));
+                                    inputs.clear();
+                                    match r {
+                                        Ok(Ok(())) => {}
+                                        Ok(Err(_)) => {
+                                            local_verdicts.push((grid, Dead::Overflow));
+                                        }
+                                        Err(_) => local_verdicts.push((grid, Dead::Panic)),
                                     }
-                                    self.eval_task(
-                                        g,
-                                        ctx_ref,
-                                        writer_ref,
-                                        &mut scratch,
-                                        &mut inputs,
-                                    )
-                                }));
-                                inputs.clear();
-                                match r {
-                                    Ok(Ok(())) => {}
-                                    Ok(Err(_)) => local_verdicts.push((g, Dead::Overflow)),
-                                    Err(_) => local_verdicts.push((g, Dead::Panic)),
                                 }
                             }
                         }
@@ -1180,11 +1401,16 @@ impl Engine {
             // independent of which worker stole which chunk — first fault
             // in task order wins, exactly as a serial sweep would decide.
             time_option(metrics, phases::ENGINE_BARRIER, || {
-                for &si in &live {
-                    let base = si * nodes;
-                    for &out in &output_nodes {
-                        let from = self.netlist.node(out).fanin()[0].index();
-                        arena.copy_cell(base + from, base + out.index());
+                for &(g, mask) in &live_groups {
+                    let mut rem = mask;
+                    while rem != 0 {
+                        let lane = rem.trailing_zeros() as usize;
+                        rem &= rem - 1;
+                        let si = layout.group_slot(g) + lane;
+                        for &out in &output_nodes {
+                            let from = self.netlist.node(out).fanin()[0].index();
+                            arena.copy_cell(layout.index(si, from), layout.index(si, out.index()));
+                        }
                     }
                 }
                 let mut pending = verdicts
@@ -1192,7 +1418,7 @@ impl Engine {
                     .expect("verdict lock survives (worker panics are contained)");
                 pending.sort_unstable_by_key(|&(t, _)| t);
                 for (t, verdict) in pending {
-                    let si = live[t / gate_nodes.len()];
+                    let si = t / gate_nodes.len();
                     if dead[si].is_none() {
                         dead[si] = Some(verdict);
                     }
@@ -1238,19 +1464,19 @@ impl Engine {
                     diag.failed_slots.push(slot);
                 }
                 None => {
-                    let base = si * nodes;
                     let mut responses = Vec::with_capacity(self.netlist.outputs().len());
                     let mut latest: Option<f64> = None;
                     for &po in self.netlist.outputs() {
-                        let stats = WaveformStats::of(&arena.view(base + po.index()));
+                        let stats = WaveformStats::of(&arena.view(layout.index(si, po.index())));
                         responses.push(stats.final_value);
                         latest = match (latest, stats.latest_transition) {
                             (Some(a), Some(b)) => Some(a.max(b)),
                             (a, b) => a.or(b),
                         };
                     }
-                    let activity =
-                        SwitchingActivity::of((base..base + nodes).map(|i| arena.view(i)));
+                    let activity = SwitchingActivity::of(
+                        (0..nodes).map(|net| arena.view(layout.index(si, net))),
+                    );
                     if let Some(m) = metrics {
                         // The activity headroom gating exploits: quiet
                         // cells observed over the whole window (recorded
@@ -1266,9 +1492,11 @@ impl Engine {
                         responses,
                         latest_output_transition_ps: latest,
                         activity,
-                        waveforms: options
-                            .keep_waveforms
-                            .then(|| (base..base + nodes).map(|i| arena.to_waveform(i)).collect()),
+                        waveforms: options.keep_waveforms.then(|| {
+                            (0..nodes)
+                                .map(|net| arena.to_waveform(layout.index(si, net)))
+                                .collect()
+                        }),
                     });
                 }
             }
@@ -1279,7 +1507,8 @@ impl Engine {
         Ok(())
     }
 
-    /// Evaluates one (slot, gate) task of a level — the body of a device
+    /// Evaluates one lane of a (lane group, gate) task — gate
+    /// `gate_nodes[pos]` for batch slot `si` — the body of a device
     /// thread. The modified delays were precomputed per (level, voltage
     /// group) by the initialization phase. Inputs are read through the
     /// epoch `writer` from previous levels' cells and the result is
@@ -1292,25 +1521,27 @@ impl Engine {
     /// Returns [`CapacityOverflow`] when the gate's output history would
     /// outgrow the arena's per-net capacity — the quarantine signal (the
     /// output cell is left untouched and unclaimed).
-    fn eval_task<'a>(
+    fn eval_lane<'a>(
         &self,
-        task: usize,
+        si: usize,
+        pos: usize,
         ctx: &LevelCtx<'_>,
         writer: &'a LevelWriter<'_>,
         scratch: &mut GateScratch,
         inputs: &mut Vec<WaveformView<'a>>,
     ) -> Result<(), CapacityOverflow> {
-        let si = ctx.live[task / ctx.gate_nodes.len()];
-        let pos = task % ctx.gate_nodes.len();
         let node_id = ctx.gate_nodes[pos];
         let node = self.netlist.node(node_id);
-        let base = si * ctx.nodes;
         let cell = self.netlist.cell_of(node_id).expect("gate has a cell");
         let npins = node.fanin().len();
         let off = ctx.gate_offsets[pos];
         let delays = &ctx.level_delays[ctx.group_of_slot[si]][off..off + npins];
         inputs.clear();
-        inputs.extend(node.fanin().iter().map(|f| writer.view(base + f.index())));
+        inputs.extend(
+            node.fanin()
+                .iter()
+                .map(|f| writer.view(ctx.layout.index(si, f.index()))),
+        );
         let initial = evaluate_gate_bounded_raw(
             inputs,
             delays,
@@ -1318,7 +1549,11 @@ impl Engine {
             scratch,
             writer.capacity(),
         )?;
-        writer.write(base + node_id.index(), initial, scratch.scheduled())
+        writer.write(
+            ctx.layout.index(si, node_id.index()),
+            initial,
+            scratch.scheduled(),
+        )
     }
 }
 
@@ -1398,8 +1633,9 @@ impl VoltageAssign {
 }
 
 /// Shared per-level context handed to the device threads. The task grid
-/// is `live × gate_nodes`: task `t` evaluates gate `gate_nodes[t % gates]`
-/// for batch slot `live[t / gates]`.
+/// is `live_groups × gate_nodes`: scheduled entry `(gt, mask)` evaluates
+/// gate `gate_nodes[gt % gates]` for every lane set in `mask` of lane
+/// group `live_groups[gt / gates]`.
 struct LevelCtx<'l> {
     /// The level's gate nodes (outputs are barrier passthroughs, not
     /// tasks).
@@ -1409,9 +1645,11 @@ struct LevelCtx<'l> {
     level_delays: &'l [Vec<PinDelays>],
     gate_offsets: &'l [usize],
     group_of_slot: &'l [usize],
-    /// Batch slot indices still alive at the start of the level.
-    live: &'l [usize],
-    nodes: usize,
+    /// Lane groups with at least one live lane at the start of the level,
+    /// as `(group index, live-lane mask)`.
+    live_groups: &'l [(usize, u64)],
+    /// The batch's lane-major arena layout.
+    layout: LaneLayout,
 }
 
 #[cfg(test)]
@@ -1614,11 +1852,13 @@ mod tests {
         ];
         for (name, run) in &scenarios {
             // The reference is the plainest possible path: single thread,
-            // unprofiled, activity gating off.
+            // unprofiled, activity gating off, scalar (lane width 1)
+            // slot-major layout.
             let reference = run(SimOptions {
                 threads: 1,
                 profiling: false,
                 activity_gating: false,
+                lanes: 1,
                 ..SimOptions::default()
             });
             if *name == "overflow-retry" {
@@ -1631,23 +1871,30 @@ mod tests {
                 let fault_plan =
                     (injection == "armed-empty").then(|| Arc::new(FaultPlan::empty(0xC0FFEE)));
                 for activity_gating in [false, true] {
-                    for threads in [1, 2, 4, 8] {
-                        for profiling in [false, true] {
-                            let got = run(SimOptions {
-                                threads,
-                                profiling,
-                                activity_gating,
-                                fault_plan: fault_plan.clone(),
-                                ..SimOptions::default()
-                            });
-                            let case = format!(
-                                "{name}, threads={threads}, profiling={profiling}, \
-                                 gating={activity_gating}, injection={injection}"
-                            );
-                            assert_eq!(got.slots, reference.slots, "{case}");
-                            assert_eq!(got.diagnostics, reference.diagnostics, "{case}");
-                            assert_eq!(got.node_evaluations, reference.node_evaluations, "{case}");
-                            assert_eq!(got.profile.is_some(), profiling, "{case}");
+                    for lanes in [1, 4, 8] {
+                        for threads in [1, 2, 4, 8] {
+                            for profiling in [false, true] {
+                                let got = run(SimOptions {
+                                    threads,
+                                    profiling,
+                                    activity_gating,
+                                    lanes,
+                                    fault_plan: fault_plan.clone(),
+                                    ..SimOptions::default()
+                                });
+                                let case = format!(
+                                    "{name}, threads={threads}, lanes={lanes}, \
+                                     profiling={profiling}, gating={activity_gating}, \
+                                     injection={injection}"
+                                );
+                                assert_eq!(got.slots, reference.slots, "{case}");
+                                assert_eq!(got.diagnostics, reference.diagnostics, "{case}");
+                                assert_eq!(
+                                    got.node_evaluations, reference.node_evaluations,
+                                    "{case}"
+                                );
+                                assert_eq!(got.profile.is_some(), profiling, "{case}");
+                            }
                         }
                     }
                 }
@@ -1723,6 +1970,114 @@ mod tests {
             None,
             "ungated runs record no skip counter"
         );
+    }
+
+    #[test]
+    fn lane_width_validation() {
+        let n = chain_netlist();
+        let engine = static_engine(&n, 1.0, 1.0);
+        let patterns = one_pattern();
+        for lanes in [3usize, 5, 6, 128] {
+            let err = engine
+                .run(
+                    &patterns,
+                    &at_voltage(1, 0.8),
+                    &SimOptions {
+                        lanes,
+                        threads: 1,
+                        ..SimOptions::default()
+                    },
+                )
+                .unwrap_err();
+            assert_eq!(err, SimError::InvalidLanes { lanes });
+        }
+        // 0 resolves to the default width; every power of two ≤ 64 works.
+        for lanes in [0usize, 1, 2, 64] {
+            engine
+                .run(
+                    &patterns,
+                    &at_voltage(1, 0.8),
+                    &SimOptions {
+                        lanes,
+                        threads: 1,
+                        ..SimOptions::default()
+                    },
+                )
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn partial_tail_lane_groups_match_scalar() {
+        // 5 slots at lane width 4 → one full group plus a 1-lane tail;
+        // lane width 64 → a single partial group wider than the whole
+        // batch. Both must be bit-identical to the scalar layout.
+        let lib = CellLibrary::nangate15_like();
+        let cfg = avfs_circuits::GeneratorConfig::small();
+        let n = Arc::new(avfs_circuits::random_netlist("rnd", &cfg, &lib, 7).unwrap());
+        let engine = static_engine(&n, 6.0, 7.0);
+        let patterns = PatternSet::lfsr(n.inputs().len(), 5, 3);
+        let slots: Vec<SlotSpec> = (0..5)
+            .map(|p| SlotSpec {
+                pattern: p,
+                voltage: 0.8,
+            })
+            .collect();
+        let opts = |lanes| SimOptions {
+            threads: 1,
+            lanes,
+            keep_waveforms: true,
+            ..SimOptions::default()
+        };
+        let reference = engine.run(&patterns, &slots, &opts(1)).unwrap();
+        for lanes in [4, 64] {
+            let got = engine.run(&patterns, &slots, &opts(lanes)).unwrap();
+            assert_eq!(got.slots, reference.slots, "lanes={lanes}");
+            assert_eq!(got.diagnostics, reference.diagnostics, "lanes={lanes}");
+        }
+    }
+
+    #[test]
+    fn quarantined_lane_masking_on_overflow_retry() {
+        // A capacity-1 arena overflows the glitching slots of a lane
+        // group while their constant-stimulus neighbours complete in
+        // round 0; the retry rounds must mask the quarantined lanes out
+        // of their groups' live masks (never re-evaluating the finished
+        // lanes) and end bit-identical to the scalar path.
+        use avfs_atpg::pattern::{Pattern, PatternPair};
+        let n = glitch_netlist();
+        let engine = static_engine(&n, 10.0, 10.0);
+        let patterns: PatternSet = [
+            // Glitches: the XOR of a rising input with its inverse.
+            PatternPair::new(Pattern::from_bits([false]), Pattern::from_bits([true])).unwrap(),
+            // Constant: nothing ever toggles.
+            PatternPair::new(Pattern::from_bits([false]), Pattern::from_bits([false])).unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        let slots: Vec<SlotSpec> = (0..6)
+            .map(|i| SlotSpec {
+                pattern: i % 2,
+                voltage: 0.8,
+            })
+            .collect();
+        let opts = |lanes| SimOptions {
+            threads: 1,
+            lanes,
+            arena_capacity: 1,
+            keep_waveforms: true,
+            ..SimOptions::default()
+        };
+        let reference = engine.run(&patterns, &slots, &opts(1)).unwrap();
+        assert!(
+            reference.diagnostics.slot_retries > 0,
+            "glitch slots must hit the quarantine-and-retry path"
+        );
+        for lanes in [4, 8] {
+            let got = engine.run(&patterns, &slots, &opts(lanes)).unwrap();
+            assert_eq!(got.slots, reference.slots, "lanes={lanes}");
+            assert_eq!(got.diagnostics, reference.diagnostics, "lanes={lanes}");
+        }
     }
 
     #[test]

@@ -117,6 +117,16 @@ pub enum SimError {
         /// Number of slots that failed (= number requested).
         slots: usize,
     },
+    /// The requested lane width
+    /// ([`SimOptions::lanes`](engine::SimOptions)) is not a power of two
+    /// or exceeds 64 — lane masks are single `u64` words, so only
+    /// power-of-two widths up to 64 keep a full lane group inside one
+    /// claim word.
+    InvalidLanes {
+        /// The rejected lane width (as requested, before auto
+        /// resolution).
+        lanes: usize,
+    },
     /// Up-front validation refused the launch
     /// ([`SimOptions::strict_validation`](engine::SimOptions) is
     /// [`ValidationMode::Deny`](engine::ValidationMode) and a
@@ -165,6 +175,9 @@ impl fmt::Display for SimError {
             }
             SimError::AllSlotsFailed { slots } => {
                 write!(f, "all {slots} simulation slots failed; no usable result")
+            }
+            SimError::InvalidLanes { lanes } => {
+                write!(f, "lane width {lanes} is not a power of two within 1..=64")
             }
             SimError::Validation { findings } => {
                 write!(

@@ -95,6 +95,25 @@ pub const ENGINE_QUIET_CELLS: &str = "engine.quiet_cells";
 /// [`SimOptions::activity_gating`]: crate::SimOptions::activity_gating
 pub const ENGINE_LEVEL_ACTIVITY: &str = "engine.level_activity";
 
+/// The resolved lane width `L` of the run — how many slots the
+/// lane-major arena packs per lane group (and per `u64` lane word).
+/// Recorded once per run; `1` means the scalar slot-major path. See
+/// [`SimOptions::lanes`](crate::SimOptions::lanes).
+pub const ENGINE_LANES_WIDTH: &str = "engine.lanes_width";
+
+/// Live lane groups scheduled, summed over levels, batches and retry
+/// rounds — the row count of the lane-major task grid (`live lane
+/// groups × gates`). A group stays scheduled while any of its lanes is
+/// live; quarantined lanes are masked out of it rather than removed.
+pub const ENGINE_LANES_GROUPS: &str = "engine.lanes_groups";
+
+/// Lane-batched delay-kernel calls: `factor_lanes` invocations that
+/// evaluated all live voltage groups of a level in one hand-unrolled
+/// Horner pass (two per annotated pin per level: rise and fall). Falls
+/// to 0 for levels where a kernel panic forced the scalar per-group
+/// fallback.
+pub const ENGINE_LANES_KERNEL_BATCHES: &str = "engine.lanes_kernel_batches";
+
 /// Work-stealing chunk grabs beyond each worker's first in a level,
 /// summed over the run — how often the atomic cursor rebalanced load
 /// across the pool.

@@ -117,6 +117,91 @@ impl LogicFunction {
         }
     }
 
+    /// Evaluates the function over 64 slots at once: bit `k` of each input
+    /// word holds that input's logic value in lane `k`, and bit `k` of the
+    /// result holds lane `k`'s output.
+    ///
+    /// Bitwise boolean algebra makes every lane independent, so each result
+    /// bit equals [`LogicFunction::eval`] applied to the corresponding input
+    /// bits — the packed path is exact, not approximate:
+    ///
+    /// ```
+    /// use avfs_netlist::LogicFunction;
+    ///
+    /// let a = 0b1100;
+    /// let b = 0b1010;
+    /// let packed = LogicFunction::Nand.eval_lanes(&[a, b]);
+    /// for lane in 0..4 {
+    ///     let scalar = LogicFunction::Nand.eval(&[a >> lane & 1 == 1, b >> lane & 1 == 1]);
+    ///     assert_eq!(packed >> lane & 1 == 1, scalar);
+    /// }
+    /// ```
+    ///
+    /// Unused lanes compute garbage-in/garbage-out; callers mask the result
+    /// with their live-lane mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` is not valid for this function, exactly like
+    /// [`LogicFunction::eval`].
+    pub fn eval_lanes(&self, inputs: &[u64]) -> u64 {
+        match self {
+            LogicFunction::Buf => {
+                assert_eq!(inputs.len(), 1, "BUF takes one input");
+                inputs[0]
+            }
+            LogicFunction::Inv => {
+                assert_eq!(inputs.len(), 1, "INV takes one input");
+                !inputs[0]
+            }
+            LogicFunction::And => {
+                assert!(inputs.len() >= 2, "AND takes ≥ 2 inputs");
+                inputs.iter().fold(!0u64, |acc, &x| acc & x)
+            }
+            LogicFunction::Nand => {
+                assert!(inputs.len() >= 2, "NAND takes ≥ 2 inputs");
+                !inputs.iter().fold(!0u64, |acc, &x| acc & x)
+            }
+            LogicFunction::Or => {
+                assert!(inputs.len() >= 2, "OR takes ≥ 2 inputs");
+                inputs.iter().fold(0u64, |acc, &x| acc | x)
+            }
+            LogicFunction::Nor => {
+                assert!(inputs.len() >= 2, "NOR takes ≥ 2 inputs");
+                !inputs.iter().fold(0u64, |acc, &x| acc | x)
+            }
+            LogicFunction::Xor => {
+                assert_eq!(inputs.len(), 2, "XOR2 takes two inputs");
+                inputs[0] ^ inputs[1]
+            }
+            LogicFunction::Xnor => {
+                assert_eq!(inputs.len(), 2, "XNOR2 takes two inputs");
+                !(inputs[0] ^ inputs[1])
+            }
+            LogicFunction::Aoi21 => {
+                assert_eq!(inputs.len(), 3, "AOI21 takes three inputs");
+                !((inputs[0] & inputs[1]) | inputs[2])
+            }
+            LogicFunction::Oai21 => {
+                assert_eq!(inputs.len(), 3, "OAI21 takes three inputs");
+                !((inputs[0] | inputs[1]) & inputs[2])
+            }
+            LogicFunction::Aoi22 => {
+                assert_eq!(inputs.len(), 4, "AOI22 takes four inputs");
+                !((inputs[0] & inputs[1]) | (inputs[2] & inputs[3]))
+            }
+            LogicFunction::Oai22 => {
+                assert_eq!(inputs.len(), 4, "OAI22 takes four inputs");
+                !((inputs[0] | inputs[1]) & (inputs[2] | inputs[3]))
+            }
+            LogicFunction::Mux2 => {
+                assert_eq!(inputs.len(), 3, "MUX2 takes three inputs (a, b, s)");
+                let s = inputs[2];
+                (inputs[0] & !s) | (inputs[1] & s)
+            }
+        }
+    }
+
     /// Whether the output is the logical complement of its "body" function
     /// (inverting cells have their fastest transition driven by the output
     /// stage directly).
@@ -313,6 +398,21 @@ impl CellKind {
         );
         self.function.eval(inputs)
     }
+
+    /// Evaluates the cell's function over 64 packed lanes
+    /// (see [`LogicFunction::eval_lanes`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.num_inputs()`.
+    pub fn eval_lanes(&self, inputs: &[u64]) -> u64 {
+        assert_eq!(
+            inputs.len(),
+            self.num_inputs(),
+            "cell {self} evaluated with wrong input count"
+        );
+        self.function.eval_lanes(inputs)
+    }
 }
 
 impl fmt::Display for CellKind {
@@ -489,6 +589,41 @@ mod tests {
         assert_eq!(DriveStrength::X1.factor(), 1.0);
         assert_eq!(DriveStrength::X8.factor(), 8.0);
         assert!(DriveStrength::X2 < DriveStrength::X4);
+    }
+
+    #[test]
+    fn eval_lanes_matches_scalar_for_every_function_and_arity() {
+        // Deterministic pseudo-random lane words per input.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        for &f in LogicFunction::all() {
+            for arity in f.arity_range() {
+                let words: Vec<u64> = (0..arity).map(|_| next()).collect();
+                let packed = f.eval_lanes(&words);
+                for lane in 0..64 {
+                    let bits: Vec<bool> = words.iter().map(|w| w >> lane & 1 == 1).collect();
+                    assert_eq!(
+                        packed >> lane & 1 == 1,
+                        f.eval(&bits),
+                        "{f:?}/{arity} lane {lane}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cell_kind_eval_lanes_checks_arity() {
+        let kind = CellKind::new(LogicFunction::Nand, 3, DriveStrength::X1).unwrap();
+        assert_eq!(kind.eval_lanes(&[!0, !0, 0]), !0);
+        assert_eq!(kind.eval_lanes(&[!0, !0, !0]), 0);
+        let r = std::panic::catch_unwind(|| kind.eval_lanes(&[0, 0]));
+        assert!(r.is_err(), "wrong input count must panic");
     }
 
     proptest! {

@@ -28,7 +28,7 @@
 //!   write in place concurrently.
 
 use crate::{CapacityOverflow, Waveform, WaveformRead};
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Flat bounded storage for a batch of waveforms.
 ///
@@ -40,9 +40,11 @@ pub struct WaveformArena {
     initial: Vec<bool>,
     len: Vec<u32>,
     times: Vec<f64>,
-    /// One claim bit per entry (32 per word), reset at the start of each
-    /// [`Self::level_writer`] epoch.
-    claims: Vec<AtomicU32>,
+    /// One claim bit per entry (64 per word), reset at the start of each
+    /// [`Self::level_writer`] epoch. The word width matches the lane-group
+    /// width of [`crate::LaneLayout`], so a full lane run's claims live in
+    /// one word and batch claims are a single `fetch_or`.
+    claims: Vec<AtomicU64>,
     /// Peak transitions ever written to any entry; atomic so concurrent
     /// writers can maintain it (max is order-independent, hence
     /// deterministic).
@@ -59,7 +61,7 @@ impl Clone for WaveformArena {
             claims: self
                 .claims
                 .iter()
-                .map(|c| AtomicU32::new(c.load(Ordering::Relaxed)))
+                .map(|c| AtomicU64::new(c.load(Ordering::Relaxed)))
                 .collect(),
             peak: AtomicUsize::new(self.peak.load(Ordering::Relaxed)),
         }
@@ -91,8 +93,8 @@ impl WaveformArena {
             initial: vec![false; entries],
             len: vec![0; entries],
             times: vec![0.0; entries * capacity],
-            claims: (0..entries.div_ceil(32))
-                .map(|_| AtomicU32::new(0))
+            claims: (0..entries.div_ceil(64))
+                .map(|_| AtomicU64::new(0))
                 .collect(),
             peak: AtomicUsize::new(0),
         }
@@ -373,7 +375,7 @@ pub struct LevelWriter<'a> {
     initial: *mut bool,
     len: *mut u32,
     times: *mut f64,
-    claims: &'a [AtomicU32],
+    claims: &'a [AtomicU64],
     peak: &'a AtomicUsize,
     /// Fault-injection forced-overflow predicate (see
     /// [`WaveformArena::level_writer_hooked`]); `None` on every normal
@@ -415,14 +417,69 @@ impl LevelWriter<'_> {
 
     #[inline]
     fn is_claimed(&self, idx: usize) -> bool {
-        self.claims[idx / 32].load(Ordering::Acquire) & (1 << (idx % 32)) != 0
+        self.claims[idx / 64].load(Ordering::Acquire) & (1 << (idx % 64)) != 0
     }
 
     /// Claims cell `idx`; returns whether this caller won the claim.
     #[inline]
     fn claim(&self, idx: usize) -> bool {
-        let bit = 1u32 << (idx % 32);
-        self.claims[idx / 32].fetch_or(bit, Ordering::AcqRel) & bit == 0
+        let bit = 1u64 << (idx % 64);
+        self.claims[idx / 64].fetch_or(bit, Ordering::AcqRel) & bit == 0
+    }
+
+    /// Claims every cell `start + k` for each set bit `k` of `mask`, using
+    /// one `fetch_or` per touched claim word (full lane runs are word-
+    /// aligned by [`crate::LaneLayout`], so the common case is a single
+    /// atomic op; partial tails may straddle two words). Returns the lane
+    /// bits that were **already claimed** — `0` means this caller won every
+    /// requested cell.
+    #[inline]
+    fn claim_run(&self, start: usize, mask: u64) -> u64 {
+        let mut lost = 0u64;
+        let mut rem = mask;
+        while rem != 0 {
+            let k = rem.trailing_zeros() as usize;
+            let idx = start + k;
+            let word = idx / 64;
+            let shift = idx % 64;
+            // Lane bits k .. k + (64 − shift) land in this claim word.
+            let span = 64 - shift;
+            let window = if span >= 64 {
+                rem
+            } else {
+                rem & (((1u64 << span) - 1) << k)
+            };
+            let claim_bits = (window >> k) << shift;
+            let prev = self.claims[word].fetch_or(claim_bits, Ordering::AcqRel);
+            lost |= ((prev & claim_bits) >> shift) << k;
+            rem &= !window;
+        }
+        lost
+    }
+
+    /// The already-claimed bits among cells `start .. start + width`
+    /// (lane bit `k` ↔ cell `start + k`), read with acquire ordering —
+    /// the batch form of [`LevelWriter::is_claimed`].
+    #[inline]
+    fn claimed_bits(&self, start: usize, width: usize) -> u64 {
+        debug_assert!(width <= 64);
+        let mut out = 0u64;
+        let mut k = 0;
+        while k < width {
+            let idx = start + k;
+            let word = idx / 64;
+            let shift = idx % 64;
+            let span = (64 - shift).min(width - k);
+            let loaded = self.claims[word].load(Ordering::Acquire);
+            let window = if span >= 64 {
+                loaded >> shift
+            } else {
+                (loaded >> shift) & ((1u64 << span) - 1)
+            };
+            out |= window << k;
+            k += span;
+        }
+        out
     }
 
     /// A read view of cell `idx`, which must not be written in this epoch
@@ -488,6 +545,117 @@ impl LevelWriter<'_> {
     #[inline]
     pub fn is_quiet(&self, idx: usize) -> bool {
         self.transition_count(idx) == 0
+    }
+
+    /// The *quiet bits* of the lane run `start .. start + width`: bit `k`
+    /// of the result is set iff cell `start + k` has zero transitions.
+    /// This is the batch form of [`LevelWriter::is_quiet`] for a
+    /// lane-major arena, where one gate's waveforms for a whole lane group
+    /// are contiguous ([`crate::LaneLayout::run_start`]). Same access
+    /// discipline as [`LevelWriter::transition_count`]: the run must not
+    /// be written in this epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`, the run leaves the arena, or any cell of
+    /// the run was already written in this epoch.
+    #[inline]
+    pub fn quiet_run(&self, start: usize, width: usize) -> u64 {
+        assert!(width <= 64, "lane run width {width} exceeds 64");
+        assert!(
+            start + width <= self.entries,
+            "lane run {start}+{width} out of range"
+        );
+        assert_eq!(
+            self.claimed_bits(start, width),
+            0,
+            "read of arena run {start}+{width} written in the same level epoch"
+        );
+        let mut out = 0u64;
+        for k in 0..width {
+            // SAFETY: the run is in range and unclaimed; under the
+            // levelization contract no writer will claim it during this
+            // epoch, so the plain reads cannot race.
+            if unsafe { *self.len.add(start + k) } == 0 {
+                out |= 1 << k;
+            }
+        }
+        out
+    }
+
+    /// The packed *initial values* of the lane run `start .. start +
+    /// width`: bit `k` of the result is cell `start + k`'s initial logic
+    /// value. Together with [`LevelWriter::quiet_run`] this feeds the
+    /// bit-parallel boolean kernel
+    /// (`LogicFunction::eval_lanes`): all-quiet fanin runs reduce a gate
+    /// to one word-wide logic op per input. Same access discipline as
+    /// [`LevelWriter::view`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`, the run leaves the arena, or any cell of
+    /// the run was already written in this epoch.
+    #[inline]
+    pub fn initial_run(&self, start: usize, width: usize) -> u64 {
+        assert!(width <= 64, "lane run width {width} exceeds 64");
+        assert!(
+            start + width <= self.entries,
+            "lane run {start}+{width} out of range"
+        );
+        assert_eq!(
+            self.claimed_bits(start, width),
+            0,
+            "read of arena run {start}+{width} written in the same level epoch"
+        );
+        let mut out = 0u64;
+        for k in 0..width {
+            // SAFETY: in range, unclaimed, and not written this epoch per
+            // the levelization contract — plain reads cannot race.
+            if unsafe { *self.initial.add(start + k) } {
+                out |= 1 << k;
+            }
+        }
+        out
+    }
+
+    /// Writes constant signals into the masked lanes of a run: for every
+    /// set bit `k` of `mask`, cell `start + k` becomes a constant of logic
+    /// value `bit k of values`. The whole run's claims are won with at
+    /// most two `fetch_or`s (one for a word-aligned full group) — the
+    /// lane-packed quiet-cell fast path. Unmasked lanes are untouched and
+    /// stay unclaimed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the masked run leaves the arena or any masked cell was
+    /// already written in this epoch.
+    pub fn write_constant_run(&self, start: usize, mask: u64, values: u64) {
+        if mask == 0 {
+            return;
+        }
+        let top = 63 - mask.leading_zeros() as usize;
+        assert!(
+            start + top < self.entries,
+            "lane run {start}+{top} out of range"
+        );
+        let lost = self.claim_run(start, mask);
+        assert!(
+            lost == 0,
+            "arena run {start} (lanes {lost:#x}) written twice within one level epoch"
+        );
+        let mut rem = mask;
+        while rem != 0 {
+            let k = rem.trailing_zeros() as usize;
+            rem &= rem - 1;
+            // SAFETY: this caller won the claim for every masked cell, so
+            // it has exclusive write access for the rest of the epoch; the
+            // indices are in bounds. The peak watermark is untouched —
+            // `max(peak, 0)` is the identity.
+            unsafe {
+                *self.initial.add(start + k) = values >> k & 1 == 1;
+                *self.len.add(start + k) = 0;
+            }
+        }
     }
 
     /// Writes a constant signal of `value` into cell `idx`, claiming it
@@ -815,6 +983,98 @@ mod tests {
         assert_eq!(
             arena.to_waveform(1),
             Waveform::with_transitions(false, vec![2.0]).unwrap()
+        );
+    }
+
+    #[test]
+    fn lane_runs_round_trip_quiet_initial_and_constant_writes() {
+        let mut arena = WaveformArena::new(16, 4);
+        // Cells 0..8: a run with mixed initial values and one loud cell.
+        let loud = Waveform::with_transitions(false, vec![3.0]).unwrap();
+        arena.write(2, &loud).unwrap();
+        arena.write(5, &Waveform::constant(true)).unwrap();
+        {
+            let writer = arena.level_writer();
+            // Quiet bits: all but cell 2.
+            assert_eq!(writer.quiet_run(0, 8), 0b1111_1011);
+            // Initial bits: only cell 5 is high.
+            assert_eq!(writer.initial_run(0, 8), 0b0010_0000);
+            // Masked constant write: lanes 0, 2, 3 of run 8..12.
+            writer.write_constant_run(8, 0b1101, 0b0100);
+            // Unmasked lane 1 stays unclaimed and writable.
+            writer.write_constant(9, true);
+            // Double-writing a masked lane panics like the scalar path.
+            let double = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                writer.write_constant_run(8, 0b0001, 0);
+            }));
+            assert!(double.is_err(), "lane double write must panic");
+        }
+        assert_eq!(arena.to_waveform(8), Waveform::constant(false));
+        assert_eq!(arena.to_waveform(9), Waveform::constant(true));
+        assert_eq!(arena.to_waveform(10), Waveform::constant(true));
+        assert_eq!(arena.to_waveform(11), Waveform::constant(false));
+        // An all-zero mask is a no-op.
+        {
+            let writer = arena.level_writer();
+            writer.write_constant_run(0, 0, !0);
+            assert_eq!(writer.quiet_run(12, 4), 0b1111);
+        }
+    }
+
+    #[test]
+    fn lane_runs_straddle_claim_words() {
+        // A run crossing the 64-bit claim-word boundary (cells 60..76)
+        // exercises the two-word fetch_or path a partial tail group hits.
+        let mut arena = WaveformArena::new(128, 2);
+        arena
+            .write(70, &Waveform::with_transitions(true, vec![1.0]).unwrap())
+            .unwrap();
+        {
+            let writer = arena.level_writer();
+            let quiet = writer.quiet_run(60, 16);
+            assert_eq!(quiet, !(1u64 << 10) & 0xFFFF);
+            assert_eq!(writer.initial_run(60, 16), 1 << 10);
+            // Claim lanes on both sides of the boundary in one call.
+            writer.write_constant_run(60, 0b11_0000_0011, 0b10_0000_0001);
+            let dirty = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = writer.quiet_run(60, 16);
+            }));
+            assert!(dirty.is_err(), "same-epoch lane read must panic");
+        }
+        // Mask bits 0, 1 land in claim word 0 (cells 60, 61); bits 8, 9
+        // land in claim word 1 (cells 68, 69).
+        assert_eq!(arena.to_waveform(60), Waveform::constant(true));
+        assert_eq!(arena.to_waveform(61), Waveform::constant(false));
+        assert_eq!(arena.to_waveform(68), Waveform::constant(false));
+        assert_eq!(arena.to_waveform(69), Waveform::constant(true));
+        // Cells outside the mask kept their prior contents.
+        assert_eq!(arena.occupancy(70), 1);
+    }
+
+    #[test]
+    fn lane_run_claims_race_to_one_winner() {
+        // Two threads fight over overlapping masked runs; exactly one may
+        // win each lane, and the loser must observe the claim panic.
+        let mut arena = WaveformArena::new(64, 2);
+        let writer = arena.level_writer();
+        let writer = &writer;
+        let wins: Vec<bool> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            writer.write_constant_run(0, 0xFF, if t == 0 { 0xFF } else { 0 });
+                        }));
+                        r.is_ok()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            wins.iter().filter(|&&w| w).count(),
+            1,
+            "exactly one writer wins an overlapping lane run"
         );
     }
 

@@ -36,10 +36,12 @@
 
 pub mod activity;
 pub mod arena;
+pub mod lanes;
 pub mod vcd;
 
 pub use activity::{SwitchingActivity, WaveformStats};
 pub use arena::{ArenaPartition, LevelWriter, OverflowHook, WaveformArena, WaveformView};
+pub use lanes::LaneLayout;
 
 use std::error::Error;
 use std::fmt;
