@@ -31,6 +31,9 @@ cargo run --release --offline -p avfs-bench --bin activity_sweep -- --smoke
 echo "==> lane_scaling --smoke (lane-major identity gate)"
 cargo run --release --offline -p avfs-bench --bin lane_scaling -- --smoke
 
+echo "==> batch_throughput --smoke (compile-once identity-and-amortization gate)"
+cargo run --release --offline -p avfs-bench --bin batch_throughput -- --smoke
+
 echo "==> checker --smoke (static-analysis gate: avfs-check/1 schema, zero deny findings)"
 cargo run --release --offline -p avfs-bench --bin checker -- --smoke
 

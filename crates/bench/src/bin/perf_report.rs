@@ -18,7 +18,9 @@ use avfs_atpg::{k_longest_paths, PatternSet};
 use avfs_bench::perf::{
     ActivitySweep, CircuitPerf, LanePoint, LaneScaling, PerfReport, ScalingPoint, ThreadScaling,
 };
-use avfs_bench::{activity_patterns, characterize_used, measure_activity_point, Args};
+use avfs_bench::{
+    activity_patterns, characterize_used, measure_activity_point, measure_batch_throughput, Args,
+};
 use avfs_circuits::{CircuitProfile, PAPER_PROFILES};
 use avfs_core::{slots, Engine, EventDrivenSimulator, SimOptions, SimRun};
 use avfs_delay::{CharacterizedLibrary, TimingAnnotation};
@@ -61,6 +63,7 @@ fn main() {
         thread_scaling: None,
         activity_sweep: None,
         lane_scaling: None,
+        batch_throughput: None,
     };
 
     if args.flag("--smoke") {
@@ -103,6 +106,19 @@ fn main() {
             &patterns,
             &[1, 4],
             threads,
+        ));
+        report.batch_throughput = Some(measure_batch_throughput(
+            "c17",
+            &c17,
+            &chars,
+            &patterns,
+            6,
+            &SimOptions {
+                threads,
+                ..SimOptions::default()
+            },
+            &[0, 3],
+            5,
         ));
         let text = report.to_json().to_string_pretty();
         let back = PerfReport::validate(&text).expect("schema validates");
@@ -226,6 +242,40 @@ fn main() {
             );
         }
         report.lane_scaling = Some(sweep);
+
+        // Compile-once / simulate-many A/B on the same design: a short
+        // per-run workload repeated 64 times with a fresh `Engine::new`
+        // per run versus one `BatchRunner` compile and a parked pool,
+        // identity asserted run-for-run, plus a shard-size sweep against
+        // the unsharded reference.
+        eprintln!("perf_report: batch-throughput A/B on {} ...", profile.name);
+        // Same workload shape as the `batch_throughput` binary's default:
+        // short low-activity runs with a right-sized arena — the
+        // incremental re-simulation loop that batching amortizes.
+        let batch_patterns = activity_patterns(
+            netlist.inputs().len(),
+            2,
+            0.1,
+            0xBA7C_0000 ^ profile.nodes as u64,
+        );
+        let bt = measure_batch_throughput(
+            profile.name,
+            netlist,
+            &chars,
+            &batch_patterns,
+            64,
+            &SimOptions {
+                threads,
+                ..SimOptions::default()
+            },
+            &[0, 4, 7],
+            3,
+        );
+        eprintln!(
+            "perf_report:   {} runs: per-run {:>8.1} ms, batched {:>8.1} ms ({:.2}x, {} compile misses)",
+            bt.runs, bt.per_run_ms, bt.batched_ms, bt.speedup, bt.compile_misses
+        );
+        report.batch_throughput = Some(bt);
     }
 
     let text = report.to_json().to_string_pretty();

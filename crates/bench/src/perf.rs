@@ -37,6 +37,58 @@ pub struct PerfReport {
     /// Lane-width scaling sweep over one circuit (absent in reports
     /// predating the lane-major engine).
     pub lane_scaling: Option<LaneScaling>,
+    /// Compile-once / simulate-many amortization workload (absent in
+    /// reports predating the batch runner).
+    pub batch_throughput: Option<BatchThroughput>,
+}
+
+/// Compile-once / simulate-many measurement: the same N-run workload
+/// executed once with a fresh `Engine::new` per run (compile paid N
+/// times, pool respawned N times) and once through a `BatchRunner`
+/// (compile paid once, pool parked), plus a shard-size sweep of one
+/// oversized grid stitched back bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchThroughput {
+    /// Circuit the workload ran on.
+    pub circuit: String,
+    /// Netlist nodes of that circuit.
+    pub nodes: u64,
+    /// Repeated runs in the amortization workload.
+    pub runs: u64,
+    /// Pattern pairs per run.
+    pub pairs: u64,
+    /// Simulation slots per run.
+    pub slots: u64,
+    /// Total wall-clock of the per-run-compile workload, milliseconds.
+    pub per_run_ms: f64,
+    /// Total wall-clock of the compile-once workload, milliseconds.
+    pub batched_ms: f64,
+    /// `per_run_ms / batched_ms` — the amortization payoff.
+    pub speedup: f64,
+    /// Artifact-cache hits across the batched workload (`runs − 1` when
+    /// every run reuses the one compiled artifact).
+    pub compile_hits: u64,
+    /// Artifact-cache misses (compiles performed) across the batched
+    /// workload — 1 for a compile-once workload.
+    pub compile_misses: u64,
+    /// Shard-size sweep of one grid larger than a single arena batch,
+    /// each point stitched and compared against the unsharded reference.
+    pub shard_points: Vec<ShardPoint>,
+}
+
+/// One point of a [`BatchThroughput`] shard sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPoint {
+    /// Requested shard size, slots (`0` = auto: one arena batch).
+    pub shard_slots: u64,
+    /// Shards the grid actually split into.
+    pub shards: u64,
+    /// Wall-clock of the sharded run, milliseconds.
+    pub elapsed_ms: f64,
+    /// Whether slots and diagnostics were bit-identical to the
+    /// unsharded reference run (must always be `true`; recorded so a
+    /// regression is visible in the committed report).
+    pub identical: bool,
 }
 
 /// Lane-width scaling sweep of the lane-major engine: the report's
@@ -272,6 +324,39 @@ impl PerfReport {
                 ]),
             ));
         }
+        if let Some(bt) = &self.batch_throughput {
+            fields.push((
+                "batch_throughput".into(),
+                Json::Obj(vec![
+                    ("circuit".into(), Json::Str(bt.circuit.clone())),
+                    ("nodes".into(), Json::Num(bt.nodes as f64)),
+                    ("runs".into(), Json::Num(bt.runs as f64)),
+                    ("pairs".into(), Json::Num(bt.pairs as f64)),
+                    ("slots".into(), Json::Num(bt.slots as f64)),
+                    ("per_run_ms".into(), Json::Num(bt.per_run_ms)),
+                    ("batched_ms".into(), Json::Num(bt.batched_ms)),
+                    ("speedup".into(), Json::Num(bt.speedup)),
+                    ("compile_hits".into(), Json::Num(bt.compile_hits as f64)),
+                    ("compile_misses".into(), Json::Num(bt.compile_misses as f64)),
+                    (
+                        "shard_points".into(),
+                        Json::Arr(
+                            bt.shard_points
+                                .iter()
+                                .map(|p| {
+                                    Json::Obj(vec![
+                                        ("shard_slots".into(), Json::Num(p.shard_slots as f64)),
+                                        ("shards".into(), Json::Num(p.shards as f64)),
+                                        ("elapsed_ms".into(), Json::Num(p.elapsed_ms)),
+                                        ("identical".into(), Json::Bool(p.identical)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
         if let Some(sweep) = &self.activity_sweep {
             fields.push((
                 "activity_sweep".into(),
@@ -423,6 +508,40 @@ impl PerfReport {
                 })
             }
         };
+        let batch_throughput = match value.get("batch_throughput") {
+            None | Some(Json::Null) => None,
+            Some(bt) => {
+                let mut shard_points = Vec::new();
+                for p in bt
+                    .get("shard_points")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| fail("missing batch_throughput shard_points array"))?
+                {
+                    shard_points.push(ShardPoint {
+                        shard_slots: req_u64(p, "shard_slots")?,
+                        shards: req_u64(p, "shards")?,
+                        elapsed_ms: req_f64(p, "elapsed_ms")?,
+                        identical: p
+                            .get("identical")
+                            .and_then(Json::as_bool)
+                            .ok_or_else(|| fail("missing/invalid field 'identical'"))?,
+                    });
+                }
+                Some(BatchThroughput {
+                    circuit: req_str(bt, "circuit")?,
+                    nodes: req_u64(bt, "nodes")?,
+                    runs: req_u64(bt, "runs")?,
+                    pairs: req_u64(bt, "pairs")?,
+                    slots: req_u64(bt, "slots")?,
+                    per_run_ms: req_f64(bt, "per_run_ms")?,
+                    batched_ms: req_f64(bt, "batched_ms")?,
+                    speedup: req_f64(bt, "speedup")?,
+                    compile_hits: req_u64(bt, "compile_hits")?,
+                    compile_misses: req_u64(bt, "compile_misses")?,
+                    shard_points,
+                })
+            }
+        };
         let activity_sweep = match value.get("activity_sweep") {
             None | Some(Json::Null) => None,
             Some(sweep) => {
@@ -460,6 +579,7 @@ impl PerfReport {
             thread_scaling,
             activity_sweep,
             lane_scaling,
+            batch_throughput,
         })
     }
 
@@ -543,6 +663,32 @@ mod tests {
                         lanes: 8,
                         elapsed_ms: 0.3,
                         speedup_vs_scalar: 2.0,
+                    },
+                ],
+            }),
+            batch_throughput: Some(BatchThroughput {
+                circuit: "c17".into(),
+                nodes: 17,
+                runs: 64,
+                pairs: 8,
+                slots: 8,
+                per_run_ms: 30.0,
+                batched_ms: 6.0,
+                speedup: 5.0,
+                compile_hits: 63,
+                compile_misses: 1,
+                shard_points: vec![
+                    ShardPoint {
+                        shard_slots: 0,
+                        shards: 3,
+                        elapsed_ms: 0.9,
+                        identical: true,
+                    },
+                    ShardPoint {
+                        shard_slots: 3,
+                        shards: 3,
+                        elapsed_ms: 1.0,
+                        identical: true,
                     },
                 ],
             }),
@@ -640,6 +786,28 @@ mod tests {
         }
         let err = PerfReport::validate(&v.to_string_pretty()).unwrap_err();
         assert!(err.contains("lane_scaling points"), "{err}");
+    }
+
+    #[test]
+    fn batch_throughput_is_optional() {
+        // Reports predating the batch runner have no batch_throughput
+        // section and must keep validating.
+        let mut report = sample();
+        report.batch_throughput = None;
+        let text = report.to_json().to_string_pretty();
+        let back = PerfReport::validate(&text).expect("valid without batch_throughput");
+        assert_eq!(back, report);
+        // A corrupt section is rejected with a pointed message.
+        let mut v = sample().to_json();
+        if let Json::Obj(fields) = &mut v {
+            if let Some((_, Json::Obj(s))) =
+                fields.iter_mut().find(|(k, _)| k == "batch_throughput")
+            {
+                s.retain(|(k, _)| k != "shard_points");
+            }
+        }
+        let err = PerfReport::validate(&v.to_string_pretty()).unwrap_err();
+        assert!(err.contains("batch_throughput shard_points"), "{err}");
     }
 
     #[test]

@@ -25,13 +25,13 @@
 //! [`RunDiagnostics`] instead of poisoning the batch. Only when *every*
 //! slot fails does a run return an error.
 
+use crate::compile::CompiledNetlist;
 use crate::phases;
 use crate::pool::{Watchdog, WorkerPool};
 use crate::results::{RunDiagnostics, SimRun, SlotResult, SlotStatus, TrippedBudget};
 use crate::slots::SlotSpec;
 use crate::SimError;
 use avfs_atpg::PatternSet;
-use avfs_check::Finding;
 use avfs_delay::model::DelayModel;
 use avfs_delay::op::{NormalizedPoint, OperatingPoint};
 use avfs_delay::TimingAnnotation;
@@ -213,6 +213,16 @@ pub struct SimOptions {
     /// in [`RunDiagnostics::budget_denials`]. `0` (the default) is
     /// unlimited — the seed behavior of unconditional ×4 growth.
     pub memory_budget: usize,
+    /// Shard size — slots per shard — used by
+    /// [`BatchRunner::run`](crate::batch::BatchRunner::run) when it
+    /// splits an oversized slot grid into back-to-back sub-runs on the
+    /// parked pool. `0` (the default) sizes shards to the engine's own
+    /// round-0 arena batch (`waveform_budget / (nodes × arena
+    /// capacity)`), so shard boundaries coincide with internal batch
+    /// boundaries. Ignored by direct [`Engine::run`] /
+    /// [`Session`](crate::session::Session) launches, which batch
+    /// internally regardless.
+    pub shard_slots: usize,
 }
 
 impl SimOptions {
@@ -235,6 +245,16 @@ impl SimOptions {
             self.lanes
         }
     }
+
+    /// The effective per-`(slot, net)` arena transition capacity:
+    /// `arena_capacity`, with 0 resolved to the default of 64.
+    pub fn resolved_arena_capacity(&self) -> usize {
+        if self.arena_capacity == 0 {
+            DEFAULT_ARENA_CAPACITY
+        } else {
+            self.arena_capacity.max(1)
+        }
+    }
 }
 
 impl Default for SimOptions {
@@ -254,6 +274,7 @@ impl Default for SimOptions {
             deadline: None,
             stall_timeout: None,
             memory_budget: 0,
+            shard_slots: 0,
         }
     }
 }
@@ -271,29 +292,49 @@ fn slot_arena_bytes(nodes: usize, capacity: usize) -> usize {
 }
 
 /// The parallel time simulator bound to one netlist, annotation and delay
-/// model.
+/// model — since the compile/launch split, a thin cheaply-cloneable shim
+/// over an `Arc`-shared [`CompiledNetlist`].
+///
+/// [`Engine::new`] compiles at construction and [`Engine::run`] launches
+/// directly, so existing one-shot callers keep working unchanged — but
+/// every such run re-resolves threads and spawns a fresh worker pool.
+/// Repeated-run workloads should compile once and launch through
+/// [`Session`](crate::session::Session) (parked pool) or
+/// [`BatchRunner`](crate::batch::BatchRunner) (parked pool + artifact
+/// cache + grid sharding); [`Engine::compiled`] hands the artifact over.
+///
+/// ```
+/// // The legacy one-shot shim still works (and is still the simplest
+/// // way to run exactly once):
+/// use avfs_core::{slots, Engine, SimOptions};
+/// use avfs_atpg::PatternSet;
+/// use avfs_delay::{ParameterSpace, StaticModel, TimingAnnotation};
+/// use avfs_netlist::CellLibrary;
+/// use std::sync::Arc;
+///
+/// let library = CellLibrary::nangate15_like();
+/// let netlist = Arc::new(avfs_circuits::ripple_carry_adder(2, &library)?);
+/// let engine = Engine::new(
+///     Arc::clone(&netlist),
+///     Arc::new(TimingAnnotation::zero(&netlist)),
+///     Arc::new(StaticModel::new(ParameterSpace::paper())),
+/// )?;
+/// let patterns = PatternSet::lfsr(netlist.inputs().len(), 2, 7);
+/// let run = engine.run(&patterns, &slots::at_voltage(2, 0.8), &SimOptions::default())?;
+/// assert_eq!(run.slots.len(), 2);
+/// // Repeated runs? Reuse the compiled artifact instead:
+/// let compiled = Arc::clone(engine.compiled());
+/// # let _ = compiled;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct Engine {
-    netlist: Arc<Netlist>,
-    levels: Arc<Levelization>,
-    annotation: Arc<TimingAnnotation>,
-    model: Arc<dyn DelayModel>,
-    /// Pre-normalized `φ_C(load)` per node (clamped into the model's
-    /// characterized interval; dangling nets sit at the lower bound).
-    c_norm: Vec<f64>,
-    /// Annotated loads outside the characterized interval that the
-    /// normalization above clamped — reported per run in
-    /// [`RunDiagnostics::clamped_loads`].
-    clamped_loads: usize,
-    /// Tier-1/tier-2 findings computed once at engine construction
-    /// (netlist lints, levelization cross-check, clamped annotated
-    /// loads); replayed into every run's validation according to
-    /// [`SimOptions::strict_validation`].
-    setup_findings: Vec<Finding>,
+    compiled: Arc<CompiledNetlist>,
 }
 
 impl Engine {
-    /// Creates an engine.
+    /// Creates an engine by compiling the triple into a
+    /// [`CompiledNetlist`] (which this delegates to) and wrapping it.
     ///
     /// # Errors
     ///
@@ -308,113 +349,108 @@ impl Engine {
         annotation: Arc<TimingAnnotation>,
         model: Arc<dyn DelayModel>,
     ) -> Result<Engine, SimError> {
-        if !annotation.matches(&netlist) {
-            return Err(SimError::AnnotationMismatch);
-        }
-        let levels = Arc::new(Levelization::of(&netlist)?);
-        // Input hardening: reject corrupt annotations up front instead of
-        // letting NaNs propagate into waveforms.
-        for (id, node) in netlist.iter() {
-            let load = annotation.load_ff(id);
-            if !load.is_finite() || load < 0.0 {
-                return Err(SimError::InvalidLoad {
-                    node: node.name().to_owned(),
-                    load,
-                });
-            }
-            if matches!(node.kind(), NodeKind::Gate(_)) {
-                for (pin, d) in annotation.node_delays(id).iter().enumerate() {
-                    if !d.rise.is_finite() || d.rise < 0.0 || !d.fall.is_finite() || d.fall < 0.0 {
-                        return Err(SimError::InvalidDelay {
-                            gate: node.name().to_owned(),
-                            pin,
-                        });
-                    }
-                }
-            }
-        }
-        let space = model.space();
-        let (c_lo, c_hi) = space.load_range();
-        let mut clamped_loads = 0usize;
-        let mut load_findings: Vec<Finding> = Vec::new();
-        let c_norm = netlist
-            .iter()
-            .map(|(id, node)| {
-                let load = annotation.load_ff(id);
-                if load < c_lo || load > c_hi {
-                    clamped_loads += 1;
-                    // Only gate loads feed the delay kernel; a dangling
-                    // or port net clamped at the boundary is expected and
-                    // not worth a finding.
-                    if matches!(node.kind(), NodeKind::Gate(_)) {
-                        if let Some(f) = avfs_check::model::lint_operating_point(
-                            space,
-                            node.name(),
-                            OperatingPoint::new(space.nominal_vdd(), load),
-                        ) {
-                            load_findings.push(f);
-                        }
-                    }
-                }
-                space
-                    .normalize_clamped(OperatingPoint::new(space.nominal_vdd(), load))
-                    .c
-            })
-            .collect();
-        // Tier-1/tier-2 lints over what this engine is permanently bound
-        // to: the netlist, its levelization, and the annotated loads the
-        // normalization above silently clamped into the characterized
-        // interval. Per-launch data (slot operating points) is checked at
-        // run time instead.
-        let mut setup_findings = avfs_check::netlist::lint_netlist(&netlist);
-        setup_findings.extend(avfs_check::netlist::lint_levels(&netlist, &levels));
-        setup_findings.extend(avfs_check::cap_findings(load_findings));
         Ok(Engine {
-            netlist,
-            levels,
-            annotation,
-            model,
-            c_norm,
-            clamped_loads,
-            setup_findings,
+            compiled: Arc::new(CompiledNetlist::compile(netlist, annotation, model)?),
         })
+    }
+
+    /// Wraps an already-compiled artifact; no compile cost is paid.
+    pub fn from_compiled(compiled: Arc<CompiledNetlist>) -> Engine {
+        Engine { compiled }
+    }
+
+    /// The underlying compiled artifact, for sharing with
+    /// [`Session`](crate::session::Session) or
+    /// [`BatchRunner`](crate::batch::BatchRunner).
+    pub fn compiled(&self) -> &Arc<CompiledNetlist> {
+        &self.compiled
     }
 
     /// The bound netlist.
     pub fn netlist(&self) -> &Arc<Netlist> {
-        &self.netlist
+        self.compiled.netlist()
     }
 
     /// The bound levelization.
     pub fn levels(&self) -> &Arc<Levelization> {
-        &self.levels
+        self.compiled.levels()
     }
 
     /// The bound annotation.
     pub fn annotation(&self) -> &Arc<TimingAnnotation> {
-        &self.annotation
+        self.compiled.annotation()
     }
 
     /// The bound delay model.
     pub fn model(&self) -> &Arc<dyn DelayModel> {
-        &self.model
+        self.compiled.model()
     }
 
-    /// The engine's cached tier-1/tier-2 findings (netlist lints,
+    /// The compile-time tier-1/tier-2 findings (netlist lints,
     /// levelization cross-check, clamped annotated loads) — the
     /// construction-time part of what
     /// [`SimOptions::strict_validation`] reports per run.
-    pub fn setup_findings(&self) -> &[Finding] {
-        &self.setup_findings
+    pub fn setup_findings(&self) -> &[avfs_check::Finding] {
+        self.compiled.setup_findings()
     }
 
-    /// Runs the launch validation: the engine's cached setup findings
-    /// plus an `AVC-D005` check of every slot operating point in
-    /// `slot_points`. Returns the rendered findings for
+    /// Simulates `slots` over `patterns` — the one-shot shim over
+    /// [`CompiledNetlist::launch`]; see there for semantics and errors.
+    /// A fresh worker pool is spawned per call when `threads > 1`.
+    pub fn run(
+        &self,
+        patterns: &PatternSet,
+        slots: &[SlotSpec],
+        options: &SimOptions,
+    ) -> Result<SimRun, SimError> {
+        self.compiled.launch(patterns, slots, options)
+    }
+
+    /// Simulates with per-node voltage *domains* — the one-shot shim
+    /// over [`CompiledNetlist::launch_domains`]; see there for semantics
+    /// and errors.
+    pub fn run_domains(
+        &self,
+        patterns: &PatternSet,
+        domains: &crate::domains::VoltageDomains,
+        specs: &[crate::domains::DomainSlotSpec],
+        options: &SimOptions,
+    ) -> Result<SimRun, SimError> {
+        self.compiled
+            .launch_domains(patterns, domains, specs, options)
+    }
+}
+
+/// How one launch executes beyond its [`SimOptions`]: which worker pool
+/// to use (a caller-parked one, or none — then the run spawns its own
+/// when `threads > 1`), whether a total loss is an error (sharded runs
+/// re-check over the stitched grid instead), and optionally
+/// pre-rendered validation findings (a grid-level caller validates once,
+/// not per shard).
+#[derive(Default)]
+pub(crate) struct Exec<'a> {
+    /// A caller-owned parked pool ([`Session`](crate::session::Session),
+    /// [`BatchRunner`](crate::batch::BatchRunner)); `None` spawns per
+    /// run — the legacy `Engine::run` shape.
+    pub(crate) pool: Option<&'a WorkerPool>,
+    /// Suppress the [`SimError::AllSlotsFailed`] check; the sharding
+    /// caller re-checks over the whole stitched grid.
+    pub(crate) allow_total_loss: bool,
+    /// Pre-rendered validation findings; `Some` skips per-launch
+    /// validation entirely (the grid-level caller already ran it).
+    pub(crate) prevalidated: Option<Vec<String>>,
+}
+
+impl CompiledNetlist {
+    /// Runs the launch validation: the artifact's pre-rendered setup
+    /// findings plus an `AVC-D005` check of every slot operating point
+    /// in `slot_points` — the only validation work left per run after
+    /// the netlist/delay-model tiers were hoisted into compile. Returns
+    /// the rendered findings for
     /// [`RunDiagnostics::validation_findings`], or
     /// [`SimError::Validation`] under [`ValidationMode::Deny`] when any
     /// warn-or-worse finding exists.
-    fn validate_launch(
+    pub(crate) fn validate_launch(
         &self,
         mode: ValidationMode,
         slot_points: &[(String, OperatingPoint)],
@@ -422,45 +458,33 @@ impl Engine {
         if mode == ValidationMode::Off {
             return Ok(Vec::new());
         }
-        let mut findings = self.setup_findings.clone();
-        findings.extend(avfs_check::model::lint_operating_points(
-            self.model.space(),
-            slot_points,
-        ));
-        let rendered: Vec<String> = findings.iter().map(ToString::to_string).collect();
+        let op_findings = avfs_check::model::lint_operating_points(self.model.space(), slot_points);
+        let mut rendered = self.setup_rendered.clone();
+        rendered.extend(op_findings.iter().map(ToString::to_string));
         if mode == ValidationMode::Deny
-            && findings
-                .iter()
-                .any(|f| f.severity >= avfs_check::Severity::Warn)
+            && (self.setup_deny
+                || op_findings
+                    .iter()
+                    .any(|f| f.severity >= avfs_check::Severity::Warn))
         {
             return Err(SimError::Validation { findings: rendered });
         }
         Ok(rendered)
     }
 
-    /// Simulates `slots` over `patterns`.
-    ///
-    /// # Errors
-    ///
-    /// * [`SimError::EmptySlots`] for an empty slot list,
-    /// * [`SimError::PatternWidth`] / [`SimError::BadPatternIndex`] for
-    ///   inconsistent stimuli,
-    /// * [`SimError::InvalidOperatingPoint`] for a non-finite or
-    ///   non-positive supply voltage,
-    /// * [`SimError::Validation`] under
-    ///   [`ValidationMode::Deny`] when the up-front checks find a
-    ///   warn-or-worse problem (e.g. a slot voltage outside the model's
-    ///   characterized domain, which `Warn` mode would clamp and record),
-    /// * [`SimError::Model`] if the delay model rejects an operating point
-    ///   or lacks a kernel,
-    /// * [`SimError::AllSlotsFailed`] if no slot produced a usable result
-    ///   (individual slot failures are reported per slot instead).
-    pub fn run(
+    /// Validates one uniform-voltage launch's stimuli and slot list and
+    /// resolves them into the internal work list (per-slot normalized
+    /// voltage assignments) plus the labelled operating points the
+    /// launch validation checks. Shared by [`CompiledNetlist::launch`]
+    /// and the sharding [`BatchRunner`](crate::batch::BatchRunner),
+    /// which prepares the whole grid once — global `slot {i}` labels —
+    /// and slices the work list per shard.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn prepare_uniform(
         &self,
         patterns: &PatternSet,
         slots: &[SlotSpec],
-        options: &SimOptions,
-    ) -> Result<SimRun, SimError> {
+    ) -> Result<(Vec<SlotWork>, Vec<(String, OperatingPoint)>), SimError> {
         if slots.is_empty() {
             return Err(SimError::EmptySlots);
         }
@@ -487,11 +511,10 @@ impl Engine {
                 });
             }
         }
-
-        // Up-front validation: slot operating points are checked against
-        // the model's characterized domain *before* the normalization
-        // below clamps them into it, so an out-of-domain sweep point is
-        // recorded (Warn) or refused (Deny) instead of silently repaired.
+        // Slot operating points are checked against the model's
+        // characterized domain *before* normalization clamps them into
+        // it, so an out-of-domain sweep point is recorded (Warn) or
+        // refused (Deny) instead of silently repaired.
         let space = self.model.space();
         let slot_points: Vec<(String, OperatingPoint)> = slots
             .iter()
@@ -503,8 +526,6 @@ impl Engine {
                 )
             })
             .collect();
-        let validation = self.validate_launch(options.strict_validation, &slot_points)?;
-
         // Per-slot normalized voltage — computed once per slot, like the
         // paper's parameter memory (clamped so a sweep endpoint such as
         // exactly V_max stays valid under floating-point noise).
@@ -520,7 +541,53 @@ impl Engine {
                 voltage: s.voltage,
             })
             .collect();
-        self.run_work(patterns, &work, options, validation)
+        Ok((work, slot_points))
+    }
+
+    /// Simulates `slots` over `patterns` — the launch half of the
+    /// compile/launch split. Pays no compile cost; a worker pool is
+    /// spawned per call when `threads > 1` (use a
+    /// [`Session`](crate::session::Session) or
+    /// [`BatchRunner`](crate::batch::BatchRunner) to park one across
+    /// runs).
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::EmptySlots`] for an empty slot list,
+    /// * [`SimError::PatternWidth`] / [`SimError::BadPatternIndex`] for
+    ///   inconsistent stimuli,
+    /// * [`SimError::InvalidOperatingPoint`] for a non-finite or
+    ///   non-positive supply voltage,
+    /// * [`SimError::Validation`] under
+    ///   [`ValidationMode::Deny`] when the up-front checks find a
+    ///   warn-or-worse problem (e.g. a slot voltage outside the model's
+    ///   characterized domain, which `Warn` mode would clamp and record),
+    /// * [`SimError::Model`] if the delay model rejects an operating point
+    ///   or lacks a kernel,
+    /// * [`SimError::AllSlotsFailed`] if no slot produced a usable result
+    ///   (individual slot failures are reported per slot instead).
+    pub fn launch(
+        &self,
+        patterns: &PatternSet,
+        slots: &[SlotSpec],
+        options: &SimOptions,
+    ) -> Result<SimRun, SimError> {
+        self.launch_with(patterns, slots, options, Exec::default())
+    }
+
+    pub(crate) fn launch_with(
+        &self,
+        patterns: &PatternSet,
+        slots: &[SlotSpec],
+        options: &SimOptions,
+        mut exec: Exec<'_>,
+    ) -> Result<SimRun, SimError> {
+        let (work, slot_points) = self.prepare_uniform(patterns, slots)?;
+        let validation = match exec.prevalidated.take() {
+            Some(v) => v,
+            None => self.validate_launch(options.strict_validation, &slot_points)?,
+        };
+        self.run_work(patterns, &work, options, validation, &exec)
     }
 
     /// Simulates with per-node voltage *domains* (voltage islands): every
@@ -529,22 +596,33 @@ impl Engine {
     /// This extends the paper's per-instance operating points to the
     /// multi-rail AVFS systems its introduction describes ("actively
     /// control internal voltages", plural): one launch can sweep island
-    /// configurations the way [`Engine::run`] sweeps global supplies. The
-    /// reported [`SlotSpec::voltage`] of each result is the slot's
-    /// domain-0 voltage (results are in slot order, so callers index the
-    /// spec list they passed).
+    /// configurations the way [`CompiledNetlist::launch`] sweeps global
+    /// supplies. The reported [`SlotSpec::voltage`] of each result is the
+    /// slot's domain-0 voltage (results are in slot order, so callers
+    /// index the spec list they passed).
     ///
     /// # Errors
     ///
-    /// Same as [`Engine::run`], plus [`SimError::Model`] variants surfaced
-    /// through domain validation in
+    /// Same as [`CompiledNetlist::launch`], plus [`SimError::Model`]
+    /// variants surfaced through domain validation in
     /// [`VoltageDomains`](crate::domains::VoltageDomains).
-    pub fn run_domains(
+    pub fn launch_domains(
         &self,
         patterns: &PatternSet,
         domains: &crate::domains::VoltageDomains,
         specs: &[crate::domains::DomainSlotSpec],
         options: &SimOptions,
+    ) -> Result<SimRun, SimError> {
+        self.launch_domains_with(patterns, domains, specs, options, Exec::default())
+    }
+
+    pub(crate) fn launch_domains_with(
+        &self,
+        patterns: &PatternSet,
+        domains: &crate::domains::VoltageDomains,
+        specs: &[crate::domains::DomainSlotSpec],
+        options: &SimOptions,
+        mut exec: Exec<'_>,
     ) -> Result<SimRun, SimError> {
         if specs.is_empty() {
             return Err(SimError::EmptySlots);
@@ -569,7 +647,10 @@ impl Engine {
                 })
             })
             .collect();
-        let validation = self.validate_launch(options.strict_validation, &slot_points)?;
+        let validation = match exec.prevalidated.take() {
+            Some(v) => v,
+            None => self.validate_launch(options.strict_validation, &slot_points)?,
+        };
         let work: Vec<SlotWork> = specs
             .iter()
             .map(|spec| {
@@ -607,15 +688,16 @@ impl Engine {
                 });
             }
         }
-        self.run_work(patterns, &work, options, validation)
+        self.run_work(patterns, &work, options, validation, &exec)
     }
 
-    fn run_work(
+    pub(crate) fn run_work(
         &self,
         patterns: &PatternSet,
         work: &[SlotWork],
         options: &SimOptions,
         validation_findings: Vec<String>,
+        exec: &Exec<'_>,
     ) -> Result<SimRun, SimError> {
         let nodes = self.netlist.num_nodes();
         // Lane-width hygiene before any work launches: masks are single
@@ -627,11 +709,7 @@ impl Engine {
                 lanes: options.lanes,
             });
         }
-        let base_cap = if options.arena_capacity == 0 {
-            DEFAULT_ARENA_CAPACITY
-        } else {
-            options.arena_capacity.max(1)
-        };
+        let base_cap = options.resolved_arena_capacity();
         // Profiling is strictly observational: all instruments live in a
         // per-run registry touched only by this coordinator thread, so the
         // deterministic schedule (and therefore every waveform) is
@@ -658,13 +736,14 @@ impl Engine {
         // barriers) from a monitor thread; it never intervenes, so arming
         // it cannot perturb results. Disarmed on drop, Err paths included.
         let watchdog = options.stall_timeout.map(Watchdog::arm);
-        // The persistent pool: workers are spawned once here and parked
-        // between levels; every level of every batch and retry round is
-        // released through its epoch barrier (the GPU grid analogue). A
-        // single-threaded run needs no pool at all.
+        // The persistent pool: a caller-parked pool (Session/BatchRunner)
+        // is reused as-is; otherwise workers are spawned once here and
+        // parked between levels. Either way every level of every batch
+        // and retry round is released through the pool's epoch barrier
+        // (the GPU grid analogue). A single-threaded run needs no pool.
         let threads = options.resolved_threads();
-        let pool = (threads > 1).then(|| WorkerPool::new(threads, injector.clone()));
-        let pool = pool.as_ref();
+        let owned_pool = (exec.pool.is_none() && threads > 1).then(|| WorkerPool::new(threads));
+        let pool = exec.pool.or(owned_pool.as_ref());
         let tallies = PoolTallies::new(pool.map_or(1, WorkerPool::size));
         let mut diag = RunDiagnostics {
             clamped_loads: self.clamped_loads,
@@ -825,7 +904,7 @@ impl Engine {
             .into_iter()
             .map(|r| r.expect("every slot resolved by the retry loop"))
             .collect();
-        if slots.iter().all(|s| !s.status.is_completed()) {
+        if !exec.allow_total_loss && slots.iter().all(|s| !s.status.is_completed()) {
             return Err(SimError::AllSlotsFailed { slots: slots.len() });
         }
         if let Some(m) = metrics {
@@ -939,12 +1018,43 @@ impl Engine {
             )
             .collect();
 
+        // Per-voltage delay tables cached on the artifact: when every
+        // group in the batch is a uniform assignment and no fault plan is
+        // armed (factor corruption is keyed per run and round), the
+        // per-level kernel initialization below is a pure function of
+        // (artifact, supply) and is served from
+        // [`CompiledNetlist::cached_delay_table`] instead of being
+        // re-evaluated. All-or-nothing per batch: any island assignment,
+        // armed injector or failed table build takes the online path for
+        // the whole batch, which reproduces uncached error/panic
+        // semantics exactly.
+        let group_tables: Option<Vec<Arc<DelayTable>>> = if injector.is_armed() {
+            None
+        } else {
+            // Table fetches (and first-use builds) are delay-kernel work;
+            // attribute them to the same phase the online path uses.
+            let table_span = metrics.map(|m| m.span(phases::ENGINE_DELAY_KERNEL));
+            let tables: Option<Vec<Arc<DelayTable>>> = group_assigns
+                .iter()
+                .map(|a| match a {
+                    VoltageAssign::Uniform(v) => self.cached_delay_table(*v, metrics),
+                    VoltageAssign::PerNode(_) => None,
+                })
+                .collect();
+            if let Some(span) = table_span {
+                span.finish();
+            }
+            if tables.is_some() {
+                if let Some(m) = metrics {
+                    m.add(phases::ENGINE_DELAY_TABLE_HITS, 1);
+                }
+            }
+            tables
+        };
+
         // Levels 1…L: the vertical dimension with a barrier per level.
         let mut fallbacks = 0u64;
         let mut level_delays: Vec<Vec<PinDelays>> = vec![Vec::new(); group_assigns.len()];
-        let mut gate_nodes: Vec<NodeId> = Vec::new();
-        let mut gate_offsets: Vec<usize> = Vec::new();
-        let mut output_nodes: Vec<NodeId> = Vec::new();
         for level in 1..self.levels.depth() {
             if dead.iter().all(Option::is_some) {
                 break;
@@ -959,22 +1069,11 @@ impl Engine {
 
             // Level plan: gates become pool tasks; primary outputs are mere
             // passthroughs, copied cell-to-cell at the barrier instead of
-            // being scheduled as tasks.
-            gate_nodes.clear();
-            gate_offsets.clear();
-            output_nodes.clear();
-            let mut offset = 0usize;
-            for &node_id in level_nodes {
-                match self.netlist.node(node_id).kind() {
-                    NodeKind::Gate(_) => {
-                        gate_nodes.push(node_id);
-                        gate_offsets.push(offset);
-                        offset += self.netlist.node(node_id).fanin().len();
-                    }
-                    NodeKind::Output => output_nodes.push(node_id),
-                    NodeKind::Input => {}
-                }
-            }
+            // being scheduled as tasks. Precomputed once at compile.
+            let plan = &self.level_plans[level];
+            let gate_nodes = &plan.gate_nodes;
+            let gate_offsets = &plan.gate_offsets;
+            let output_nodes = &plan.output_nodes;
             let kernel_span = metrics.map(|m| m.span(phases::ENGINE_DELAY_KERNEL));
             let mut kernel_evals = 0u64;
             let mut lane_batches = 0u64;
@@ -991,162 +1090,177 @@ impl Engine {
                         .any(|(&gg, d)| gg == g && d.is_none())
                 })
                 .collect();
-            // Injected non-finite kernel output, keyed by the global slot
-            // of each group's first batch member (voltage groups share one
-            // kernel evaluation, so the site is per group): corrupted
-            // factors flow into scale_or_fallback exactly like an
-            // organically broken kernel would.
-            let nf_keys: Vec<Option<u64>> = live_vgroups
-                .iter()
-                .map(|&g| {
-                    injector.is_armed().then(|| {
-                        let si = group_of_slot
-                            .iter()
-                            .position(|&gg| gg == g)
-                            .expect("live group has a member");
-                        chunk[si] as u64
+            if let Some(tables) = &group_tables {
+                // Cached per-voltage tables: skip the kernel and replay
+                // each table's fallback tally for the live groups, so
+                // cached and online launches report identical
+                // [`RunDiagnostics::kernel_fallbacks`].
+                for &g in &live_vgroups {
+                    fallbacks += tables[g].fallbacks_per_level[level];
+                }
+            } else {
+                // Injected non-finite kernel output, keyed by the global slot
+                // of each group's first batch member (voltage groups share one
+                // kernel evaluation, so the site is per group): corrupted
+                // factors flow into scale_or_fallback exactly like an
+                // organically broken kernel would.
+                let nf_keys: Vec<Option<u64>> = live_vgroups
+                    .iter()
+                    .map(|&g| {
+                        injector.is_armed().then(|| {
+                            let si = group_of_slot
+                                .iter()
+                                .position(|&gg| gg == g)
+                                .expect("live group has a member");
+                            chunk[si] as u64
+                        })
                     })
-                })
-                .collect();
-            // Lane-batched kernel initialization: for each (gate, pin,
-            // polarity) the factors of ALL live voltage groups are
-            // evaluated in one `factor_lanes` call — the hand-unrolled
-            // Horner path of `avfs_delay`. The batched arithmetic performs
-            // the identical per-lane operation sequence as scalar
-            // `factor`, so this path and the per-group scalar fallback
-            // below produce bit-identical delays; the fallback exists only
-            // to preserve per-group panic attribution when a model panics
-            // mid-batch.
-            let batched = (!live_vgroups.is_empty()).then(|| {
-                catch_unwind(AssertUnwindSafe(|| -> Result<u64, SimError> {
-                    let mut fb = 0u64;
-                    let mut points: Vec<NormalizedPoint> = Vec::with_capacity(live_vgroups.len());
-                    let mut f_rise = vec![0.0f64; live_vgroups.len()];
-                    let mut f_fall = vec![0.0f64; live_vgroups.len()];
-                    for &node_id in level_nodes {
-                        if let NodeKind::Gate(cell_id) = self.netlist.node(node_id).kind() {
-                            let nominal = self.annotation.node_delays(node_id);
-                            points.clear();
-                            points.extend(live_vgroups.iter().map(|&g| NormalizedPoint {
-                                v: group_assigns[g].v_norm_for(node_id.index()),
-                                c: self.c_norm[node_id.index()],
-                            }));
-                            for (pin, d) in nominal.iter().enumerate() {
-                                self.model.factor_lanes(
-                                    cell_id,
-                                    pin,
-                                    avfs_netlist::library::Polarity::Rise,
-                                    &points,
-                                    &mut f_rise,
-                                )?;
-                                self.model.factor_lanes(
-                                    cell_id,
-                                    pin,
-                                    avfs_netlist::library::Polarity::Fall,
-                                    &points,
-                                    &mut f_fall,
-                                )?;
-                                lane_batches += 2;
-                                for (k, &g) in live_vgroups.iter().enumerate() {
-                                    let (mut fr, mut ff) = (f_rise[k], f_fall[k]);
-                                    if let Some(key) = nf_keys[k] {
-                                        fr = injector.corrupt_factor(fr, key, u64::from(round));
-                                        ff = injector.corrupt_factor(ff, key, u64::from(round));
+                    .collect();
+                // Lane-batched kernel initialization: for each (gate, pin,
+                // polarity) the factors of ALL live voltage groups are
+                // evaluated in one `factor_lanes` call — the hand-unrolled
+                // Horner path of `avfs_delay`. The batched arithmetic performs
+                // the identical per-lane operation sequence as scalar
+                // `factor`, so this path and the per-group scalar fallback
+                // below produce bit-identical delays; the fallback exists only
+                // to preserve per-group panic attribution when a model panics
+                // mid-batch.
+                let batched = (!live_vgroups.is_empty()).then(|| {
+                    catch_unwind(AssertUnwindSafe(|| -> Result<u64, SimError> {
+                        let mut fb = 0u64;
+                        let mut points: Vec<NormalizedPoint> =
+                            Vec::with_capacity(live_vgroups.len());
+                        let mut f_rise = vec![0.0f64; live_vgroups.len()];
+                        let mut f_fall = vec![0.0f64; live_vgroups.len()];
+                        for &node_id in level_nodes {
+                            if let NodeKind::Gate(cell_id) = self.netlist.node(node_id).kind() {
+                                let nominal = self.annotation.node_delays(node_id);
+                                points.clear();
+                                points.extend(live_vgroups.iter().map(|&g| NormalizedPoint {
+                                    v: group_assigns[g].v_norm_for(node_id.index()),
+                                    c: self.c_norm[node_id.index()],
+                                }));
+                                for (pin, d) in nominal.iter().enumerate() {
+                                    self.model.factor_lanes(
+                                        cell_id,
+                                        pin,
+                                        avfs_netlist::library::Polarity::Rise,
+                                        &points,
+                                        &mut f_rise,
+                                    )?;
+                                    self.model.factor_lanes(
+                                        cell_id,
+                                        pin,
+                                        avfs_netlist::library::Polarity::Fall,
+                                        &points,
+                                        &mut f_fall,
+                                    )?;
+                                    lane_batches += 2;
+                                    for (k, &g) in live_vgroups.iter().enumerate() {
+                                        let (mut fr, mut ff) = (f_rise[k], f_fall[k]);
+                                        if let Some(key) = nf_keys[k] {
+                                            fr = injector.corrupt_factor(fr, key, u64::from(round));
+                                            ff = injector.corrupt_factor(ff, key, u64::from(round));
+                                        }
+                                        level_delays[g].push(PinDelays {
+                                            rise: scale_or_fallback(d.rise, fr, &mut fb),
+                                            fall: scale_or_fallback(d.fall, ff, &mut fb),
+                                        });
                                     }
-                                    level_delays[g].push(PinDelays {
-                                        rise: scale_or_fallback(d.rise, fr, &mut fb),
-                                        fall: scale_or_fallback(d.fall, ff, &mut fb),
-                                    });
                                 }
                             }
                         }
+                        Ok(fb)
+                    }))
+                });
+                match batched {
+                    None => {}
+                    Some(Ok(Ok(fb))) => {
+                        fallbacks += fb;
+                        // Two kernel evaluations (rise + fall) per pin per
+                        // live group.
+                        for &g in &live_vgroups {
+                            kernel_evals += 2 * level_delays[g].len() as u64;
+                        }
                     }
-                    Ok(fb)
-                }))
-            });
-            match batched {
-                None => {}
-                Some(Ok(Ok(fb))) => {
-                    fallbacks += fb;
-                    // Two kernel evaluations (rise + fall) per pin per
-                    // live group.
-                    for &g in &live_vgroups {
-                        kernel_evals += 2 * level_delays[g].len() as u64;
-                    }
-                }
-                Some(Ok(Err(e))) => return Err(e),
-                Some(Err(_)) => {
-                    // A model panicked mid-batch. Re-run group by group so
-                    // the panic is attributed to exactly the poisoned
-                    // voltage group(s), as a scalar engine would; healthy
-                    // groups recompute their (bit-identical) delays.
-                    lane_batches = 0;
-                    for buf in level_delays.iter_mut() {
-                        buf.clear();
-                    }
-                    for (k, &g) in live_vgroups.iter().enumerate() {
-                        let buf = &mut level_delays[g];
-                        let assign = group_assigns[g];
-                        let nf_key = nf_keys[k];
-                        let outcome =
-                            catch_unwind(AssertUnwindSafe(|| -> Result<u64, SimError> {
-                                let mut fb = 0u64;
-                                for &node_id in level_nodes {
-                                    if let NodeKind::Gate(cell_id) =
-                                        self.netlist.node(node_id).kind()
-                                    {
-                                        let nominal = self.annotation.node_delays(node_id);
-                                        let p = NormalizedPoint {
-                                            v: assign.v_norm_for(node_id.index()),
-                                            c: self.c_norm[node_id.index()],
-                                        };
-                                        for (pin, d) in nominal.iter().enumerate() {
-                                            let mut f_rise = self.model.factor(
-                                                cell_id,
-                                                pin,
-                                                avfs_netlist::library::Polarity::Rise,
-                                                p,
-                                            )?;
-                                            let mut f_fall = self.model.factor(
-                                                cell_id,
-                                                pin,
-                                                avfs_netlist::library::Polarity::Fall,
-                                                p,
-                                            )?;
-                                            if let Some(key) = nf_key {
-                                                f_rise = injector.corrupt_factor(
-                                                    f_rise,
-                                                    key,
-                                                    u64::from(round),
-                                                );
-                                                f_fall = injector.corrupt_factor(
-                                                    f_fall,
-                                                    key,
-                                                    u64::from(round),
-                                                );
+                    Some(Ok(Err(e))) => return Err(e),
+                    Some(Err(_)) => {
+                        // A model panicked mid-batch. Re-run group by group so
+                        // the panic is attributed to exactly the poisoned
+                        // voltage group(s), as a scalar engine would; healthy
+                        // groups recompute their (bit-identical) delays.
+                        lane_batches = 0;
+                        for buf in level_delays.iter_mut() {
+                            buf.clear();
+                        }
+                        for (k, &g) in live_vgroups.iter().enumerate() {
+                            let buf = &mut level_delays[g];
+                            let assign = group_assigns[g];
+                            let nf_key = nf_keys[k];
+                            let outcome =
+                                catch_unwind(AssertUnwindSafe(|| -> Result<u64, SimError> {
+                                    let mut fb = 0u64;
+                                    for &node_id in level_nodes {
+                                        if let NodeKind::Gate(cell_id) =
+                                            self.netlist.node(node_id).kind()
+                                        {
+                                            let nominal = self.annotation.node_delays(node_id);
+                                            let p = NormalizedPoint {
+                                                v: assign.v_norm_for(node_id.index()),
+                                                c: self.c_norm[node_id.index()],
+                                            };
+                                            for (pin, d) in nominal.iter().enumerate() {
+                                                let mut f_rise = self.model.factor(
+                                                    cell_id,
+                                                    pin,
+                                                    avfs_netlist::library::Polarity::Rise,
+                                                    p,
+                                                )?;
+                                                let mut f_fall = self.model.factor(
+                                                    cell_id,
+                                                    pin,
+                                                    avfs_netlist::library::Polarity::Fall,
+                                                    p,
+                                                )?;
+                                                if let Some(key) = nf_key {
+                                                    f_rise = injector.corrupt_factor(
+                                                        f_rise,
+                                                        key,
+                                                        u64::from(round),
+                                                    );
+                                                    f_fall = injector.corrupt_factor(
+                                                        f_fall,
+                                                        key,
+                                                        u64::from(round),
+                                                    );
+                                                }
+                                                buf.push(PinDelays {
+                                                    rise: scale_or_fallback(
+                                                        d.rise, f_rise, &mut fb,
+                                                    ),
+                                                    fall: scale_or_fallback(
+                                                        d.fall, f_fall, &mut fb,
+                                                    ),
+                                                });
                                             }
-                                            buf.push(PinDelays {
-                                                rise: scale_or_fallback(d.rise, f_rise, &mut fb),
-                                                fall: scale_or_fallback(d.fall, f_fall, &mut fb),
-                                            });
                                         }
                                     }
+                                    Ok(fb)
+                                }));
+                            match outcome {
+                                Ok(Ok(fb)) => {
+                                    fallbacks += fb;
+                                    // Two kernel evaluations (rise + fall) per
+                                    // pin.
+                                    kernel_evals += 2 * buf.len() as u64;
                                 }
-                                Ok(fb)
-                            }));
-                        match outcome {
-                            Ok(Ok(fb)) => {
-                                fallbacks += fb;
-                                // Two kernel evaluations (rise + fall) per
-                                // pin.
-                                kernel_evals += 2 * buf.len() as u64;
-                            }
-                            Ok(Err(e)) => return Err(e),
-                            Err(_) => {
-                                buf.clear();
-                                for (si, &gg) in group_of_slot.iter().enumerate() {
-                                    if gg == g && dead[si].is_none() {
-                                        dead[si] = Some(Dead::Panic);
+                                Ok(Err(e)) => return Err(e),
+                                Err(_) => {
+                                    buf.clear();
+                                    for (si, &gg) in group_of_slot.iter().enumerate() {
+                                        if gg == g && dead[si].is_none() {
+                                            dead[si] = Some(Dead::Panic);
+                                        }
                                     }
                                 }
                             }
@@ -1188,10 +1302,22 @@ impl Engine {
             // Per-(slot, gate) grid size — the unit the activity counters
             // are denominated in, independent of the lane width.
             let grid_tasks = live_count * gate_nodes.len();
+            // Per-group delay slices for this level: borrowed from the
+            // artifact's cached tables when the batch qualified, from the
+            // freshly computed buffers otherwise. Bit-identical either
+            // way (`factor_lanes` is documented and tested bit-identical
+            // to scalar `factor`).
+            let level_slices: Vec<&[PinDelays]> = match &group_tables {
+                Some(tables) => tables
+                    .iter()
+                    .map(|t| t.per_level[level].as_slice())
+                    .collect(),
+                None => level_delays.iter().map(Vec::as_slice).collect(),
+            };
             let ctx = LevelCtx {
-                gate_nodes: &gate_nodes,
-                gate_offsets: &gate_offsets,
-                level_delays: &level_delays,
+                gate_nodes,
+                gate_offsets,
+                level_delays: &level_slices,
                 group_of_slot: &group_of_slot,
                 live_groups: &live_groups,
                 layout,
@@ -1384,7 +1510,7 @@ impl Engine {
                     };
                     match pool {
                         Some(p) => {
-                            let idle = p.run(&job, metrics.is_some());
+                            let idle = p.run(&job, injector, metrics.is_some());
                             if let Some(m) = metrics {
                                 m.record_duration(phases::ENGINE_POOL_IDLE, idle);
                             }
@@ -1407,7 +1533,7 @@ impl Engine {
                         let lane = rem.trailing_zeros() as usize;
                         rem &= rem - 1;
                         let si = layout.group_slot(g) + lane;
-                        for &out in &output_nodes {
+                        for &out in output_nodes {
                             let from = self.netlist.node(out).fanin()[0].index();
                             arena.copy_cell(layout.index(si, from), layout.index(si, out.index()));
                         }
@@ -1555,6 +1681,114 @@ impl Engine {
             scratch.scheduled(),
         )
     }
+
+    /// Builds the fully-scaled per-level delay table for one uniform
+    /// normalized supply with the scalar kernel. `avfs_delay` documents
+    /// (and tests) `factor_lanes` as bit-identical to per-lane `factor`,
+    /// so a table built here is bit-for-bit the buffer the lane-batched
+    /// online path would produce for the same voltage group — the
+    /// identity [`CompiledNetlist::cached_delay_table`] rests on.
+    fn build_delay_table(
+        &self,
+        v_norm: f64,
+        metrics: Option<&Metrics>,
+    ) -> Result<DelayTable, SimError> {
+        let depth = self.levels.depth();
+        let mut evals = 0u64;
+        let mut per_level: Vec<Vec<PinDelays>> = Vec::with_capacity(depth);
+        let mut fallbacks_per_level: Vec<u64> = Vec::with_capacity(depth);
+        for level in 0..depth {
+            let mut buf = Vec::new();
+            let mut fb = 0u64;
+            // Level 0 is the stimuli level: no gates, empty buffer.
+            if level > 0 {
+                for &node_id in self.levels.level(level) {
+                    if let NodeKind::Gate(cell_id) = self.netlist.node(node_id).kind() {
+                        let nominal = self.annotation.node_delays(node_id);
+                        let p = NormalizedPoint {
+                            v: v_norm,
+                            c: self.c_norm[node_id.index()],
+                        };
+                        for (pin, d) in nominal.iter().enumerate() {
+                            let f_rise = self.model.factor(
+                                cell_id,
+                                pin,
+                                avfs_netlist::library::Polarity::Rise,
+                                p,
+                            )?;
+                            let f_fall = self.model.factor(
+                                cell_id,
+                                pin,
+                                avfs_netlist::library::Polarity::Fall,
+                                p,
+                            )?;
+                            evals += 2;
+                            buf.push(PinDelays {
+                                rise: scale_or_fallback(d.rise, f_rise, &mut fb),
+                                fall: scale_or_fallback(d.fall, f_fall, &mut fb),
+                            });
+                        }
+                    }
+                }
+            }
+            per_level.push(buf);
+            fallbacks_per_level.push(fb);
+        }
+        if let Some(m) = metrics {
+            m.add(phases::ENGINE_KERNEL_EVALS, evals);
+            m.add(phases::ENGINE_DELAY_TABLE_BUILDS, 1);
+        }
+        Ok(DelayTable {
+            per_level,
+            fallbacks_per_level,
+        })
+    }
+
+    /// The artifact's cached fully-scaled delay table for one uniform
+    /// normalized supply (keyed by the supply's bit pattern), built
+    /// lazily on first use. Returns `None` — and caches nothing — when
+    /// the model errors or panics on this voltage, or when the cache
+    /// mutex is poisoned: the caller then takes the online per-launch
+    /// path, which reproduces the uncached error/panic semantics
+    /// exactly (and is why a model panic can never poison this mutex —
+    /// the build runs outside the lock).
+    pub(crate) fn cached_delay_table(
+        &self,
+        v_norm: f64,
+        metrics: Option<&Metrics>,
+    ) -> Option<Arc<DelayTable>> {
+        let key = v_norm.to_bits();
+        if let Some(hit) = self.delay_tables.lock().ok()?.get(&key) {
+            return Some(Arc::clone(hit));
+        }
+        let table = catch_unwind(AssertUnwindSafe(|| self.build_delay_table(v_norm, metrics)))
+            .ok()?
+            .ok()?;
+        let table = Arc::new(table);
+        if let Ok(mut cache) = self.delay_tables.lock() {
+            cache.insert(key, Arc::clone(&table));
+        }
+        Some(table)
+    }
+}
+
+/// A fully-scaled per-level delay table for one uniform normalized
+/// supply — the entire delay-kernel initialization phase of a launch,
+/// materialized. Cached per voltage on the [`CompiledNetlist`]
+/// (bounded LRU) so repeated launches of a compiled artifact skip the
+/// kernel entirely when the batch qualifies: uniform assignments only,
+/// no armed fault plan. `per_level[level]` is laid out exactly like the
+/// online path's per-group buffer — gate-major in level order, one
+/// [`PinDelays`] per fanin pin, addressed through the level plan's
+/// `gate_offsets`.
+#[derive(Debug)]
+pub(crate) struct DelayTable {
+    pub(crate) per_level: Vec<Vec<PinDelays>>,
+    /// Non-finite scaled delays that fell back to nominal while the
+    /// table was built, per level — replayed into
+    /// [`RunDiagnostics::kernel_fallbacks`] for every launch the table
+    /// serves, so cached and online runs report identical diagnostics.
+    pub(crate) fallbacks_per_level: Vec<u64>,
 }
 
 /// Guards the online delay calculation: a non-finite scaled delay falls
@@ -1604,17 +1838,17 @@ impl PoolTallies {
 /// One slot's resolved work: which pattern to replay under which voltage
 /// assignment.
 #[derive(Debug, Clone)]
-struct SlotWork {
-    pattern: usize,
-    assign: VoltageAssign,
+pub(crate) struct SlotWork {
+    pub(crate) pattern: usize,
+    pub(crate) assign: VoltageAssign,
     /// Representative voltage reported in the result spec (the global
     /// supply for uniform slots, the domain-0 supply for island slots).
-    voltage: f64,
+    pub(crate) voltage: f64,
 }
 
 /// Normalized voltage assignment of one slot.
 #[derive(Debug, Clone, PartialEq)]
-enum VoltageAssign {
+pub(crate) enum VoltageAssign {
     /// One global supply (normalized).
     Uniform(f64),
     /// Per-node normalized voltage (voltage islands), expanded from the
@@ -1641,8 +1875,9 @@ struct LevelCtx<'l> {
     /// tasks).
     gate_nodes: &'l [NodeId],
     /// `level_delays[group][gate_offsets[pos] + pin]` — modified pin
-    /// delays per voltage group.
-    level_delays: &'l [Vec<PinDelays>],
+    /// delays per voltage group (borrowed from the artifact's cached
+    /// per-voltage table or from the batch's freshly computed buffers).
+    level_delays: &'l [&'l [PinDelays]],
     gate_offsets: &'l [usize],
     group_of_slot: &'l [usize],
     /// Lane groups with at least one live lane at the start of the level,

@@ -32,6 +32,8 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod api;
+pub mod batch;
+pub mod compile;
 pub mod delay_fault;
 pub mod domains;
 pub mod engine;
@@ -40,6 +42,7 @@ pub mod phases;
 mod pool;
 pub mod power;
 pub mod results;
+pub mod session;
 pub mod slots;
 pub mod sta;
 
@@ -47,12 +50,15 @@ pub use api::TimeSimulator;
 /// Re-exported observability types ([`SimRun::profile`] is an
 /// [`avfs_obs::Profile`]).
 pub use avfs_obs::{Metrics, PhaseStats, Profile};
+pub use batch::{BatchRunner, CompileKey};
+pub use compile::CompiledNetlist;
 pub use delay_fault::{DelayFaultSimulator, FaultVerdict, SmallDelayFault};
 pub use domains::{DomainSlotSpec, VoltageDomains};
 pub use engine::{Engine, SimOptions, ValidationMode};
 pub use event_driven::EventDrivenSimulator;
 pub use power::{energy_by_voltage, slot_energy, EnergyEstimate};
 pub use results::{RunDiagnostics, SimRun, SlotResult, SlotStatus};
+pub use session::Session;
 pub use slots::{cross, SlotSpec};
 
 use std::error::Error;
@@ -127,6 +133,18 @@ pub enum SimError {
         /// resolution).
         lanes: usize,
     },
+    /// A run requested a per-run thread override that differs from the
+    /// thread count a parked worker pool
+    /// ([`Session`] / [`BatchRunner`]) was built with. Threads are
+    /// resolved once at pool construction; pass `threads: 0` (or the
+    /// pool's count) per run, or build a session with the count you
+    /// want.
+    ThreadMismatch {
+        /// Worker count the parked pool was built with.
+        pool: usize,
+        /// The rejected per-run override.
+        requested: usize,
+    },
     /// Up-front validation refused the launch
     /// ([`SimOptions::strict_validation`](engine::SimOptions) is
     /// [`ValidationMode::Deny`](engine::ValidationMode) and a
@@ -178,6 +196,13 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidLanes { lanes } => {
                 write!(f, "lane width {lanes} is not a power of two within 1..=64")
+            }
+            SimError::ThreadMismatch { pool, requested } => {
+                write!(
+                    f,
+                    "run requests {requested} thread(s) but the parked pool was built with {pool}; \
+                     threads resolve once at pool construction (pass 0 per run)"
+                )
             }
             SimError::Validation { findings } => {
                 write!(

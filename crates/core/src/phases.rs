@@ -139,6 +139,55 @@ pub const ENGINE_DEADLINE_ABORTS: &str = "engine.deadline_aborts";
 /// allocation-cap breach) — always recorded (0 on clean runs).
 pub const ENGINE_BUDGET_DENIALS: &str = "engine.budget_denials";
 
+/// Compiled-artifact cache hits on a
+/// [`BatchRunner`](crate::BatchRunner) — launches that reused a cached
+/// [`CompiledNetlist`](crate::CompiledNetlist) instead of compiling.
+pub const ENGINE_COMPILE_HITS: &str = "engine.compile_hits";
+
+/// Compiled-artifact cache misses — compiles actually performed by a
+/// [`BatchRunner`](crate::BatchRunner). A compile-once workload shows
+/// exactly 1 here regardless of run count.
+pub const ENGINE_COMPILE_MISSES: &str = "engine.compile_misses";
+
+/// Characterized-library cache hits on a
+/// [`BatchRunner`](crate::BatchRunner).
+pub const ENGINE_LIBRARY_HITS: &str = "engine.library_hits";
+
+/// Characterized-library cache misses — characterizations actually
+/// performed by a [`BatchRunner`](crate::BatchRunner).
+pub const ENGINE_LIBRARY_MISSES: &str = "engine.library_misses";
+
+/// Runs admitted through a [`BatchRunner`](crate::BatchRunner)'s run
+/// queue.
+pub const ENGINE_BATCH_RUNS: &str = "engine.batch_runs";
+
+/// Shards executed across all [`BatchRunner`](crate::BatchRunner) runs
+/// (1 per unsharded run).
+pub const ENGINE_BATCH_SHARDS: &str = "engine.batch_shards";
+
+/// Histogram of [`BatchRunner`](crate::BatchRunner) run-queue depth:
+/// how many runs were already waiting on (or holding) the parked pool
+/// when each run got in line — 0 means the pool was free.
+pub const ENGINE_BATCH_QUEUE_DEPTH: &str = "engine.batch_queue_depth";
+
+/// Gauge: compiled artifacts currently resident in a
+/// [`BatchRunner`](crate::BatchRunner)'s bounded LRU.
+pub const ENGINE_CACHE_OCCUPANCY: &str = "engine.cache_occupancy";
+
+/// Per-voltage delay tables built on a
+/// [`CompiledNetlist`](crate::CompiledNetlist) — the one-time scalar
+/// kernel sweep whose evaluations are counted in
+/// [`ENGINE_KERNEL_EVALS`]. At a steady AVFS operating-point set this
+/// stays at the number of distinct supplies.
+pub const ENGINE_DELAY_TABLE_BUILDS: &str = "engine.delay_table_builds";
+
+/// Per-voltage delay-table cache hits — batches whose entire kernel
+/// initialization was served from a
+/// [`CompiledNetlist`](crate::CompiledNetlist)'s resident tables
+/// (uniform assignments, no armed fault plan) instead of being
+/// re-evaluated.
+pub const ENGINE_DELAY_TABLE_HITS: &str = "engine.delay_table_hits";
+
 /// Whole event-driven baseline run (all slots, serial).
 pub const ED_SIMULATE: &str = "ed/simulate";
 

@@ -15,6 +15,13 @@
 //! internal `transmute`; soundness rests on [`WorkerPool::run`] not
 //! returning — even by unwinding — until every worker has finished the
 //! epoch and dropped its reference.
+//!
+//! Since the compile-once/simulate-many split, a pool is no longer tied
+//! to one run: [`Session`](crate::session::Session) and
+//! [`BatchRunner`](crate::batch::BatchRunner) construct a pool once and
+//! park it *across* runs, so repeated launches pay zero thread spawns.
+//! The run-scoped fault [`Injector`] is therefore published per epoch
+//! (alongside the job) rather than captured at construction.
 
 use avfs_inject::Injector;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -34,6 +41,11 @@ struct State {
     epoch: u64,
     /// The job of the current epoch, lifetime-erased (see module docs).
     job: Option<&'static Job>,
+    /// The fault injector of the current epoch's run (the
+    /// [`WorkerStall`](avfs_inject::InjectionSite::WorkerStall) site).
+    /// Published per epoch so one parked pool can serve runs with
+    /// different fault plans.
+    injector: Injector,
     /// Spawned workers still executing the current epoch's job.
     running: usize,
     /// A spawned worker's job invocation panicked this epoch.
@@ -51,7 +63,10 @@ struct Shared {
 }
 
 /// A pool of parked worker threads released level-by-level via an epoch
-/// barrier. Created once per engine run; dropping it joins all workers.
+/// barrier. Created once per [`Session`](crate::session::Session) /
+/// [`BatchRunner`](crate::batch::BatchRunner) (or once per run by a bare
+/// [`Engine::run`](crate::Engine::run)) and reusable across any number of
+/// runs; dropping it joins all workers.
 pub(crate) struct WorkerPool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
@@ -61,18 +76,12 @@ impl WorkerPool {
     /// Creates a pool of `size` workers total: `size - 1` OS threads plus
     /// the calling thread, which participates as worker 0 inside
     /// [`WorkerPool::run`]. `size` is clamped to at least 1.
-    ///
-    /// `injector` carries the run's fault plan for the
-    /// [`WorkerStall`](avfs_inject::InjectionSite::WorkerStall) site:
-    /// a firing probe — keyed `(worker index, epoch)` — makes the worker
-    /// sleep before taking its share, which perturbs timing (exercising
-    /// the stall watchdog and the work-stealing rebalance) but never
-    /// results. Unarmed, the probe is one branch per worker per epoch.
-    pub fn new(size: usize, injector: Injector) -> WorkerPool {
+    pub fn new(size: usize) -> WorkerPool {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 epoch: 0,
                 job: None,
+                injector: Injector::unarmed(),
                 running: 0,
                 poisoned: false,
                 shutdown: false,
@@ -83,10 +92,9 @@ impl WorkerPool {
         let handles = (1..size.max(1))
             .map(|index| {
                 let shared = Arc::clone(&shared);
-                let injector = injector.clone();
                 std::thread::Builder::new()
                     .name(format!("avfs-worker-{index}"))
-                    .spawn(move || worker_loop(index, &shared, &injector))
+                    .spawn(move || worker_loop(index, &shared))
                     .expect("worker thread spawns")
             })
             .collect();
@@ -104,12 +112,27 @@ impl WorkerPool {
     /// own share; when `measure_idle` is false no clock is read and
     /// [`Duration::ZERO`] is returned.
     ///
+    /// `injector` carries the current run's fault plan for the
+    /// [`WorkerStall`](avfs_inject::InjectionSite::WorkerStall) site: a
+    /// firing probe — keyed `(worker index, epoch)` — makes the worker
+    /// sleep before taking its share, which perturbs timing (exercising
+    /// the stall watchdog and the work-stealing rebalance) but never
+    /// results. Unarmed, the probe is one branch per worker per epoch.
+    /// The caller must have exclusive use of the pool for the duration of
+    /// the call (`Session` takes `&mut self`; `BatchRunner` holds its run
+    /// lock) — epochs of concurrent runs must never interleave.
+    ///
     /// # Panics
     ///
     /// Re-raises a panic from the coordinator's own job share (after the
     /// barrier, so borrows stay valid), and panics if a spawned worker's
     /// job share panicked.
-    pub fn run(&self, job: &(dyn Fn(usize) + Sync + '_), measure_idle: bool) -> Duration {
+    pub fn run(
+        &self,
+        job: &(dyn Fn(usize) + Sync + '_),
+        injector: &Injector,
+        measure_idle: bool,
+    ) -> Duration {
         // SAFETY: the 'static lifetime is a lie confined to this call.
         // Workers only hold the reference while `running > 0`, and this
         // function does not return — the coordinator's own panic is
@@ -119,6 +142,7 @@ impl WorkerPool {
         {
             let mut state = self.shared.state.lock().expect("pool lock");
             state.job = Some(job);
+            state.injector = injector.clone();
             state.running = self.handles.len();
             state.poisoned = false;
             state.epoch += 1;
@@ -168,10 +192,10 @@ impl std::fmt::Debug for WorkerPool {
 
 /// Body of one spawned worker: wait for an epoch bump, run the job,
 /// report completion, park again.
-fn worker_loop(index: usize, shared: &Shared, injector: &Injector) {
+fn worker_loop(index: usize, shared: &Shared) {
     let mut seen = 0u64;
     loop {
-        let job = {
+        let (job, injector) = {
             let mut state = shared.state.lock().expect("pool lock");
             loop {
                 if state.shutdown {
@@ -183,7 +207,10 @@ fn worker_loop(index: usize, shared: &Shared, injector: &Injector) {
                 state = shared.start.wait(state).expect("pool lock");
             }
             seen = state.epoch;
-            state.job.expect("an epoch bump always publishes a job")
+            (
+                state.job.expect("an epoch bump always publishes a job"),
+                state.injector.clone(),
+            )
         };
         // Injected slow-worker stall: sleep before taking a share, so the
         // chunked cursor sheds this worker's load onto its peers and the
@@ -328,7 +355,7 @@ mod tests {
 
     #[test]
     fn single_worker_pool_runs_inline() {
-        let pool = WorkerPool::new(1, Injector::unarmed());
+        let pool = WorkerPool::new(1);
         assert_eq!(pool.size(), 1);
         let hits = AtomicUsize::new(0);
         let idle = pool.run(
@@ -336,6 +363,7 @@ mod tests {
                 assert_eq!(w, 0);
                 hits.fetch_add(1, Ordering::Relaxed);
             },
+            &Injector::unarmed(),
             false,
         );
         assert_eq!(hits.load(Ordering::Relaxed), 1);
@@ -344,7 +372,7 @@ mod tests {
 
     #[test]
     fn epochs_reuse_the_same_workers() {
-        let pool = WorkerPool::new(4, Injector::unarmed());
+        let pool = WorkerPool::new(4);
         assert_eq!(pool.size(), 4);
         let total = AtomicUsize::new(0);
         // Many epochs over the same pool: every worker runs every epoch,
@@ -356,6 +384,7 @@ mod tests {
                     seen[w].store(epoch, Ordering::Relaxed);
                     total.fetch_add(1, Ordering::Relaxed);
                 },
+                &Injector::unarmed(),
                 true,
             );
             for s in &seen {
@@ -367,7 +396,7 @@ mod tests {
 
     #[test]
     fn work_stealing_cursor_covers_all_tasks_once() {
-        let pool = WorkerPool::new(3, Injector::unarmed());
+        let pool = WorkerPool::new(3);
         let tasks = 1000usize;
         let cursor = AtomicUsize::new(0);
         let done: Vec<AtomicUsize> = (0..tasks).map(|_| AtomicUsize::new(0)).collect();
@@ -381,6 +410,7 @@ mod tests {
                     d.fetch_add(1, Ordering::Relaxed);
                 }
             },
+            &Injector::unarmed(),
             false,
         );
         assert!(done.iter().all(|d| d.load(Ordering::Relaxed) == 1));
@@ -388,7 +418,7 @@ mod tests {
 
     #[test]
     fn coordinator_panic_defers_past_the_barrier() {
-        let pool = WorkerPool::new(2, Injector::unarmed());
+        let pool = WorkerPool::new(2);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             pool.run(
                 &|w| {
@@ -396,6 +426,7 @@ mod tests {
                         panic!("coordinator share fails");
                     }
                 },
+                &Injector::unarmed(),
                 false,
             );
         }));
@@ -406,6 +437,7 @@ mod tests {
             &|_| {
                 hits.fetch_add(1, Ordering::Relaxed);
             },
+            &Injector::unarmed(),
             false,
         );
         assert_eq!(hits.load(Ordering::Relaxed), 2);
@@ -413,7 +445,7 @@ mod tests {
 
     #[test]
     fn worker_panic_is_reported() {
-        let pool = WorkerPool::new(2, Injector::unarmed());
+        let pool = WorkerPool::new(2);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             pool.run(
                 &|w| {
@@ -421,6 +453,7 @@ mod tests {
                         panic!("worker share fails");
                     }
                 },
+                &Injector::unarmed(),
                 false,
             );
         }));
@@ -434,13 +467,14 @@ mod tests {
                 .with_rate(InjectionSite::WorkerStall, 1.0)
                 .with_stall(Duration::from_millis(10)),
         );
-        let pool = WorkerPool::new(2, Injector::armed(Arc::clone(&plan)));
+        let pool = WorkerPool::new(2);
         let hits = AtomicUsize::new(0);
         let t0 = Instant::now();
         pool.run(
             &|_| {
                 hits.fetch_add(1, Ordering::Relaxed);
             },
+            &Injector::armed(Arc::clone(&plan)),
             false,
         );
         assert_eq!(hits.load(Ordering::Relaxed), 2, "both shares still ran");

@@ -46,6 +46,27 @@ impl TimingAnnotation {
         TimingAnnotation { delays, loads_ff }
     }
 
+    /// A deterministic 64-bit hash of the annotation's content: every
+    /// pin's rise/fall delay and every node's load, by IEEE-754 bit
+    /// pattern, with shape framing. Used as a corner discriminator in
+    /// compiled-artifact cache keys — two annotations for the same
+    /// netlist at different corners hash differently.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = avfs_netlist::hash::Fnv1a::new();
+        h.write_usize(self.delays.len());
+        for pins in &self.delays {
+            h.write_usize(pins.len());
+            for d in pins {
+                h.write_f64(d.rise);
+                h.write_f64(d.fall);
+            }
+        }
+        for &load in &self.loads_ff {
+            h.write_f64(load);
+        }
+        h.finish()
+    }
+
     /// Number of annotated nodes.
     pub fn len(&self) -> usize {
         self.delays.len()

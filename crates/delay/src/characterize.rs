@@ -155,6 +155,47 @@ impl CharacterizedLibrary {
         &self.reports
     }
 
+    /// A deterministic 64-bit hash of everything a simulation consumes
+    /// from this characterization: the parameter-space bounds, the
+    /// polynomial order, the fitted coefficient table
+    /// ([`CoefficientTable::content_hash`](crate::CoefficientTable::content_hash))
+    /// and the nominal-delay curves. Fit reports and the LUT baseline
+    /// (characterization-time diagnostics) are excluded. Used as the
+    /// library half of compiled-artifact cache keys.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = avfs_netlist::hash::Fnv1a::new();
+        h.write_f64(self.space.nominal_vdd());
+        let (v_lo, v_hi) = self.space.voltage_range();
+        h.write_f64(v_lo);
+        h.write_f64(v_hi);
+        let (c_lo, c_hi) = self.space.load_range();
+        h.write_f64(c_lo);
+        h.write_f64(c_hi);
+        h.write_usize(self.order);
+        h.write_u64(self.model.table().content_hash());
+        h.write_usize(self.nominal.len());
+        for entry in &self.nominal {
+            match entry {
+                None => h.write_usize(0),
+                Some(pins) => {
+                    h.write_usize(1 + pins.len());
+                    for pair in pins {
+                        for curve in pair {
+                            h.write_usize(curve.loads_ff.len());
+                            for &c in &curve.loads_ff {
+                                h.write_f64(c);
+                            }
+                            for &d in &curve.delays_ps {
+                                h.write_f64(d);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
+
     /// The nominal curve for (cell, pin, polarity), if characterized.
     pub fn nominal_curve(
         &self,

@@ -68,6 +68,33 @@ impl CoefficientTable {
         self.arena.len()
     }
 
+    /// A deterministic 64-bit hash of the table's fitted content: order,
+    /// per-cell offsets and pin counts, and every coefficient by
+    /// IEEE-754 bit pattern. Any refit — a different order, a retuned
+    /// coefficient, an added cell — changes the hash. Used by
+    /// [`CharacterizedLibrary::content_hash`](crate::CharacterizedLibrary::content_hash)
+    /// as the fitted half of compiled-artifact cache keys.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = avfs_netlist::hash::Fnv1a::new();
+        h.write_usize(self.order);
+        h.write_usize(self.offsets.len());
+        for offset in &self.offsets {
+            match offset {
+                None => h.write_usize(0),
+                Some(base) => {
+                    h.write_usize(1);
+                    h.write_usize(*base);
+                }
+            }
+        }
+        h.write(&self.pins);
+        h.write_usize(self.arena.len());
+        for &c in &self.arena {
+            h.write_f64(c);
+        }
+        h.finish()
+    }
+
     /// Installs the per-pin/polarity surfaces of one cell.
     ///
     /// `surfaces[p][q]` is the polynomial for input pin `p` and polarity

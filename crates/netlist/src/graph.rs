@@ -160,6 +160,45 @@ impl Netlist {
         self.by_name.get(name).copied()
     }
 
+    /// A deterministic 64-bit hash of the netlist's structural content:
+    /// design name, bound library
+    /// ([`CellLibrary::content_hash`]), and every node's name, kind
+    /// (gates by cell-type name) and fan-in, plus the input/output
+    /// declaration order. Two netlists with equal structure hash
+    /// equally regardless of how they were built; any renamed node,
+    /// re-typed gate or rewired pin changes the hash. Used as the
+    /// netlist half of compiled-artifact cache keys.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = crate::hash::Fnv1a::new();
+        h.write_str(&self.name);
+        h.write_u64(self.library.content_hash());
+        h.write_usize(self.nodes.len());
+        for node in &self.nodes {
+            h.write_str(&node.name);
+            match node.kind {
+                NodeKind::Input => h.write_usize(0),
+                NodeKind::Gate(cell) => {
+                    h.write_usize(1);
+                    h.write_str(self.library.cell(cell).name());
+                }
+                NodeKind::Output => h.write_usize(2),
+            }
+            h.write_usize(node.fanin.len());
+            for id in &node.fanin {
+                h.write_usize(id.index());
+            }
+        }
+        h.write_usize(self.inputs.len());
+        for id in &self.inputs {
+            h.write_usize(id.index());
+        }
+        h.write_usize(self.outputs.len());
+        for id in &self.outputs {
+            h.write_usize(id.index());
+        }
+        h.finish()
+    }
+
     /// The library cell of a gate node, or `None` for inputs/outputs.
     pub fn cell_of(&self, id: NodeId) -> Option<&crate::library::Cell> {
         match self.node(id).kind {

@@ -1,0 +1,115 @@
+//! Content hashing for cache keys.
+//!
+//! Compiled-artifact caches (compile-once / simulate-many) key entries by
+//! *what the compile consumed* — the netlist's structure, the library's
+//! electrical content — not by object identity. [`Fnv1a`] is the shared
+//! primitive: 64-bit FNV-1a, streamed field by field with explicit
+//! length/ordering framing so structurally different inputs cannot
+//! collide by concatenation (`"ab" + "c"` vs `"a" + "bc"`).
+//!
+//! The hash is deterministic across processes and platforms (floats hash
+//! by IEEE-754 bit pattern, integers by little-endian bytes). It is a
+//! cache key, not a cryptographic digest.
+
+/// A streaming 64-bit FNV-1a hasher.
+///
+/// ```
+/// use avfs_netlist::hash::Fnv1a;
+///
+/// let mut h = Fnv1a::new();
+/// h.write_str("NAND2_X1");
+/// h.write_f64(1.5);
+/// let a = h.finish();
+/// // Deterministic: the same fields in the same order hash identically.
+/// let mut h = Fnv1a::new();
+/// h.write_str("NAND2_X1");
+/// h.write_f64(1.5);
+/// assert_eq!(a, h.finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// Starts a hash at the FNV-1a offset basis.
+    pub fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds raw bytes into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    /// Folds a `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Folds a `usize` widened to `u64`.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Folds a float by IEEE-754 bit pattern (`-0.0` and `0.0` therefore
+    /// hash differently, and every NaN payload is distinct — exact bits
+    /// are what the simulation consumes).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Folds a string, length-framed so adjacent strings cannot blur
+    /// into each other.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write(s.as_bytes());
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Fnv1a {
+        Fnv1a::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a("") is the offset basis; FNV-1a("a") is a published
+        // test vector.
+        assert_eq!(Fnv1a::new().finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv1a::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn length_framing_separates_adjacent_strings() {
+        let mut ab_c = Fnv1a::new();
+        ab_c.write_str("ab");
+        ab_c.write_str("c");
+        let mut a_bc = Fnv1a::new();
+        a_bc.write_str("a");
+        a_bc.write_str("bc");
+        assert_ne!(ab_c.finish(), a_bc.finish());
+    }
+
+    #[test]
+    fn floats_hash_by_bits() {
+        let mut pos = Fnv1a::new();
+        pos.write_f64(0.0);
+        let mut neg = Fnv1a::new();
+        neg.write_f64(-0.0);
+        assert_ne!(pos.finish(), neg.finish());
+    }
+}

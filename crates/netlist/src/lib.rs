@@ -42,6 +42,7 @@
 pub mod bench;
 pub mod cell;
 pub mod graph;
+pub mod hash;
 pub mod levelize;
 pub mod library;
 pub mod stats;

@@ -410,6 +410,30 @@ impl CellLibrary {
         })
     }
 
+    /// A deterministic 64-bit hash of the library's electrical content:
+    /// every cell's name, pin names and capacitances, device widths,
+    /// parasitic and output-pin name, in cell order. Any parameter
+    /// change — a retuned capacitance, an added drive strength —
+    /// changes the hash. Used as the library half of compiled-artifact
+    /// cache keys.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = crate::hash::Fnv1a::new();
+        h.write_usize(self.cells.len());
+        for cell in &self.cells {
+            h.write_str(&cell.name);
+            h.write_str(&cell.output_pin);
+            h.write_f64(cell.wn);
+            h.write_f64(cell.wp);
+            h.write_f64(cell.parasitic_cap_ff);
+            h.write_usize(cell.input_pins.len());
+            for pin in &cell.input_pins {
+                h.write_str(&pin.name);
+                h.write_f64(pin.capacitance_ff);
+            }
+        }
+        h.finish()
+    }
+
     /// The cell for an id.
     ///
     /// # Panics

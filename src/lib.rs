@@ -16,7 +16,10 @@
 //! * [`sdf`] — SDF / SPEF subset parsing and netlist annotation,
 //! * [`waveform`] — glitch-accurate waveform algebra,
 //! * [`sim`] — the parallel thread-grid time simulator and baselines
-//!   (the paper's Sec. IV),
+//!   (the paper's Sec. IV), split compile-once / simulate-many:
+//!   [`CompiledNetlist`](sim::CompiledNetlist) artifacts,
+//!   [`Session`](sim::Session)s and the caching, sharding
+//!   [`BatchRunner`](sim::BatchRunner),
 //! * [`atpg`] — pattern-pair generation (transition + timing-aware),
 //! * [`circuits`] — benchmark circuits and Table-I/II profiles,
 //! * [`obs`] — phase timers, counters and histograms behind
@@ -69,6 +72,61 @@
 //! assert!(t_low > t_nom, "lower V_DD means slower logic");
 //! let profile = run.profile.as_ref().expect("profiling was on");
 //! assert!(profile.phase("engine/run").is_some());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Compile once, simulate many
+//!
+//! Repeated runs — the AVFS monitoring loop that re-simulates small
+//! input deltas over and over — should not pay netlist compilation per
+//! run. Compile the netlist into an immutable
+//! [`CompiledNetlist`](sim::CompiledNetlist) artifact and launch it
+//! through a [`BatchRunner`](sim::BatchRunner), which caches artifacts
+//! by content hash, keeps its worker pool parked between runs, and
+//! transparently shards slot grids that outgrow the waveform budget
+//! (bit-identical to the unsharded run):
+//!
+//! ```
+//! use avfs::atpg::PatternSet;
+//! use avfs::delay::characterize::{characterize_library, CharacterizationConfig};
+//! use avfs::netlist::CellLibrary;
+//! use avfs::sim::{slots, BatchRunner, CompileKey, CompiledNetlist, SimOptions};
+//! use avfs::spice::Technology;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let library = CellLibrary::nangate15_like();
+//! let netlist = Arc::new(avfs::circuits::c17(&library)?);
+//! let nand2 = library.find("NAND2_X1").expect("library cell");
+//! let chars = characterize_library(
+//!     &library,
+//!     &Technology::nm15(),
+//!     &CharacterizationConfig::fast(),
+//!     Some(&[nand2]),
+//! )?;
+//!
+//! let runner = BatchRunner::new(1, 8);
+//! let key = CompileKey::of(&netlist, &chars, "nominal");
+//! let patterns = PatternSet::lfsr(netlist.inputs().len(), 8, 42);
+//! let slot_list = slots::at_voltage(patterns.len(), 0.8);
+//! let mut first = None;
+//! for _ in 0..3 {
+//!     // Compiled exactly once; later iterations reuse the artifact.
+//!     let compiled = runner.compile(key, || {
+//!         let annotation = Arc::new(chars.annotate(&netlist)?);
+//!         CompiledNetlist::compile(
+//!             Arc::clone(&netlist),
+//!             annotation,
+//!             Arc::new(chars.model().clone()),
+//!         )
+//!     })?;
+//!     let run = runner.run(&compiled, &patterns, &slot_list, &SimOptions::default())?;
+//!     let prev = first.get_or_insert_with(|| run.slots.clone());
+//!     assert_eq!(*prev, run.slots, "launches are bit-for-bit reproducible");
+//! }
+//! assert_eq!(runner.compile_misses(), 1);
+//! assert_eq!(runner.compile_hits(), 2);
 //! # Ok(())
 //! # }
 //! ```
