@@ -34,6 +34,9 @@ cargo run --release --offline -p avfs-bench --bin lane_scaling -- --smoke
 echo "==> batch_throughput --smoke (compile-once identity-and-amortization gate)"
 cargo run --release --offline -p avfs-bench --bin batch_throughput -- --smoke
 
+echo "==> scenario_sweep --smoke (schedule identity and Monte Carlo replay gate)"
+cargo run --release --offline -p avfs-bench --bin scenario_sweep -- --smoke
+
 echo "==> checker --smoke (static-analysis gate: avfs-check/1 schema, zero deny findings)"
 cargo run --release --offline -p avfs-bench --bin checker -- --smoke
 

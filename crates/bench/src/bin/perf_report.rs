@@ -64,6 +64,7 @@ fn main() {
         activity_sweep: None,
         lane_scaling: None,
         batch_throughput: None,
+        scenario_sweep: None,
     };
 
     if args.flag("--smoke") {

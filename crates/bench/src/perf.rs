@@ -40,6 +40,49 @@ pub struct PerfReport {
     /// Compile-once / simulate-many amortization workload (absent in
     /// reports predating the batch runner).
     pub batch_throughput: Option<BatchThroughput>,
+    /// Scenario-engine Monte Carlo sweep: failure probability vs supply
+    /// voltage under droop schedules (absent in reports predating the
+    /// scenario engine).
+    pub scenario_sweep: Option<ScenarioSweep>,
+}
+
+/// Scenario-engine measurement: one droop-schedule grid per supply
+/// voltage, each scenario expanded into Monte Carlo process-variation
+/// dice, reduced into the failure-probability-vs-voltage curve against a
+/// capture deadline (DESIGN.md §15).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSweep {
+    /// Circuit the sweep ran on.
+    pub circuit: String,
+    /// Netlist nodes of that circuit.
+    pub nodes: u64,
+    /// Pattern pairs simulated per voltage point.
+    pub pairs: u64,
+    /// Monte Carlo dice per scenario.
+    pub samples: u64,
+    /// Variation seed (the sweep replays exactly from it).
+    pub seed: u64,
+    /// Relative sigma of the per-pin delay derate.
+    pub sigma: f64,
+    /// Capture deadline failures were counted against, ps.
+    pub capture_deadline_ps: f64,
+    /// Wall-clock of the whole sweep launch, milliseconds.
+    pub elapsed_ms: f64,
+    /// One curve point per nominal supply voltage, ascending.
+    pub points: Vec<ScenarioPoint>,
+}
+
+/// One point of a [`ScenarioSweep`] failure-probability curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioPoint {
+    /// Nominal (segment-0) supply voltage of the droop schedule, V.
+    pub voltage: f64,
+    /// Completed Monte Carlo samples at this voltage.
+    pub samples: u64,
+    /// Samples whose latest output transition missed the deadline.
+    pub failures: u64,
+    /// `failures / samples`.
+    pub p_fail: f64,
 }
 
 /// Compile-once / simulate-many measurement: the same N-run workload
@@ -357,6 +400,40 @@ impl PerfReport {
                 ]),
             ));
         }
+        if let Some(sw) = &self.scenario_sweep {
+            fields.push((
+                "scenario_sweep".into(),
+                Json::Obj(vec![
+                    ("circuit".into(), Json::Str(sw.circuit.clone())),
+                    ("nodes".into(), Json::Num(sw.nodes as f64)),
+                    ("pairs".into(), Json::Num(sw.pairs as f64)),
+                    ("samples".into(), Json::Num(sw.samples as f64)),
+                    ("seed".into(), Json::Num(sw.seed as f64)),
+                    ("sigma".into(), Json::Num(sw.sigma)),
+                    (
+                        "capture_deadline_ps".into(),
+                        Json::Num(sw.capture_deadline_ps),
+                    ),
+                    ("elapsed_ms".into(), Json::Num(sw.elapsed_ms)),
+                    (
+                        "points".into(),
+                        Json::Arr(
+                            sw.points
+                                .iter()
+                                .map(|p| {
+                                    Json::Obj(vec![
+                                        ("voltage".into(), Json::Num(p.voltage)),
+                                        ("samples".into(), Json::Num(p.samples as f64)),
+                                        ("failures".into(), Json::Num(p.failures as f64)),
+                                        ("p_fail".into(), Json::Num(p.p_fail)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
         if let Some(sweep) = &self.activity_sweep {
             fields.push((
                 "activity_sweep".into(),
@@ -542,6 +619,35 @@ impl PerfReport {
                 })
             }
         };
+        let scenario_sweep = match value.get("scenario_sweep") {
+            None | Some(Json::Null) => None,
+            Some(sw) => {
+                let mut points = Vec::new();
+                for p in sw
+                    .get("points")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| fail("missing scenario_sweep points array"))?
+                {
+                    points.push(ScenarioPoint {
+                        voltage: req_f64(p, "voltage")?,
+                        samples: req_u64(p, "samples")?,
+                        failures: req_u64(p, "failures")?,
+                        p_fail: req_f64(p, "p_fail")?,
+                    });
+                }
+                Some(ScenarioSweep {
+                    circuit: req_str(sw, "circuit")?,
+                    nodes: req_u64(sw, "nodes")?,
+                    pairs: req_u64(sw, "pairs")?,
+                    samples: req_u64(sw, "samples")?,
+                    seed: req_u64(sw, "seed")?,
+                    sigma: req_f64(sw, "sigma")?,
+                    capture_deadline_ps: req_f64(sw, "capture_deadline_ps")?,
+                    elapsed_ms: req_f64(sw, "elapsed_ms")?,
+                    points,
+                })
+            }
+        };
         let activity_sweep = match value.get("activity_sweep") {
             None | Some(Json::Null) => None,
             Some(sweep) => {
@@ -580,6 +686,7 @@ impl PerfReport {
             activity_sweep,
             lane_scaling,
             batch_throughput,
+            scenario_sweep,
         })
     }
 
@@ -689,6 +796,30 @@ mod tests {
                         shards: 3,
                         elapsed_ms: 1.0,
                         identical: true,
+                    },
+                ],
+            }),
+            scenario_sweep: Some(ScenarioSweep {
+                circuit: "c17".into(),
+                nodes: 17,
+                pairs: 8,
+                samples: 16,
+                seed: 7,
+                sigma: 0.05,
+                capture_deadline_ps: 42.5,
+                elapsed_ms: 1.2,
+                points: vec![
+                    ScenarioPoint {
+                        voltage: 0.6,
+                        samples: 128,
+                        failures: 96,
+                        p_fail: 0.75,
+                    },
+                    ScenarioPoint {
+                        voltage: 0.9,
+                        samples: 128,
+                        failures: 0,
+                        p_fail: 0.0,
                     },
                 ],
             }),
@@ -808,6 +939,27 @@ mod tests {
         }
         let err = PerfReport::validate(&v.to_string_pretty()).unwrap_err();
         assert!(err.contains("batch_throughput shard_points"), "{err}");
+    }
+
+    #[test]
+    fn scenario_sweep_is_optional() {
+        // Reports predating the scenario engine have no scenario_sweep
+        // section and must keep validating.
+        let mut report = sample();
+        report.scenario_sweep = None;
+        let text = report.to_json().to_string_pretty();
+        let back = PerfReport::validate(&text).expect("valid without scenario_sweep");
+        assert_eq!(back, report);
+        // A corrupt section is rejected with a pointed message.
+        let mut v = sample().to_json();
+        if let Json::Obj(fields) = &mut v {
+            if let Some((_, Json::Obj(s))) = fields.iter_mut().find(|(k, _)| k == "scenario_sweep")
+            {
+                s.retain(|(k, _)| k != "points");
+            }
+        }
+        let err = PerfReport::validate(&v.to_string_pretty()).unwrap_err();
+        assert!(err.contains("scenario_sweep points"), "{err}");
     }
 
     #[test]

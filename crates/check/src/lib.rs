@@ -13,7 +13,9 @@
 //! * [`netlist`] — **tier 1**: structural lints over
 //!   [`avfs_netlist::Netlist`] (undriven/unreachable gates, dangling
 //!   nets, arity mismatches, graph-consistency, levelization, the
-//!   combinational-loop witness),
+//!   combinational-loop witness) and [`schedule`] lints over the
+//!   scenario engine's piecewise operating-point schedules
+//!   (empty/unanchored/unsorted/non-finite timelines),
 //! * [`model`] — **tier 2**: delay-model lints over fitted
 //!   [`PolynomialModel`](avfs_delay::PolynomialModel)s (non-finite
 //!   coefficients, non-positive scaling factors `1 + f(P)`,
@@ -63,6 +65,7 @@ pub mod netlist;
 pub mod protocols;
 pub mod report;
 pub mod safety;
+pub mod schedule;
 
 pub use interleave::{explore, Explored, InterleaveError, StepResult, ThreadModel};
 pub use report::{Report, Subject, CHECK_SCHEMA};
@@ -239,6 +242,14 @@ pub const RULES: &[RuleSpec] = &[
         severity: Severity::Info,
         tier: 1,
         summary: "the same net drives more than one input pin of a gate",
+    },
+    RuleSpec {
+        id: "AVC-N010",
+        name: "malformed-schedule",
+        severity: Severity::Deny,
+        tier: 1,
+        summary:
+            "a piecewise operating-point schedule is empty, unanchored, unsorted, or non-finite",
     },
     // ── Tier 2: delay models ───────────────────────────────────────────
     RuleSpec {

@@ -1,0 +1,120 @@
+//! Tier-1 lint for piecewise operating-point schedules (AVC-N010).
+//!
+//! The scenario engine drives each slot with a *schedule* of
+//! `(t_start, voltage)` segments (DESIGN.md §15). A malformed schedule —
+//! empty, not anchored at `t = 0`, non-finite, or with non-increasing
+//! segment starts — has no sound simulation semantics: segment lookup is
+//! a `partition_point` over the boundary list, which requires a strictly
+//! sorted, finite timeline covering the launch instant. This lint is the
+//! shared gate: `avfs-core` rejects any Deny finding before a single
+//! kernel evaluation, and the standalone checker reports the same rule
+//! for offline schedule corpora.
+
+use crate::Finding;
+
+/// Lints one schedule given as `(t_start_ps, voltage)` pairs in declared
+/// order. Every finding is `AVC-N010` (Deny). An empty result means the
+/// schedule is well-formed: non-empty, first segment at `t = 0`, strictly
+/// increasing finite start times, and finite positive voltages.
+pub fn lint_schedule(location: &str, segments: &[(f64, f64)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if segments.is_empty() {
+        findings.push(Finding::new(
+            "AVC-N010",
+            location,
+            "schedule has no segments",
+        ));
+        return findings;
+    }
+    if segments[0].0 != 0.0 {
+        findings.push(Finding::new(
+            "AVC-N010",
+            location,
+            format!(
+                "first segment must start at t = 0 ps (starts at {} ps)",
+                segments[0].0
+            ),
+        ));
+    }
+    for (i, &(t_start, voltage)) in segments.iter().enumerate() {
+        if !t_start.is_finite() {
+            findings.push(Finding::new(
+                "AVC-N010",
+                location,
+                format!("segment {i} has non-finite start time {t_start}"),
+            ));
+        }
+        if !voltage.is_finite() || voltage <= 0.0 {
+            findings.push(Finding::new(
+                "AVC-N010",
+                location,
+                format!("segment {i} requests invalid supply voltage {voltage} V"),
+            ));
+        }
+        if i > 0 {
+            let prev = segments[i - 1].0;
+            // `<=` misses NaN starts, but those already raised the
+            // non-finite finding above.
+            if t_start <= prev {
+                findings.push(Finding::new(
+                    "AVC-N010",
+                    location,
+                    format!(
+                        "segment {i} starts at {t_start} ps, not after segment {} ({prev} ps)",
+                        i - 1
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+
+    #[test]
+    fn well_formed_schedules_pass() {
+        assert!(lint_schedule("s", &[(0.0, 0.8)]).is_empty());
+        assert!(lint_schedule("s", &[(0.0, 0.8), (50.0, 0.7), (120.0, 0.85)]).is_empty());
+    }
+
+    #[test]
+    fn empty_schedule_denied() {
+        let f = lint_schedule("scenario 0", &[]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "AVC-N010");
+        assert_eq!(f[0].severity, Severity::Deny);
+        assert_eq!(f[0].location, "scenario 0");
+    }
+
+    #[test]
+    fn unanchored_start_denied() {
+        let f = lint_schedule("s", &[(5.0, 0.8)]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("t = 0"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn unsorted_and_duplicate_starts_denied() {
+        assert_eq!(
+            lint_schedule("s", &[(0.0, 0.8), (50.0, 0.7), (40.0, 0.9)]).len(),
+            1
+        );
+        // Equal start times are also non-increasing.
+        assert_eq!(
+            lint_schedule("s", &[(0.0, 0.8), (50.0, 0.7), (50.0, 0.9)]).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn non_finite_fields_denied() {
+        assert!(!lint_schedule("s", &[(0.0, 0.8), (f64::NAN, 0.7)]).is_empty());
+        assert!(!lint_schedule("s", &[(0.0, f64::INFINITY)]).is_empty());
+        assert!(!lint_schedule("s", &[(0.0, 0.8), (10.0, -0.1)]).is_empty());
+        assert!(!lint_schedule("s", &[(0.0, 0.0)]).is_empty());
+    }
+}

@@ -141,6 +141,35 @@ impl TimeSimulator {
             .run(patterns, &cross(patterns.len(), voltages), options)
     }
 
+    /// Simulates time-domain AVFS scenarios: each slot replays its
+    /// pattern under a piecewise operating-point [`Schedule`]
+    /// (droop transients, DVFS governor steps), optionally expanded into
+    /// [`MonteCarlo`] process-variation dice, and the returned run
+    /// carries a failure-probability-vs-voltage
+    /// [`ScenarioSummary`](crate::scenario::ScenarioSummary) against
+    /// `capture_deadline_ps`.
+    ///
+    /// A constant (single-segment) schedule is bit-identical to the
+    /// corresponding static run — see [`crate::scenario`].
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledNetlist::launch_scenarios`](crate::CompiledNetlist::launch_scenarios).
+    ///
+    /// [`Schedule`]: crate::scenario::Schedule
+    /// [`MonteCarlo`]: crate::scenario::MonteCarlo
+    pub fn run_scenarios(
+        &self,
+        patterns: &PatternSet,
+        scenarios: &[crate::scenario::ScenarioSpec],
+        mc: Option<&crate::scenario::MonteCarlo>,
+        capture_deadline_ps: Option<f64>,
+        options: &SimOptions,
+    ) -> Result<SimRun, SimError> {
+        self.engine
+            .run_scenarios(patterns, scenarios, mc, capture_deadline_ps, options)
+    }
+
     /// Builds the serial event-driven baseline over the same netlist and
     /// annotation.
     ///

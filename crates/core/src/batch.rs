@@ -38,7 +38,7 @@
 //! merged).
 
 use crate::compile::CompiledNetlist;
-use crate::engine::{Exec, SimOptions};
+use crate::engine::{Exec, SimOptions, SlotWork};
 use crate::phases;
 use crate::pool::WorkerPool;
 use crate::results::{RunDiagnostics, SimRun};
@@ -357,7 +357,57 @@ impl BatchRunner {
         // run with validation pre-paid.
         let (work, slot_points) = compiled.prepare_uniform(patterns, slots)?;
         let validation = compiled.validate_launch(options.strict_validation, &slot_points)?;
+        self.run_prepared(compiled, patterns, work, options, validation)
+    }
 
+    /// Simulates piecewise-scheduled scenarios (optionally Monte Carlo
+    /// sampled) on the parked pool, sharding like [`BatchRunner::run`].
+    /// The scenario reduction is computed over the whole stitched grid,
+    /// so the returned [`SimRun::scenario`] summary is bit-identical to
+    /// an unsharded [`CompiledNetlist::launch_scenarios`] of the same
+    /// scenarios — see there for semantics and errors.
+    pub fn run_scenarios(
+        &self,
+        compiled: &Arc<CompiledNetlist>,
+        patterns: &PatternSet,
+        scenarios: &[crate::scenario::ScenarioSpec],
+        mc: Option<&crate::scenario::MonteCarlo>,
+        capture_deadline_ps: Option<f64>,
+        options: &SimOptions,
+    ) -> Result<SimRun, SimError> {
+        if options.threads != 0 && options.threads != self.threads {
+            return Err(SimError::ThreadMismatch {
+                pool: self.threads,
+                requested: options.threads,
+            });
+        }
+        let options = SimOptions {
+            threads: self.threads,
+            ..options.clone()
+        };
+        let (work, slot_points) = compiled.prepare_scenarios(patterns, scenarios, mc)?;
+        let validation = compiled.validate_launch(options.strict_validation, &slot_points)?;
+        let mut run = self.run_prepared(compiled, patterns, work, options, validation)?;
+        run.scenario = Some(crate::scenario::summarize(
+            &run.slots,
+            mc,
+            capture_deadline_ps,
+        ));
+        Ok(run)
+    }
+
+    /// The shared post-preparation run path: queue admission, shard
+    /// split, stitched execution. `options` must already be pinned to
+    /// the pool's thread count and `validation` pre-rendered over the
+    /// whole grid.
+    fn run_prepared(
+        &self,
+        compiled: &Arc<CompiledNetlist>,
+        patterns: &PatternSet,
+        work: Vec<SlotWork>,
+        options: SimOptions,
+        validation: Vec<String>,
+    ) -> Result<SimRun, SimError> {
         let depth = self.waiting.fetch_add(1, Ordering::Relaxed);
         let _guard = self.run_lock.lock().expect("run lock");
         self.waiting.fetch_sub(1, Ordering::Relaxed);
@@ -452,6 +502,7 @@ impl BatchRunner {
             // Per-shard registries are not merged; sharded runs are
             // throughput runs, profile one shard-sized grid instead.
             profile: None,
+            scenario: None,
         })
     }
 }
@@ -580,6 +631,75 @@ mod tests {
                         assert_eq!(run.diagnostics, reference.diagnostics, "{label}");
                         assert_eq!(run.node_evaluations, reference.node_evaluations, "{label}");
                     }
+                }
+            }
+        }
+    }
+
+    /// The scenario-engine extension of the shard matrix: scheduled
+    /// (droop) and Monte Carlo sampled grids stay bit-identical to the
+    /// unsharded single-threaded [`CompiledNetlist::launch_scenarios`]
+    /// across threads × shard sizes × lanes, summary included — the
+    /// scenario reduction is computed over the stitched grid, so shard
+    /// boundaries never show in the failure-probability curve.
+    #[test]
+    fn sharded_scenarios_match_unsharded_matrix() {
+        use crate::scenario::{cross_schedules, MonteCarlo, Schedule};
+        let compiled = compiled_adder();
+        let patterns = PatternSet::lfsr(compiled.netlist().inputs().len(), 6, 11);
+        let scenarios = cross_schedules(
+            patterns.len(),
+            &[
+                Schedule::droop(0.8, 0.1, 20.0, 70.0),
+                Schedule::constant(0.7),
+            ],
+        );
+        let mc = MonteCarlo {
+            samples: 2,
+            variation: avfs_delay::VariationConfig {
+                sigma: 0.06,
+                max_deviation: 0.2,
+                seed: 0xA11CE,
+            },
+        };
+        let deadline = Some(120.0);
+        let reference = compiled
+            .launch_scenarios(
+                &patterns,
+                &scenarios,
+                Some(&mc),
+                deadline,
+                &SimOptions {
+                    threads: 1,
+                    ..SimOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(reference.slots.len(), scenarios.len() * mc.samples);
+        assert!(reference.scenario.is_some());
+        for threads in [1usize, 4] {
+            let runner = BatchRunner::new(threads, 4);
+            for shard_slots in [reference.slots.len(), 5, 3] {
+                for lanes in [1usize, 8] {
+                    let run = runner
+                        .run_scenarios(
+                            &compiled,
+                            &patterns,
+                            &scenarios,
+                            Some(&mc),
+                            deadline,
+                            &SimOptions {
+                                shard_slots,
+                                lanes,
+                                ..SimOptions::default()
+                            },
+                        )
+                        .unwrap();
+                    let label = format!("threads={threads} shard={shard_slots} lanes={lanes}");
+                    assert_eq!(run.slots, reference.slots, "{label}");
+                    assert_eq!(run.diagnostics, reference.diagnostics, "{label}");
+                    assert_eq!(run.node_evaluations, reference.node_evaluations, "{label}");
+                    assert_eq!(run.scenario, reference.scenario, "{label}");
                 }
             }
         }

@@ -419,6 +419,22 @@ impl Engine {
         self.compiled
             .launch_domains(patterns, domains, specs, options)
     }
+
+    /// Simulates piecewise-scheduled scenarios (optionally Monte Carlo
+    /// sampled) — the one-shot shim over
+    /// [`CompiledNetlist::launch_scenarios`]; see there for semantics
+    /// and errors.
+    pub fn run_scenarios(
+        &self,
+        patterns: &PatternSet,
+        scenarios: &[crate::scenario::ScenarioSpec],
+        mc: Option<&crate::scenario::MonteCarlo>,
+        capture_deadline_ps: Option<f64>,
+        options: &SimOptions,
+    ) -> Result<SimRun, SimError> {
+        self.compiled
+            .launch_scenarios(patterns, scenarios, mc, capture_deadline_ps, options)
+    }
 }
 
 /// How one launch executes beyond its [`SimOptions`]: which worker pool
@@ -539,6 +555,7 @@ impl CompiledNetlist {
                         .v,
                 ),
                 voltage: s.voltage,
+                variation: None,
             })
             .collect();
         Ok((work, slot_points))
@@ -677,6 +694,7 @@ impl CompiledNetlist {
                     pattern: spec.pattern,
                     assign: VoltageAssign::PerNode(Arc::new(per_node)),
                     voltage: spec.voltages[0],
+                    variation: None,
                 })
             })
             .collect::<Result<_, _>>()?;
@@ -719,6 +737,24 @@ impl CompiledNetlist {
         let run_span = metrics.map(|m| m.span(phases::ENGINE_RUN));
         if let Some(m) = metrics {
             m.record(phases::ENGINE_LANES_WIDTH, lanes as u64);
+            // Scenario instruments are recorded only when the work list
+            // actually carries a multi-segment schedule or a Monte Carlo
+            // die: a constant-schedule scenario launch lowers to static
+            // slots and stays bit-identical to the static run — profile
+            // included (DESIGN.md §15).
+            if work
+                .iter()
+                .any(|w| w.assign.segments() > 1 || w.variation.is_some())
+            {
+                m.add(
+                    phases::ENGINE_SCENARIO_SEGMENTS,
+                    work.iter().map(|w| w.assign.segments() as u64).sum(),
+                );
+                m.add(
+                    phases::ENGINE_MC_SAMPLES,
+                    work.iter().filter(|w| w.variation.is_some()).count() as u64,
+                );
+            }
         }
         let start = Instant::now();
         // Fault injection: unarmed (the default) reduces every probe to
@@ -928,6 +964,7 @@ impl CompiledNetlist {
             node_evaluations: (nodes as u64) * slot_sims,
             diagnostics: diag,
             profile: metrics.map(Metrics::snapshot),
+            scenario: None,
         })
     }
 
@@ -1003,58 +1040,85 @@ impl CompiledNetlist {
         // calculations of threads from parallel instances of a gate
         // utilize the same coefficients and delay function calls"), so the
         // per-gate initialization phase runs once per (level, voltage)
-        // instead of once per (slot, gate).
-        let mut group_assigns: Vec<&VoltageAssign> = Vec::new();
+        // instead of once per (slot, gate). A Monte Carlo die is part of
+        // the key: sampled slots only share a group with slots of the
+        // same die, since variation derates the initialized delays.
+        let mut group_keys: Vec<(&VoltageAssign, Option<VariationSample>)> = Vec::new();
         let group_of_slot: Vec<usize> = chunk
             .iter()
-            .map(
-                |&slot| match group_assigns.iter().position(|g| **g == work[slot].assign) {
+            .map(|&slot| {
+                let key = (&work[slot].assign, work[slot].variation);
+                match group_keys
+                    .iter()
+                    .position(|(a, v)| *a == key.0 && *v == key.1)
+                {
                     Some(g) => g,
                     None => {
-                        group_assigns.push(&work[slot].assign);
-                        group_assigns.len() - 1
+                        group_keys.push(key);
+                        group_keys.len() - 1
                     }
-                },
-            )
+                }
+            })
             .collect();
+        let group_assigns: Vec<&VoltageAssign> = group_keys.iter().map(|(a, _)| *a).collect();
+        let group_variation: Vec<Option<VariationSample>> =
+            group_keys.iter().map(|(_, v)| *v).collect();
 
         // Per-voltage delay tables cached on the artifact: when every
-        // group in the batch is a uniform assignment and no fault plan is
-        // armed (factor corruption is keyed per run and round), the
-        // per-level kernel initialization below is a pure function of
-        // (artifact, supply) and is served from
-        // [`CompiledNetlist::cached_delay_table`] instead of being
-        // re-evaluated. All-or-nothing per batch: any island assignment,
-        // armed injector or failed table build takes the online path for
-        // the whole batch, which reproduces uncached error/panic
-        // semantics exactly.
-        let group_tables: Option<Vec<Arc<DelayTable>>> = if injector.is_armed() {
-            None
-        } else {
-            // Table fetches (and first-use builds) are delay-kernel work;
-            // attribute them to the same phase the online path uses.
-            let table_span = metrics.map(|m| m.span(phases::ENGINE_DELAY_KERNEL));
-            let tables: Option<Vec<Arc<DelayTable>>> = group_assigns
-                .iter()
-                .map(|a| match a {
-                    VoltageAssign::Uniform(v) => self.cached_delay_table(*v, metrics),
-                    VoltageAssign::PerNode(_) => None,
-                })
-                .collect();
-            if let Some(span) = table_span {
-                span.finish();
-            }
-            if tables.is_some() {
-                if let Some(m) = metrics {
-                    m.add(phases::ENGINE_DELAY_TABLE_HITS, 1);
+        // group in the batch is a uniform or scheduled assignment with no
+        // Monte Carlo die (variation derates are per-sample, never
+        // cacheable) and no fault plan is armed (factor corruption is
+        // keyed per run and round), the per-level kernel initialization
+        // below is a pure function of (artifact, supply) and is served
+        // from [`CompiledNetlist::cached_delay_table`] instead of being
+        // re-evaluated — a scheduled group fetches one table per segment,
+        // so a droop schedule over an already-swept voltage grid pays no
+        // kernel work at all. All-or-nothing per batch: any island
+        // assignment, sampled die, armed injector or failed table build
+        // takes the online path for the whole batch, which reproduces
+        // uncached error/panic semantics exactly.
+        let group_tables: Option<Vec<Vec<Arc<DelayTable>>>> =
+            if injector.is_armed() || group_variation.iter().any(Option::is_some) {
+                None
+            } else {
+                // Table fetches (and first-use builds) are delay-kernel
+                // work; attribute them to the same phase the online path
+                // uses.
+                let table_span = metrics.map(|m| m.span(phases::ENGINE_DELAY_KERNEL));
+                let tables: Option<Vec<Vec<Arc<DelayTable>>>> = group_assigns
+                    .iter()
+                    .map(|a| match a {
+                        VoltageAssign::Uniform(v) => {
+                            self.cached_delay_table(*v, metrics).map(|t| vec![t])
+                        }
+                        VoltageAssign::Scheduled(s) => s
+                            .v_norms
+                            .iter()
+                            .map(|&v| self.cached_delay_table(v, metrics))
+                            .collect(),
+                        VoltageAssign::PerNode(_) => None,
+                    })
+                    .collect();
+                if let Some(span) = table_span {
+                    span.finish();
                 }
-            }
-            tables
-        };
+                if tables.is_some() {
+                    if let Some(m) = metrics {
+                        m.add(phases::ENGINE_DELAY_TABLE_HITS, 1);
+                    }
+                }
+                tables
+            };
 
         // Levels 1…L: the vertical dimension with a barrier per level.
         let mut fallbacks = 0u64;
-        let mut level_delays: Vec<Vec<PinDelays>> = vec![Vec::new(); group_assigns.len()];
+        let mut variation_draws = 0u64;
+        // One buffer per (voltage group, schedule segment); static groups
+        // have exactly one segment.
+        let mut level_delays: Vec<Vec<Vec<PinDelays>>> = group_assigns
+            .iter()
+            .map(|a| vec![Vec::new(); a.segments()])
+            .collect();
         for level in 1..self.levels.depth() {
             if dead.iter().all(Option::is_some) {
                 break;
@@ -1077,8 +1141,10 @@ impl CompiledNetlist {
             let kernel_span = metrics.map(|m| m.span(phases::ENGINE_DELAY_KERNEL));
             let mut kernel_evals = 0u64;
             let mut lane_batches = 0u64;
-            for buf in level_delays.iter_mut() {
-                buf.clear();
+            for bufs in level_delays.iter_mut() {
+                for buf in bufs.iter_mut() {
+                    buf.clear();
+                }
             }
             // Voltage groups still live this level (a group is live while
             // any of its slots is).
@@ -1092,11 +1158,14 @@ impl CompiledNetlist {
                 .collect();
             if let Some(tables) = &group_tables {
                 // Cached per-voltage tables: skip the kernel and replay
-                // each table's fallback tally for the live groups, so
-                // cached and online launches report identical
+                // each table's fallback tally for the live groups (every
+                // segment of a scheduled group), so cached and online
+                // launches report identical
                 // [`RunDiagnostics::kernel_fallbacks`].
                 for &g in &live_vgroups {
-                    fallbacks += tables[g].fallbacks_per_level[level];
+                    for t in &tables[g] {
+                        fallbacks += t.fallbacks_per_level[level];
+                    }
                 }
             } else {
                 // Injected non-finite kernel output, keyed by the global slot
@@ -1117,29 +1186,42 @@ impl CompiledNetlist {
                     })
                     .collect();
                 // Lane-batched kernel initialization: for each (gate, pin,
-                // polarity) the factors of ALL live voltage groups are
-                // evaluated in one `factor_lanes` call — the hand-unrolled
-                // Horner path of `avfs_delay`. The batched arithmetic performs
-                // the identical per-lane operation sequence as scalar
+                // polarity) the factors of ALL live voltage groups — one
+                // lane per (group, schedule segment) — are evaluated in
+                // one `factor_lanes` call: the hand-unrolled Horner path
+                // of `avfs_delay`. The batched arithmetic performs the
+                // identical per-lane operation sequence as scalar
                 // `factor`, so this path and the per-group scalar fallback
                 // below produce bit-identical delays; the fallback exists only
                 // to preserve per-group panic attribution when a model panics
-                // mid-batch.
+                // mid-batch. Monte Carlo derates are hashed per
+                // (die, node, pin, polarity) — segment- and
+                // schedule-independent — and multiply the scaled delay
+                // after the fallback guard (a nominal die multiplies by
+                // exactly 1.0).
+                let lane_count: usize = live_vgroups
+                    .iter()
+                    .map(|&g| group_assigns[g].segments())
+                    .sum();
                 let batched = (!live_vgroups.is_empty()).then(|| {
-                    catch_unwind(AssertUnwindSafe(|| -> Result<u64, SimError> {
+                    catch_unwind(AssertUnwindSafe(|| -> Result<(u64, u64), SimError> {
                         let mut fb = 0u64;
-                        let mut points: Vec<NormalizedPoint> =
-                            Vec::with_capacity(live_vgroups.len());
-                        let mut f_rise = vec![0.0f64; live_vgroups.len()];
-                        let mut f_fall = vec![0.0f64; live_vgroups.len()];
+                        let mut draws = 0u64;
+                        let mut points: Vec<NormalizedPoint> = Vec::with_capacity(lane_count);
+                        let mut f_rise = vec![0.0f64; lane_count];
+                        let mut f_fall = vec![0.0f64; lane_count];
                         for &node_id in level_nodes {
                             if let NodeKind::Gate(cell_id) = self.netlist.node(node_id).kind() {
                                 let nominal = self.annotation.node_delays(node_id);
                                 points.clear();
-                                points.extend(live_vgroups.iter().map(|&g| NormalizedPoint {
-                                    v: group_assigns[g].v_norm_for(node_id.index()),
-                                    c: self.c_norm[node_id.index()],
-                                }));
+                                for &g in &live_vgroups {
+                                    for seg in 0..group_assigns[g].segments() {
+                                        points.push(NormalizedPoint {
+                                            v: group_assigns[g].v_norm_at(node_id.index(), seg),
+                                            c: self.c_norm[node_id.index()],
+                                        });
+                                    }
+                                }
                                 for (pin, d) in nominal.iter().enumerate() {
                                     self.model.factor_lanes(
                                         cell_id,
@@ -1156,31 +1238,75 @@ impl CompiledNetlist {
                                         &mut f_fall,
                                     )?;
                                     lane_batches += 2;
+                                    let mut lane = 0;
                                     for (k, &g) in live_vgroups.iter().enumerate() {
-                                        let (mut fr, mut ff) = (f_rise[k], f_fall[k]);
-                                        if let Some(key) = nf_keys[k] {
-                                            fr = injector.corrupt_factor(fr, key, u64::from(round));
-                                            ff = injector.corrupt_factor(ff, key, u64::from(round));
+                                        let (dr, df) = match &group_variation[g] {
+                                            Some(vs) => {
+                                                draws += 2;
+                                                (
+                                                    avfs_delay::variation::derate(
+                                                        &vs.config,
+                                                        vs.sample,
+                                                        node_id,
+                                                        pin,
+                                                        avfs_netlist::library::Polarity::Rise,
+                                                    ),
+                                                    avfs_delay::variation::derate(
+                                                        &vs.config,
+                                                        vs.sample,
+                                                        node_id,
+                                                        pin,
+                                                        avfs_netlist::library::Polarity::Fall,
+                                                    ),
+                                                )
+                                            }
+                                            None => (1.0, 1.0),
+                                        };
+                                        let segs = group_assigns[g].segments();
+                                        for seg_buf in level_delays[g].iter_mut().take(segs) {
+                                            let (mut fr, mut ff) = (f_rise[lane], f_fall[lane]);
+                                            lane += 1;
+                                            if let Some(key) = nf_keys[k] {
+                                                fr = injector.corrupt_factor(
+                                                    fr,
+                                                    key,
+                                                    u64::from(round),
+                                                );
+                                                ff = injector.corrupt_factor(
+                                                    ff,
+                                                    key,
+                                                    u64::from(round),
+                                                );
+                                            }
+                                            seg_buf.push(PinDelays {
+                                                rise: derate_delay(
+                                                    scale_or_fallback(d.rise, fr, &mut fb),
+                                                    dr,
+                                                ),
+                                                fall: derate_delay(
+                                                    scale_or_fallback(d.fall, ff, &mut fb),
+                                                    df,
+                                                ),
+                                            });
                                         }
-                                        level_delays[g].push(PinDelays {
-                                            rise: scale_or_fallback(d.rise, fr, &mut fb),
-                                            fall: scale_or_fallback(d.fall, ff, &mut fb),
-                                        });
                                     }
                                 }
                             }
                         }
-                        Ok(fb)
+                        Ok((fb, draws))
                     }))
                 });
                 match batched {
                     None => {}
-                    Some(Ok(Ok(fb))) => {
+                    Some(Ok(Ok((fb, draws)))) => {
                         fallbacks += fb;
+                        variation_draws += draws;
                         // Two kernel evaluations (rise + fall) per pin per
-                        // live group.
+                        // live (group, segment) lane.
                         for &g in &live_vgroups {
-                            kernel_evals += 2 * level_delays[g].len() as u64;
+                            for buf in &level_delays[g] {
+                                kernel_evals += 2 * buf.len() as u64;
+                            }
                         }
                     }
                     Some(Ok(Err(e))) => return Err(e),
@@ -1190,73 +1316,116 @@ impl CompiledNetlist {
                         // voltage group(s), as a scalar engine would; healthy
                         // groups recompute their (bit-identical) delays.
                         lane_batches = 0;
-                        for buf in level_delays.iter_mut() {
-                            buf.clear();
+                        for bufs in level_delays.iter_mut() {
+                            for buf in bufs.iter_mut() {
+                                buf.clear();
+                            }
                         }
                         for (k, &g) in live_vgroups.iter().enumerate() {
-                            let buf = &mut level_delays[g];
+                            let bufs = &mut level_delays[g];
                             let assign = group_assigns[g];
+                            let variation = group_variation[g];
                             let nf_key = nf_keys[k];
-                            let outcome =
-                                catch_unwind(AssertUnwindSafe(|| -> Result<u64, SimError> {
+                            let outcome = catch_unwind(AssertUnwindSafe(
+                                || -> Result<(u64, u64), SimError> {
                                     let mut fb = 0u64;
+                                    let mut draws = 0u64;
                                     for &node_id in level_nodes {
                                         if let NodeKind::Gate(cell_id) =
                                             self.netlist.node(node_id).kind()
                                         {
                                             let nominal = self.annotation.node_delays(node_id);
-                                            let p = NormalizedPoint {
-                                                v: assign.v_norm_for(node_id.index()),
-                                                c: self.c_norm[node_id.index()],
-                                            };
                                             for (pin, d) in nominal.iter().enumerate() {
-                                                let mut f_rise = self.model.factor(
-                                                    cell_id,
-                                                    pin,
-                                                    avfs_netlist::library::Polarity::Rise,
-                                                    p,
-                                                )?;
-                                                let mut f_fall = self.model.factor(
-                                                    cell_id,
-                                                    pin,
-                                                    avfs_netlist::library::Polarity::Fall,
-                                                    p,
-                                                )?;
-                                                if let Some(key) = nf_key {
-                                                    f_rise = injector.corrupt_factor(
-                                                        f_rise,
-                                                        key,
-                                                        u64::from(round),
-                                                    );
-                                                    f_fall = injector.corrupt_factor(
-                                                        f_fall,
-                                                        key,
-                                                        u64::from(round),
-                                                    );
+                                                let (dr, df) = match &variation {
+                                                    Some(vs) => {
+                                                        draws += 2;
+                                                        (
+                                                            avfs_delay::variation::derate(
+                                                                &vs.config,
+                                                                vs.sample,
+                                                                node_id,
+                                                                pin,
+                                                                avfs_netlist::library::Polarity::Rise,
+                                                            ),
+                                                            avfs_delay::variation::derate(
+                                                                &vs.config,
+                                                                vs.sample,
+                                                                node_id,
+                                                                pin,
+                                                                avfs_netlist::library::Polarity::Fall,
+                                                            ),
+                                                        )
+                                                    }
+                                                    None => (1.0, 1.0),
+                                                };
+                                                let segs = assign.segments();
+                                                for (seg, seg_buf) in
+                                                    bufs.iter_mut().enumerate().take(segs)
+                                                {
+                                                    let p = NormalizedPoint {
+                                                        v: assign.v_norm_at(node_id.index(), seg),
+                                                        c: self.c_norm[node_id.index()],
+                                                    };
+                                                    let mut f_rise = self.model.factor(
+                                                        cell_id,
+                                                        pin,
+                                                        avfs_netlist::library::Polarity::Rise,
+                                                        p,
+                                                    )?;
+                                                    let mut f_fall = self.model.factor(
+                                                        cell_id,
+                                                        pin,
+                                                        avfs_netlist::library::Polarity::Fall,
+                                                        p,
+                                                    )?;
+                                                    if let Some(key) = nf_key {
+                                                        f_rise = injector.corrupt_factor(
+                                                            f_rise,
+                                                            key,
+                                                            u64::from(round),
+                                                        );
+                                                        f_fall = injector.corrupt_factor(
+                                                            f_fall,
+                                                            key,
+                                                            u64::from(round),
+                                                        );
+                                                    }
+                                                    seg_buf.push(PinDelays {
+                                                        rise: derate_delay(
+                                                            scale_or_fallback(
+                                                                d.rise, f_rise, &mut fb,
+                                                            ),
+                                                            dr,
+                                                        ),
+                                                        fall: derate_delay(
+                                                            scale_or_fallback(
+                                                                d.fall, f_fall, &mut fb,
+                                                            ),
+                                                            df,
+                                                        ),
+                                                    });
                                                 }
-                                                buf.push(PinDelays {
-                                                    rise: scale_or_fallback(
-                                                        d.rise, f_rise, &mut fb,
-                                                    ),
-                                                    fall: scale_or_fallback(
-                                                        d.fall, f_fall, &mut fb,
-                                                    ),
-                                                });
                                             }
                                         }
                                     }
-                                    Ok(fb)
-                                }));
+                                    Ok((fb, draws))
+                                },
+                            ));
                             match outcome {
-                                Ok(Ok(fb)) => {
+                                Ok(Ok((fb, draws))) => {
                                     fallbacks += fb;
+                                    variation_draws += draws;
                                     // Two kernel evaluations (rise + fall) per
-                                    // pin.
-                                    kernel_evals += 2 * buf.len() as u64;
+                                    // pin per segment.
+                                    for buf in bufs.iter() {
+                                        kernel_evals += 2 * buf.len() as u64;
+                                    }
                                 }
                                 Ok(Err(e)) => return Err(e),
                                 Err(_) => {
-                                    buf.clear();
+                                    for buf in bufs.iter_mut() {
+                                        buf.clear();
+                                    }
                                     for (si, &gg) in group_of_slot.iter().enumerate() {
                                         if gg == g && dead[si].is_none() {
                                             dead[si] = Some(Dead::Panic);
@@ -1302,17 +1471,29 @@ impl CompiledNetlist {
             // Per-(slot, gate) grid size — the unit the activity counters
             // are denominated in, independent of the lane width.
             let grid_tasks = live_count * gate_nodes.len();
-            // Per-group delay slices for this level: borrowed from the
-            // artifact's cached tables when the batch qualified, from the
-            // freshly computed buffers otherwise. Bit-identical either
-            // way (`factor_lanes` is documented and tested bit-identical
-            // to scalar `factor`).
-            let level_slices: Vec<&[PinDelays]> = match &group_tables {
-                Some(tables) => tables
+            // Per-group delay slices for this level — one slice per
+            // schedule segment plus the boundaries selecting among them:
+            // borrowed from the artifact's cached tables when the batch
+            // qualified, from the freshly computed buffers otherwise.
+            // Bit-identical either way (`factor_lanes` is documented and
+            // tested bit-identical to scalar `factor`).
+            let level_slices: Vec<GroupDelays<'_>> = match &group_tables {
+                Some(tables) => group_assigns
                     .iter()
-                    .map(|t| t.per_level[level].as_slice())
+                    .zip(tables)
+                    .map(|(a, ts)| GroupDelays {
+                        segs: ts.iter().map(|t| t.per_level[level].as_slice()).collect(),
+                        boundaries: a.boundaries(),
+                    })
                     .collect(),
-                None => level_delays.iter().map(Vec::as_slice).collect(),
+                None => group_assigns
+                    .iter()
+                    .zip(&level_delays)
+                    .map(|(a, bufs)| GroupDelays {
+                        segs: bufs.iter().map(Vec::as_slice).collect(),
+                        boundaries: a.boundaries(),
+                    })
+                    .collect(),
             };
             let ctx = LevelCtx {
                 gate_nodes,
@@ -1567,6 +1748,11 @@ impl CompiledNetlist {
             }
         }
         diag.kernel_fallbacks += fallbacks;
+        if variation_draws > 0 {
+            if let Some(m) = metrics {
+                m.add(phases::ENGINE_VARIATION_DRAWS, variation_draws);
+            }
+        }
 
         // Waveform analysis (Fig. 2, step 4) for surviving slots;
         // quarantine verdicts for the rest.
@@ -1661,20 +1847,36 @@ impl CompiledNetlist {
         let cell = self.netlist.cell_of(node_id).expect("gate has a cell");
         let npins = node.fanin().len();
         let off = ctx.gate_offsets[pos];
-        let delays = &ctx.level_delays[ctx.group_of_slot[si]][off..off + npins];
+        let gd = &ctx.level_delays[ctx.group_of_slot[si]];
         inputs.clear();
         inputs.extend(
             node.fanin()
                 .iter()
                 .map(|f| writer.view(ctx.layout.index(si, f.index()))),
         );
-        let initial = evaluate_gate_bounded_raw(
-            inputs,
-            delays,
-            |vals| cell.eval(vals),
-            scratch,
-            writer.capacity(),
-        )?;
+        let initial = if gd.boundaries.is_empty() {
+            // Static timeline: the exact single-segment evaluator every
+            // non-scheduled slot has always used.
+            let delays = &gd.segs[0][off..off + npins];
+            evaluate_gate_bounded_raw(
+                inputs,
+                delays,
+                |vals| cell.eval(vals),
+                scratch,
+                writer.capacity(),
+            )?
+        } else {
+            // Scheduled timeline: each input event is charged the delay
+            // of the segment its cause time falls in.
+            avfs_waveform::evaluate_gate_bounded_raw_segmented(
+                inputs,
+                gd.boundaries,
+                |seg, pin| gd.segs[seg][off + pin],
+                |vals| cell.eval(vals),
+                scratch,
+                writer.capacity(),
+            )?
+        };
         writer.write(
             ctx.layout.index(si, node_id.index()),
             initial,
@@ -1804,6 +2006,17 @@ fn scale_or_fallback(nominal: f64, factor: f64, fallbacks: &mut u64) -> f64 {
     }
 }
 
+/// Applies a Monte Carlo process-variation derate to an already-scaled
+/// delay. The nominal die passes `derate == 1.0`, and `d * 1.0 == d`
+/// bit-exactly for every value `scale_or_fallback` can return, so a
+/// variation-free group's delays are untouched. Both operands are finite
+/// and non-negative (the derate is `(1 + ε).max(0)` with bounded `ε`),
+/// so the product needs no fallback guard of its own.
+#[inline]
+fn derate_delay(scaled: f64, derate: f64) -> f64 {
+    (scaled * derate).max(0.0)
+}
+
 /// Why a slot died within a batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Dead {
@@ -1842,8 +2055,23 @@ pub(crate) struct SlotWork {
     pub(crate) pattern: usize,
     pub(crate) assign: VoltageAssign,
     /// Representative voltage reported in the result spec (the global
-    /// supply for uniform slots, the domain-0 supply for island slots).
+    /// supply for uniform slots, the domain-0 supply for island slots,
+    /// the segment-0 supply for scheduled slots).
     pub(crate) voltage: f64,
+    /// Monte Carlo process-variation sample of this slot (`None` = the
+    /// nominal die). Part of the voltage-group key: two slots share a
+    /// delay-initialization group only when both their voltage
+    /// assignment *and* their die agree.
+    pub(crate) variation: Option<VariationSample>,
+}
+
+/// One Monte Carlo die: a variation configuration plus the sample index
+/// that addresses its hashed draws (see
+/// [`avfs_delay::variation::derate`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct VariationSample {
+    pub(crate) config: avfs_delay::VariationConfig,
+    pub(crate) sample: u32,
 }
 
 /// Normalized voltage assignment of one slot.
@@ -1854,14 +2082,52 @@ pub(crate) enum VoltageAssign {
     /// Per-node normalized voltage (voltage islands), expanded from the
     /// domain map once per slot.
     PerNode(Arc<Vec<f64>>),
+    /// A piecewise operating-point schedule (always ≥ 2 segments: the
+    /// scenario layer lowers a single-segment schedule to `Uniform`, so
+    /// the constant-schedule ≡ static identity holds by construction).
+    Scheduled(Arc<NormalizedSchedule>),
+}
+
+/// A slot's normalized piecewise supply schedule. Segment 0 covers the
+/// launch instant; an input event at time `t` belongs to segment
+/// `boundaries.partition_point(|b| *b <= t)` (an event exactly at a
+/// boundary sees the *later* segment's supply).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct NormalizedSchedule {
+    /// Per-segment normalized supply (clamped into the characterized
+    /// domain, like every other assignment).
+    pub(crate) v_norms: Vec<f64>,
+    /// Start times (ps) of segments `1..` — strictly increasing; one
+    /// fewer entry than `v_norms`.
+    pub(crate) boundaries: Vec<f64>,
 }
 
 impl VoltageAssign {
     #[inline]
-    fn v_norm_for(&self, node: usize) -> f64 {
+    fn v_norm_at(&self, node: usize, segment: usize) -> f64 {
         match self {
             VoltageAssign::Uniform(v) => *v,
             VoltageAssign::PerNode(per_node) => per_node[node],
+            VoltageAssign::Scheduled(s) => s.v_norms[segment],
+        }
+    }
+
+    /// How many delay-table segments this assignment needs (1 for every
+    /// non-scheduled assignment).
+    #[inline]
+    pub(crate) fn segments(&self) -> usize {
+        match self {
+            VoltageAssign::Scheduled(s) => s.v_norms.len(),
+            _ => 1,
+        }
+    }
+
+    /// The segment boundaries (empty = static timeline).
+    #[inline]
+    fn boundaries(&self) -> &[f64] {
+        match self {
+            VoltageAssign::Scheduled(s) => &s.boundaries,
+            _ => &[],
         }
     }
 }
@@ -1874,10 +2140,12 @@ struct LevelCtx<'l> {
     /// The level's gate nodes (outputs are barrier passthroughs, not
     /// tasks).
     gate_nodes: &'l [NodeId],
-    /// `level_delays[group][gate_offsets[pos] + pin]` — modified pin
-    /// delays per voltage group (borrowed from the artifact's cached
-    /// per-voltage table or from the batch's freshly computed buffers).
-    level_delays: &'l [&'l [PinDelays]],
+    /// `level_delays[group].segs[segment][gate_offsets[pos] + pin]` —
+    /// modified pin delays per voltage group and schedule segment
+    /// (borrowed from the artifact's cached per-voltage tables or from
+    /// the batch's freshly computed buffers). Static groups have exactly
+    /// one segment and empty boundaries.
+    level_delays: &'l [GroupDelays<'l>],
     gate_offsets: &'l [usize],
     group_of_slot: &'l [usize],
     /// Lane groups with at least one live lane at the start of the level,
@@ -1885,6 +2153,16 @@ struct LevelCtx<'l> {
     live_groups: &'l [(usize, u64)],
     /// The batch's lane-major arena layout.
     layout: LaneLayout,
+}
+
+/// One voltage group's delay view of a level: one pin-delay slice per
+/// schedule segment plus the segment boundaries that select among them.
+/// `segs.len() == 1` with empty `boundaries` is the static case, which
+/// [`CompiledNetlist::eval_lane`] dispatches to the exact single-segment
+/// evaluator the static engine has always used.
+struct GroupDelays<'l> {
+    segs: Vec<&'l [PinDelays]>,
+    boundaries: &'l [f64],
 }
 
 #[cfg(test)]
@@ -3356,5 +3634,436 @@ mod tests {
         assert_eq!(run.diagnostics.budget_tripped, Some(TrippedBudget::Memory));
         assert_eq!(run.diagnostics.slot_retries, 0);
         assert_eq!(plan.fired_keys(InjectionSite::AllocCapBreach), vec![0]);
+    }
+
+    // ---- scenario engine: schedules and Monte Carlo variation ----
+
+    use crate::scenario::{cross_schedules, MonteCarlo, ScenarioSpec, Schedule};
+    use avfs_delay::VariationConfig;
+
+    /// A kernel whose factor actually depends on voltage — the flat
+    /// [`StaticModel`] would make every schedule segment indistinguishable,
+    /// so the segment-snapping and schedule tests need this instead.
+    #[derive(Debug)]
+    struct VoltageScaledModel {
+        space: ParameterSpace,
+    }
+
+    impl avfs_delay::model::DelayModel for VoltageScaledModel {
+        fn factor(
+            &self,
+            _cell: avfs_netlist::CellId,
+            _pin: usize,
+            _polarity: avfs_netlist::library::Polarity,
+            p: NormalizedPoint,
+        ) -> Result<f64, avfs_delay::DelayError> {
+            // Monotone decreasing in voltage, strictly positive on [0, 1].
+            Ok(1.5 - p.v)
+        }
+        fn name(&self) -> &str {
+            "voltage-scaled"
+        }
+        fn space(&self) -> &ParameterSpace {
+            &self.space
+        }
+    }
+
+    fn voltage_scaled_engine(netlist: &Arc<Netlist>, rise: f64, fall: f64) -> Engine {
+        let mut ann = TimingAnnotation::zero(netlist);
+        for (id, node) in netlist.iter() {
+            if matches!(node.kind(), NodeKind::Gate(_)) {
+                for pin in 0..node.fanin().len() {
+                    ann.node_delays_mut(id)[pin] = PinDelays { rise, fall };
+                }
+            }
+        }
+        Engine::new(
+            Arc::clone(netlist),
+            Arc::new(ann),
+            Arc::new(VoltageScaledModel {
+                space: ParameterSpace::paper(),
+            }),
+        )
+        .unwrap()
+    }
+
+    /// The tentpole identity: a constant (single-segment) schedule is the
+    /// static run, bit for bit — slots, diagnostics, node evaluations —
+    /// at every thread count and lane width, profiled or not, and the
+    /// profile carries no scenario instruments (so even profiles stay
+    /// identical to the static launch).
+    #[test]
+    fn constant_schedule_is_bit_identical_to_static() {
+        let lib = CellLibrary::nangate15_like();
+        let cfg = avfs_circuits::GeneratorConfig::small();
+        let n = Arc::new(avfs_circuits::random_netlist("rnd", &cfg, &lib, 23).unwrap());
+        let engine = voltage_scaled_engine(&n, 8.0, 9.5);
+        let patterns = PatternSet::lfsr(n.inputs().len(), 4, 5);
+        let voltages = [0.7, 0.9];
+        let slots = cross(patterns.len(), &voltages);
+        let scenarios = cross_schedules(
+            patterns.len(),
+            &[Schedule::constant(0.7), Schedule::constant(0.9)],
+        );
+        for threads in [1usize, 4] {
+            for lanes in [1usize, 8] {
+                for profiling in [false, true] {
+                    let opts = SimOptions {
+                        threads,
+                        lanes,
+                        profiling,
+                        ..SimOptions::default()
+                    };
+                    let case = format!("threads={threads}, lanes={lanes}, profiling={profiling}");
+                    let fixed = engine.run(&patterns, &slots, &opts).unwrap();
+                    let scheduled = engine
+                        .run_scenarios(&patterns, &scenarios, None, None, &opts)
+                        .unwrap();
+                    assert_eq!(scheduled.slots, fixed.slots, "{case}");
+                    assert_eq!(scheduled.diagnostics, fixed.diagnostics, "{case}");
+                    assert_eq!(scheduled.node_evaluations, fixed.node_evaluations, "{case}");
+                    if profiling {
+                        let profile = scheduled.profile.as_ref().unwrap();
+                        assert_eq!(
+                            profile.counter(phases::ENGINE_SCENARIO_SEGMENTS),
+                            None,
+                            "constant schedules record no scenario instruments ({case})"
+                        );
+                        assert_eq!(profile.counter(phases::ENGINE_MC_SAMPLES), None, "{case}");
+                        assert_eq!(
+                            profile.counter(phases::ENGINE_VARIATION_DRAWS),
+                            None,
+                            "{case}"
+                        );
+                    }
+                    let summary = scheduled.scenario.as_ref().unwrap();
+                    assert_eq!(summary.samples_per_scenario, 1);
+                    assert_eq!(summary.points.len(), voltages.len());
+                }
+            }
+        }
+    }
+
+    /// Multi-segment schedules and Monte Carlo sampling obey the same
+    /// determinism matrix as every other engine path: bit-identical to
+    /// the single-threaded scalar reference at all thread counts and lane
+    /// widths, profiled or not.
+    #[test]
+    fn scheduled_mc_runs_match_single_threaded_reference() {
+        let lib = CellLibrary::nangate15_like();
+        let cfg = avfs_circuits::GeneratorConfig::small();
+        let n = Arc::new(avfs_circuits::random_netlist("rnd", &cfg, &lib, 31).unwrap());
+        let engine = voltage_scaled_engine(&n, 8.0, 9.5);
+        let patterns = PatternSet::lfsr(n.inputs().len(), 3, 9);
+        let scenarios = cross_schedules(
+            patterns.len(),
+            &[
+                Schedule::droop(0.9, 0.15, 12.0, 40.0),
+                Schedule::steps([(0.0, 0.7), (25.0, 1.0)]),
+            ],
+        );
+        let mc = MonteCarlo {
+            samples: 3,
+            variation: VariationConfig {
+                sigma: 0.05,
+                max_deviation: 0.2,
+                seed: 0xD1CE,
+            },
+        };
+        let reference = engine
+            .run_scenarios(
+                &patterns,
+                &scenarios,
+                Some(&mc),
+                Some(500.0),
+                &SimOptions {
+                    threads: 1,
+                    lanes: 1,
+                    ..SimOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(reference.slots.len(), scenarios.len() * mc.samples);
+        for threads in [1usize, 4] {
+            for lanes in [1usize, 8] {
+                for profiling in [false, true] {
+                    let case = format!("threads={threads}, lanes={lanes}, profiling={profiling}");
+                    let got = engine
+                        .run_scenarios(
+                            &patterns,
+                            &scenarios,
+                            Some(&mc),
+                            Some(500.0),
+                            &SimOptions {
+                                threads,
+                                lanes,
+                                profiling,
+                                ..SimOptions::default()
+                            },
+                        )
+                        .unwrap();
+                    assert_eq!(got.slots, reference.slots, "{case}");
+                    assert_eq!(got.diagnostics, reference.diagnostics, "{case}");
+                    assert_eq!(got.scenario, reference.scenario, "{case}");
+                    if profiling {
+                        let profile = got.profile.as_ref().unwrap();
+                        // 3 segments + 2 segments, × patterns × dice.
+                        let segments = (3 + 2) as u64 * patterns.len() as u64 * mc.samples as u64;
+                        assert_eq!(
+                            profile.counter(phases::ENGINE_SCENARIO_SEGMENTS),
+                            Some(segments),
+                            "{case}"
+                        );
+                        assert_eq!(
+                            profile.counter(phases::ENGINE_MC_SAMPLES),
+                            Some(reference.slots.len() as u64),
+                            "{case}"
+                        );
+                        assert!(
+                            profile.counter(phases::ENGINE_VARIATION_DRAWS).unwrap() > 0,
+                            "{case}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Segment selection snaps on the *cause* (input event) time: an
+    /// event exactly at a boundary belongs to the later segment, one just
+    /// before it to the earlier — checked through a two-inverter chain
+    /// whose second stage's input event lands exactly on the boundary.
+    #[test]
+    fn boundary_event_snaps_to_later_segment() {
+        let n = chain_netlist();
+        let engine = voltage_scaled_engine(&n, 10.0, 10.0);
+        let space = ParameterSpace::paper();
+        let c_min = space.load_range().0;
+        let f = |v: f64| 1.5 - space.normalize_clamped(OperatingPoint::new(v, c_min)).v;
+        let (v0, v1) = (0.7, 1.0);
+        // Input flips at t = 0 (segment 0): g1's output lands at t1.
+        let t1 = 10.0 * f(v0);
+        let opts = SimOptions {
+            threads: 1,
+            ..SimOptions::default()
+        };
+        let run_with_boundary = |boundary: f64| {
+            let scenarios = [ScenarioSpec {
+                pattern: 0,
+                schedule: Schedule::steps([(0.0, v0), (boundary, v1)]),
+            }];
+            let run = engine
+                .run_scenarios(&one_pattern(), &scenarios, None, None, &opts)
+                .unwrap();
+            run.slots[0].latest_output_transition_ps.unwrap()
+        };
+        // Boundary exactly at g2's input event: the event sees the
+        // *later* (faster) segment.
+        let at = run_with_boundary(t1);
+        assert!(
+            (at - (t1 + 10.0 * f(v1))).abs() < 1e-9,
+            "boundary event must use the later segment: got {at}"
+        );
+        // Boundary just after the event: still the earlier segment.
+        let after = run_with_boundary(t1 + 0.01);
+        assert!(
+            (after - (t1 + 10.0 * f(v0))).abs() < 1e-9,
+            "pre-boundary event must use the earlier segment: got {after}"
+        );
+    }
+
+    /// Monte Carlo draws replay exactly from the seed (pure hashes, no
+    /// stateful RNG), a different seed draws different dice, and a
+    /// zero-sigma die is bit-identical to the variation-free run.
+    #[test]
+    fn mc_replays_exactly_from_seed() {
+        let lib = CellLibrary::nangate15_like();
+        let cfg = avfs_circuits::GeneratorConfig::small();
+        let n = Arc::new(avfs_circuits::random_netlist("rnd", &cfg, &lib, 47).unwrap());
+        let engine = voltage_scaled_engine(&n, 8.0, 9.0);
+        let patterns = PatternSet::lfsr(n.inputs().len(), 2, 3);
+        let scenarios = cross_schedules(patterns.len(), &[Schedule::droop(0.9, 0.1, 15.0, 60.0)]);
+        let opts = SimOptions {
+            threads: 1,
+            ..SimOptions::default()
+        };
+        let mc = |sigma: f64, seed: u64| MonteCarlo {
+            samples: 4,
+            variation: VariationConfig {
+                sigma,
+                max_deviation: 0.25,
+                seed,
+            },
+        };
+        let a = engine
+            .run_scenarios(&patterns, &scenarios, Some(&mc(0.08, 7)), None, &opts)
+            .unwrap();
+        let b = engine
+            .run_scenarios(&patterns, &scenarios, Some(&mc(0.08, 7)), None, &opts)
+            .unwrap();
+        assert_eq!(a.slots, b.slots, "same seed must replay exactly");
+        assert_eq!(a.scenario, b.scenario);
+        let c = engine
+            .run_scenarios(&patterns, &scenarios, Some(&mc(0.08, 8)), None, &opts)
+            .unwrap();
+        assert_ne!(
+            a.slots
+                .iter()
+                .map(|s| s.latest_output_transition_ps)
+                .collect::<Vec<_>>(),
+            c.slots
+                .iter()
+                .map(|s| s.latest_output_transition_ps)
+                .collect::<Vec<_>>(),
+            "a different seed must draw different dice"
+        );
+        // Zero sigma: derates are exactly 1.0, so the sampled run is the
+        // variation-free run bit for bit (slot-for-slot: each scenario's
+        // single nominal die).
+        let nominal = engine
+            .run_scenarios(
+                &patterns,
+                &scenarios,
+                Some(&MonteCarlo {
+                    samples: 1,
+                    variation: VariationConfig {
+                        sigma: 0.0,
+                        max_deviation: 0.25,
+                        seed: 99,
+                    },
+                }),
+                None,
+                &opts,
+            )
+            .unwrap();
+        let plain = engine
+            .run_scenarios(&patterns, &scenarios, None, None, &opts)
+            .unwrap();
+        assert_eq!(nominal.slots, plain.slots);
+    }
+
+    #[test]
+    fn malformed_scenarios_rejected() {
+        let n = chain_netlist();
+        let engine = voltage_scaled_engine(&n, 10.0, 10.0);
+        let patterns = one_pattern();
+        let opts = SimOptions::default();
+        let launch = |schedule: Schedule| {
+            engine.run_scenarios(
+                &patterns,
+                &[ScenarioSpec {
+                    pattern: 0,
+                    schedule,
+                }],
+                None,
+                None,
+                &opts,
+            )
+        };
+        // Shape problems: the AVC-N010 lint refuses the launch.
+        for (name, schedule) in [
+            ("empty", Schedule { segments: vec![] }),
+            ("unanchored", Schedule::steps([(5.0, 0.8)])),
+            (
+                "unsorted",
+                Schedule::steps([(0.0, 0.8), (50.0, 0.7), (40.0, 0.9)]),
+            ),
+            (
+                "duplicate",
+                Schedule::steps([(0.0, 0.8), (50.0, 0.7), (50.0, 0.9)]),
+            ),
+            ("nan-start", Schedule::steps([(0.0, 0.8), (f64::NAN, 0.7)])),
+        ] {
+            match launch(schedule) {
+                Err(SimError::InvalidSchedule { slot: 0, .. }) => {}
+                other => panic!("{name}: expected InvalidSchedule, got {other:?}"),
+            }
+        }
+        // Voltage problems: the same refusal a static slot gets.
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -0.8] {
+            match launch(Schedule::steps([(0.0, 0.8), (10.0, bad)])) {
+                Err(SimError::InvalidOperatingPoint { slot: 0, .. }) => {}
+                other => panic!("expected InvalidOperatingPoint, got {other:?}"),
+            }
+        }
+        // Empty launches.
+        assert_eq!(
+            engine
+                .run_scenarios(&patterns, &[], None, None, &opts)
+                .unwrap_err(),
+            SimError::EmptySlots
+        );
+        assert_eq!(
+            engine
+                .run_scenarios(
+                    &patterns,
+                    &[ScenarioSpec {
+                        pattern: 0,
+                        schedule: Schedule::constant(0.8),
+                    }],
+                    Some(&MonteCarlo {
+                        samples: 0,
+                        variation: VariationConfig::sigma5(0),
+                    }),
+                    None,
+                    &opts,
+                )
+                .unwrap_err(),
+            SimError::EmptySlots
+        );
+        // Pattern index out of range.
+        match engine.run_scenarios(
+            &patterns,
+            &[ScenarioSpec {
+                pattern: 7,
+                schedule: Schedule::constant(0.8),
+            }],
+            None,
+            None,
+            &opts,
+        ) {
+            Err(SimError::BadPatternIndex {
+                index: 7,
+                available: 1,
+            }) => {}
+            other => panic!("expected BadPatternIndex, got {other:?}"),
+        }
+    }
+
+    /// The failure-probability reduction against a capture deadline:
+    /// lower supplies are slower under the voltage-scaled kernel, so a
+    /// deadline between the two arrival times separates the curve.
+    #[test]
+    fn scenario_summary_separates_voltages_at_a_deadline() {
+        let n = chain_netlist();
+        let engine = voltage_scaled_engine(&n, 10.0, 10.0);
+        let space = ParameterSpace::paper();
+        let c_min = space.load_range().0;
+        let f = |v: f64| 1.5 - space.normalize_clamped(OperatingPoint::new(v, c_min)).v;
+        let (slow_v, fast_v) = (0.6, 1.0);
+        let deadline = 20.0 * (f(slow_v) + f(fast_v)) / 2.0;
+        let scenarios =
+            cross_schedules(1, &[Schedule::constant(slow_v), Schedule::constant(fast_v)]);
+        let run = engine
+            .run_scenarios(
+                &one_pattern(),
+                &scenarios,
+                None,
+                Some(deadline),
+                &SimOptions {
+                    threads: 1,
+                    ..SimOptions::default()
+                },
+            )
+            .unwrap();
+        let summary = run.scenario.as_ref().unwrap();
+        assert_eq!(summary.capture_deadline_ps, Some(deadline));
+        assert_eq!(summary.points.len(), 2);
+        let slow = summary.points.iter().find(|p| p.voltage == slow_v).unwrap();
+        let fast = summary.points.iter().find(|p| p.voltage == fast_v).unwrap();
+        assert_eq!((slow.samples, slow.failures), (1, 1), "slow slot misses");
+        assert!((slow.p_fail - 1.0).abs() < 1e-12);
+        assert_eq!((fast.samples, fast.failures), (1, 0), "fast slot makes it");
+        assert_eq!(fast.p_fail, 0.0);
     }
 }

@@ -257,6 +257,7 @@ impl EventDrivenSimulator {
             node_evaluations: (self.netlist.num_nodes() as u64) * (slots.len() as u64),
             diagnostics: diag,
             profile: metrics.as_ref().map(Metrics::snapshot),
+            scenario: None,
         })
     }
 

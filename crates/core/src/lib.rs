@@ -28,6 +28,14 @@
 //! * [`sta`] — static timing analysis (Table II column 2),
 //! * [`api::TimeSimulator`] — a high-level facade wiring netlist,
 //!   annotation, model and engine together for the examples and benches.
+//!
+//! On top of the static grid, [`scenario`] makes the operating point a
+//! *function of time*: piecewise `(t_start, V)` supply [`Schedule`]s per
+//! slot (droop transients, DVFS steps) plus seeded [`MonteCarlo`]
+//! process variation, reduced into failure-probability-vs-voltage
+//! curves. A constant schedule is bit-identical to the static run — see
+//! the [`scenario`] module docs for the identity doctest and the
+//! determinism argument.
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
@@ -42,11 +50,15 @@ pub mod phases;
 mod pool;
 pub mod power;
 pub mod results;
+pub mod scenario;
 pub mod session;
 pub mod slots;
 pub mod sta;
 
 pub use api::TimeSimulator;
+/// Re-exported so scenario launches configure variation without naming
+/// `avfs_delay` directly.
+pub use avfs_delay::VariationConfig;
 /// Re-exported observability types ([`SimRun::profile`] is an
 /// [`avfs_obs::Profile`]).
 pub use avfs_obs::{Metrics, PhaseStats, Profile};
@@ -58,6 +70,9 @@ pub use engine::{Engine, SimOptions, ValidationMode};
 pub use event_driven::EventDrivenSimulator;
 pub use power::{energy_by_voltage, slot_energy, EnergyEstimate};
 pub use results::{RunDiagnostics, SimRun, SlotResult, SlotStatus};
+pub use scenario::{
+    cross_schedules, FailurePoint, MonteCarlo, ScenarioSpec, ScenarioSummary, Schedule, Segment,
+};
 pub use session::Session;
 pub use slots::{cross, SlotSpec};
 
@@ -102,6 +117,15 @@ pub enum SimError {
         slot: usize,
         /// The rejected voltage (volts).
         voltage: f64,
+    },
+    /// A scenario's piecewise operating-point schedule is malformed
+    /// (empty, not anchored at `t = 0`, unsorted, or non-finite) — the
+    /// `AVC-N010` lint refused it before any kernel work.
+    InvalidSchedule {
+        /// Index of the offending scenario.
+        slot: usize,
+        /// The first lint finding's message.
+        message: String,
     },
     /// An annotated output load is non-finite or negative.
     InvalidLoad {
@@ -181,6 +205,9 @@ impl fmt::Display for SimError {
             SimError::Netlist(e) => write!(f, "netlist error: {e}"),
             SimError::InvalidOperatingPoint { slot, voltage } => {
                 write!(f, "slot {slot} requests invalid supply voltage {voltage} V")
+            }
+            SimError::InvalidSchedule { slot, message } => {
+                write!(f, "scenario {slot} has a malformed schedule: {message}")
             }
             SimError::InvalidLoad { node, load } => {
                 write!(f, "node `{node}` has invalid annotated load {load} fF")

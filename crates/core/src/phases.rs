@@ -188,6 +188,25 @@ pub const ENGINE_DELAY_TABLE_BUILDS: &str = "engine.delay_table_builds";
 /// re-evaluated.
 pub const ENGINE_DELAY_TABLE_HITS: &str = "engine.delay_table_hits";
 
+/// Total schedule segments across a launch's slots (1 per static slot).
+/// Recorded only when the work list carries a multi-segment schedule or
+/// a Monte Carlo die: a constant-schedule scenario launch lowers to
+/// static slots and stays bit-identical to the static run, profile
+/// included (DESIGN.md §15).
+pub const ENGINE_SCENARIO_SEGMENTS: &str = "engine.scenario_segments";
+
+/// Monte Carlo sampled slots in a launch (slots carrying a process
+/// variation die). Recorded under the same condition as
+/// [`ENGINE_SCENARIO_SEGMENTS`]; 0 on a variation-free scenario launch
+/// that still has multi-segment schedules.
+pub const ENGINE_MC_SAMPLES: &str = "engine.mc_samples";
+
+/// Hashed process-variation derate draws performed by the delay
+/// initialization phase (two per annotated pin per sampled voltage
+/// group per level: rise and fall). Coordinator-only, like every other
+/// instrument; recorded only when at least one draw happened.
+pub const ENGINE_VARIATION_DRAWS: &str = "engine.variation_draws";
+
 /// Whole event-driven baseline run (all slots, serial).
 pub const ED_SIMULATE: &str = "ed/simulate";
 

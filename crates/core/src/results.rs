@@ -232,6 +232,12 @@ pub struct SimRun {
     /// Phase names are the constants of [`crate::phases`]; durations are
     /// nanoseconds.
     pub profile: Option<Profile>,
+    /// Scenario reduction — `Some` only when the run was launched
+    /// through the scenario engine
+    /// ([`CompiledNetlist::launch_scenarios`](crate::CompiledNetlist::launch_scenarios)
+    /// and friends): the failure-probability-vs-voltage curve over the
+    /// run's slots (DESIGN.md §15).
+    pub scenario: Option<crate::scenario::ScenarioSummary>,
 }
 
 impl SimRun {
@@ -316,6 +322,7 @@ mod tests {
             node_evaluations: 5_000_000,
             diagnostics: RunDiagnostics::default(),
             profile: None,
+            scenario: None,
         };
         assert!((run.meps() - 50.0).abs() < 1e-9);
         let zero = SimRun {
@@ -324,6 +331,7 @@ mod tests {
             node_evaluations: 1,
             diagnostics: RunDiagnostics::default(),
             profile: None,
+            scenario: None,
         };
         assert_eq!(zero.meps(), 0.0);
     }
@@ -341,6 +349,7 @@ mod tests {
             node_evaluations: 1,
             diagnostics: RunDiagnostics::default(),
             profile: None,
+            scenario: None,
         };
         assert_eq!(run.latest_arrival_at(0.8), Some(250.0));
         assert_eq!(run.latest_arrival_at(1.1), Some(80.0));
@@ -362,6 +371,7 @@ mod tests {
             node_evaluations: 0,
             diagnostics: RunDiagnostics::default(),
             profile: None,
+            scenario: None,
         };
         assert!(clean.is_complete());
         let failed = SimRun {

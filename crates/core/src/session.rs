@@ -154,6 +154,31 @@ impl Session {
             },
         )
     }
+
+    /// Simulates piecewise-scheduled scenarios (optionally Monte Carlo
+    /// sampled) on the parked pool — see
+    /// [`CompiledNetlist::launch_scenarios`].
+    pub fn run_scenarios(
+        &mut self,
+        patterns: &PatternSet,
+        scenarios: &[crate::scenario::ScenarioSpec],
+        mc: Option<&crate::scenario::MonteCarlo>,
+        capture_deadline_ps: Option<f64>,
+        options: &SimOptions,
+    ) -> Result<SimRun, SimError> {
+        let options = self.pin_threads(options)?;
+        self.compiled.launch_scenarios_with(
+            patterns,
+            scenarios,
+            mc,
+            capture_deadline_ps,
+            &options,
+            Exec {
+                pool: self.pool.as_ref(),
+                ..Exec::default()
+            },
+        )
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +221,46 @@ mod tests {
                 .unwrap();
             assert_eq!(run.slots, reference.slots);
             assert_eq!(run.diagnostics, reference.diagnostics);
+        }
+    }
+
+    /// Scenario launches ride the parked pool like every other run and
+    /// stay bit-identical to the per-run-pool reference.
+    #[test]
+    fn session_scenarios_match_compiled_launch() {
+        use crate::scenario::{cross_schedules, MonteCarlo, Schedule};
+        let compiled = compiled_adder();
+        let patterns = PatternSet::lfsr(compiled.netlist().inputs().len(), 4, 13);
+        let scenarios = cross_schedules(patterns.len(), &[Schedule::droop(0.9, 0.15, 10.0, 40.0)]);
+        let mc = MonteCarlo {
+            samples: 2,
+            variation: avfs_delay::VariationConfig::sigma5(21),
+        };
+        let reference = compiled
+            .launch_scenarios(
+                &patterns,
+                &scenarios,
+                Some(&mc),
+                Some(90.0),
+                &SimOptions {
+                    threads: 1,
+                    ..SimOptions::default()
+                },
+            )
+            .unwrap();
+        let mut session = Session::new(Arc::clone(&compiled), 4);
+        for _ in 0..2 {
+            let run = session
+                .run_scenarios(
+                    &patterns,
+                    &scenarios,
+                    Some(&mc),
+                    Some(90.0),
+                    &SimOptions::default(),
+                )
+                .unwrap();
+            assert_eq!(run.slots, reference.slots);
+            assert_eq!(run.scenario, reference.scenario);
         }
     }
 

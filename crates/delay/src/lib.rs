@@ -51,6 +51,7 @@ pub use model::{AlphaPowerModel, DelayModel, LutModel, PolynomialModel, StaticMo
 pub use op::{NormalizedPoint, OperatingPoint, ParameterSpace};
 pub use polynomial::SurfacePolynomial;
 pub use table::CoefficientTable;
+pub use variation::VariationConfig;
 
 use std::error::Error;
 use std::fmt;

@@ -87,6 +87,63 @@ pub fn apply_variation(
     varied
 }
 
+/// One deterministic Monte Carlo delay-derate factor `1 + ε` with
+/// `ε ~ N(0, sigma²)` truncated at `±max_deviation`, addressed by its
+/// coordinates instead of drawn from a sequential stream.
+///
+/// Where [`apply_variation`] materializes one varied annotation per die,
+/// `derate` is the sampling form the scenario engine uses: the factor is
+/// a **pure hash** of `(seed, sample, node, pin, polarity)` through the
+/// SplitMix64 finalizer, so
+///
+/// * any slot of a sampled grid can be (re)computed independently, in
+///   any order, on any shard, by any thread — the draw never depends on
+///   evaluation order (the determinism idiom of `avfs-inject`'s
+///   `decide`),
+/// * the draw is independent of the slot's operating-point *schedule*:
+///   every segment of a scheduled slot sees the same die,
+/// * `sample` is the die index — two scenarios evaluated at the same
+///   sample index share process variation, which is exactly what a
+///   failure-probability-vs-voltage curve wants (paired samples across
+///   the voltage axis).
+///
+/// `sigma == 0.0` returns exactly `1.0` (no floating-point work at all),
+/// so a zero-sigma Monte Carlo run multiplies every delay by the exact
+/// identity.
+pub fn derate(
+    config: &VariationConfig,
+    sample: u32,
+    node: avfs_netlist::NodeId,
+    pin: usize,
+    polarity: avfs_netlist::library::Polarity,
+) -> f64 {
+    if config.sigma == 0.0 {
+        return 1.0;
+    }
+    // Chain the coordinates through the SplitMix64 finalizer; the golden
+    // ratio increment keeps zero-valued fields from collapsing the state.
+    let mut key = config.seed;
+    for field in [
+        u64::from(sample),
+        node.index() as u64,
+        pin as u64,
+        matches!(polarity, avfs_netlist::library::Polarity::Rise) as u64,
+    ] {
+        key = finalize(key.wrapping_add(0x9E3779B97F4A7C15).wrapping_add(field));
+    }
+    let mut rng = SplitMix64::new(key);
+    let dev = gaussian(&mut rng, config.sigma).clamp(-config.max_deviation, config.max_deviation);
+    (1.0 + dev).max(0.0)
+}
+
+/// The SplitMix64 output finalizer, used standalone as a mixing hash by
+/// [`derate`].
+fn finalize(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
 /// A tiny deterministic PRNG (SplitMix64) — keeps the crate free of
 /// external dependencies while staying reproducible.
 struct SplitMix64 {
@@ -100,10 +157,7 @@ impl SplitMix64 {
 
     fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^ (z >> 31)
+        finalize(self.state)
     }
 
     fn next_unit(&mut self) -> f64 {
@@ -198,5 +252,70 @@ mod tests {
         for (id, _) in n.iter() {
             assert_eq!(ann.load_ff(id), v.load_ff(id));
         }
+    }
+
+    use avfs_netlist::library::Polarity;
+    use avfs_netlist::NodeId;
+
+    #[test]
+    fn derate_is_a_pure_function_of_its_coordinates() {
+        let cfg = VariationConfig::sigma5(0xD1E);
+        let base = derate(&cfg, 3, NodeId::from_index(17), 1, Polarity::Rise);
+        // Replays exactly, in any call order.
+        let _ = derate(&cfg, 9, NodeId::from_index(2), 0, Polarity::Fall);
+        assert_eq!(
+            base,
+            derate(&cfg, 3, NodeId::from_index(17), 1, Polarity::Rise),
+            "same coordinates must replay bit-identically"
+        );
+        // Every coordinate participates in the hash.
+        for other in [
+            derate(&cfg, 4, NodeId::from_index(17), 1, Polarity::Rise),
+            derate(&cfg, 3, NodeId::from_index(18), 1, Polarity::Rise),
+            derate(&cfg, 3, NodeId::from_index(17), 0, Polarity::Rise),
+            derate(&cfg, 3, NodeId::from_index(17), 1, Polarity::Fall),
+            derate(
+                &VariationConfig::sigma5(0xD1F),
+                3,
+                NodeId::from_index(17),
+                1,
+                Polarity::Rise,
+            ),
+        ] {
+            assert_ne!(base, other);
+        }
+    }
+
+    #[test]
+    fn derate_zero_sigma_is_exactly_one() {
+        let cfg = VariationConfig {
+            sigma: 0.0,
+            max_deviation: 0.2,
+            seed: 42,
+        };
+        for sample in 0..8u32 {
+            let f = derate(&cfg, sample, NodeId::from_index(5), 0, Polarity::Rise);
+            assert_eq!(f.to_bits(), 1.0f64.to_bits());
+        }
+    }
+
+    #[test]
+    fn derate_bounded_and_distributed() {
+        let cfg = VariationConfig::sigma5(0xBEEF);
+        let mut devs = Vec::new();
+        for sample in 0..64u32 {
+            for node in 0..32 {
+                for (pin, pol) in [(0, Polarity::Rise), (0, Polarity::Fall)] {
+                    let f = derate(&cfg, sample, NodeId::from_index(node), pin, pol);
+                    assert!(f > 0.0 && (f - 1.0).abs() <= cfg.max_deviation + 1e-12);
+                    devs.push(f - 1.0);
+                }
+            }
+        }
+        let mean: f64 = devs.iter().sum::<f64>() / devs.len() as f64;
+        let var: f64 =
+            devs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / devs.len() as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var.sqrt() - 0.05).abs() < 0.01, "sigma {}", var.sqrt());
     }
 }

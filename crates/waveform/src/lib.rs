@@ -492,6 +492,105 @@ pub fn evaluate_gate_bounded_raw<W: WaveformRead>(
     Ok(initial_out)
 }
 
+/// [`evaluate_gate_bounded_raw`] over a *segmented* delay timeline — the
+/// piecewise-operating-point form used by the AVFS scenario engine.
+///
+/// The simulation window is split into `boundaries.len() + 1` *segments*
+/// by the strictly increasing `boundaries` (segment start times in ps,
+/// excluding the implicit segment 0 start at −∞). An input event at time
+/// `t` belongs to segment `boundaries.partition_point(|b| *b <= t)` — an
+/// event **exactly at** a boundary belongs to the *later* segment, the
+/// convention under which a supply step applied at the launch instant of
+/// a transition already sees the new voltage. The pin-to-output delay
+/// charged to that event is `delays(segment, pin)`.
+///
+/// Segment selection is by the *cause* (input event) time, not the
+/// resulting output time: the voltage in effect while the gate
+/// propagates the event is the one at the moment the input switches, the
+/// same first-order approximation the per-segment delay tables make.
+///
+/// With empty `boundaries` this performs the identical operation
+/// sequence as [`evaluate_gate_bounded_raw`] with `delays(0, ·)` — the
+/// single-segment identity the scenario layer's constant-schedule ≡
+/// static-run guarantee rests on.
+///
+/// # Errors
+///
+/// Returns [`CapacityOverflow`] when the schedule would exceed `cap`.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty.
+pub fn evaluate_gate_bounded_raw_segmented<W: WaveformRead>(
+    inputs: &[W],
+    boundaries: &[f64],
+    delays: impl Fn(usize, usize) -> PinDelays,
+    eval: impl Fn(&[bool]) -> bool,
+    scratch: &mut GateScratch,
+    cap: usize,
+) -> Result<bool, CapacityOverflow> {
+    assert!(!inputs.is_empty(), "gate must have at least one input");
+
+    let values = &mut scratch.values;
+    values.clear();
+    values.extend(inputs.iter().map(|w| w.initial_value()));
+    let initial_out = eval(values);
+
+    let sched = &mut scratch.sched;
+    sched.clear();
+
+    // Fast path: quiescent inputs produce a constant output.
+    if inputs.iter().all(|w| w.transitions().is_empty()) {
+        return Ok(initial_out);
+    }
+
+    let mut scheduled_value = initial_out;
+
+    // K-way merge over the input transition lists (identical to
+    // `evaluate_gate_bounded_raw` except for the delay lookup).
+    let cursors = &mut scratch.cursors;
+    cursors.clear();
+    cursors.resize(inputs.len(), 0);
+    loop {
+        let mut best: Option<(f64, usize)> = None;
+        for (p, w) in inputs.iter().enumerate() {
+            if let Some(&t) = w.transitions().get(cursors[p]) {
+                if best.is_none_or(|(bt, _)| t < bt) {
+                    best = Some((t, p));
+                }
+            }
+        }
+        let Some((t, pin)) = best else { break };
+        cursors[pin] += 1;
+        values[pin] = !values[pin];
+
+        let new_out = eval(values);
+        if new_out == scheduled_value {
+            continue;
+        }
+        let segment = boundaries.partition_point(|b| *b <= t);
+        let tt = t + delays(segment, pin).for_output(new_out);
+        while let Some(&last) = sched.last() {
+            if last >= tt {
+                sched.pop();
+                scheduled_value = !scheduled_value;
+            } else {
+                break;
+            }
+        }
+        if scheduled_value != new_out {
+            if sched.len() >= cap {
+                return Err(CapacityOverflow { capacity: cap });
+            }
+            sched.push(tt);
+            scheduled_value = new_out;
+        }
+    }
+
+    debug_assert!(sched.iter().all(|t| t.is_finite()) && sched.windows(2).all(|w| w[0] < w[1]));
+    Ok(initial_out)
+}
+
 /// Propagates a waveform through an identity stage with per-polarity delay
 /// (used for primary-output observation nodes).
 pub fn delay_waveform(input: &Waveform, delays: PinDelays) -> Waveform {
@@ -694,6 +793,95 @@ mod tests {
         let w = wf(false, &[100.0, 103.0, 104.0, 107.0]);
         let f = w.filter_pulses(5.0);
         assert_eq!(f.num_transitions(), 0);
+    }
+
+    #[test]
+    fn segmented_boundary_event_uses_later_segment() {
+        // INV with a slow segment 0 (delay 5) and a fast segment 1
+        // (delay 1) starting at t = 10.
+        let seg_delays = [
+            PinDelays {
+                rise: 5.0,
+                fall: 5.0,
+            },
+            PinDelays {
+                rise: 1.0,
+                fall: 1.0,
+            },
+        ];
+        let mut scratch = GateScratch::new();
+        let mut run = |event_t: f64| {
+            let input = wf(false, &[event_t]);
+            let initial = evaluate_gate_bounded_raw_segmented(
+                &[&input],
+                &[10.0],
+                |seg, _pin| seg_delays[seg],
+                |v| !v[0],
+                &mut scratch,
+                usize::MAX,
+            )
+            .unwrap();
+            (initial, scratch.scheduled().to_vec())
+        };
+        // Just before the boundary: segment 0's delay applies.
+        assert_eq!(run(9.9), (true, vec![9.9 + 5.0]));
+        // Exactly at the boundary: the event belongs to the *later*
+        // segment (partition_point with `<=`).
+        assert_eq!(run(10.0), (true, vec![10.0 + 1.0]));
+        // Past the boundary: still segment 1.
+        assert_eq!(run(10.1), (true, vec![10.1 + 1.0]));
+    }
+
+    #[test]
+    fn segmented_with_empty_boundaries_matches_raw() {
+        // Skewed NAND inputs that produce a glitch — a case exercising
+        // cancellation and capacity bookkeeping in both variants.
+        let a = wf(true, &[10.0, 40.0]);
+        let b = wf(false, &[12.0, 35.0, 36.0]);
+        let delays = [
+            PinDelays {
+                rise: 3.0,
+                fall: 4.0,
+            },
+            PinDelays {
+                rise: 2.5,
+                fall: 6.0,
+            },
+        ];
+        let mut s1 = GateScratch::new();
+        let mut s2 = GateScratch::new();
+        let nand = |v: &[bool]| !(v[0] && v[1]);
+        let i1 = evaluate_gate_bounded_raw(&[&a, &b], &delays, nand, &mut s1, 8).unwrap();
+        let i2 = evaluate_gate_bounded_raw_segmented(
+            &[&a, &b],
+            &[],
+            |_seg, pin| delays[pin],
+            nand,
+            &mut s2,
+            8,
+        )
+        .unwrap();
+        assert_eq!(i1, i2);
+        assert_eq!(s1.scheduled(), s2.scheduled());
+    }
+
+    #[test]
+    fn segmented_overflow_still_detected() {
+        let input = wf(false, &[1.0, 2.0, 3.0, 4.0]);
+        let mut scratch = GateScratch::new();
+        let err = evaluate_gate_bounded_raw_segmented(
+            &[&input],
+            &[2.5],
+            |_seg, _pin| PinDelays {
+                rise: 0.1,
+                fall: 0.1,
+            },
+            |v| v[0],
+            &mut scratch,
+            2,
+        )
+        .unwrap_err();
+        assert_eq!(err.capacity, 2);
     }
 
     proptest! {

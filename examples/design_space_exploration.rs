@@ -16,7 +16,9 @@ use avfs::atpg::PatternSet;
 use avfs::circuits::CircuitProfile;
 use avfs::delay::characterize::{characterize_library, CharacterizationConfig};
 use avfs::netlist::{CellLibrary, NodeKind};
-use avfs::sim::{SimOptions, TimeSimulator};
+use avfs::sim::{
+    cross_schedules, MonteCarlo, Schedule, SimOptions, TimeSimulator, VariationConfig,
+};
 use avfs::spice::Technology;
 use std::collections::BTreeSet;
 use std::error::Error;
@@ -106,6 +108,52 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     for (v, latest, toggles) in &rows {
         println!("{v:>7.2}V {latest:>13.1} {toggles:>16.1}");
+    }
+
+    // Static V_min tables assume a quiet supply and a typical die. The
+    // scenario engine stresses the same operating points with a supply
+    // droop plus Monte Carlo process variation (DESIGN.md §15): how much
+    // guard-band does each candidate V_DD really have at a 1.3x clock?
+    let deadline = 1.3 * worst;
+    let candidates: Vec<f64> = rows
+        .iter()
+        .map(|(v, _, _)| *v)
+        .filter(|v| (0.6..=0.85).contains(v))
+        .collect();
+    let schedules: Vec<Schedule> = candidates
+        .iter()
+        .map(|&v| Schedule::droop(v, 0.05, 0.2 * deadline, 0.7 * deadline))
+        .collect();
+    let scenarios = cross_schedules(patterns.len(), &schedules);
+    let mc = MonteCarlo {
+        samples: 8,
+        variation: VariationConfig {
+            sigma: 0.04,
+            max_deviation: 0.16,
+            seed: 0xD5E,
+        },
+    };
+    let stressed = sim.run_scenarios(
+        &patterns,
+        &scenarios,
+        Some(&mc),
+        Some(deadline),
+        &SimOptions::default(),
+    )?;
+    let summary = stressed.scenario.as_ref().expect("scenario summary");
+    println!(
+        "\n50 mV droop + sigma-4% variation, {} dice/pattern, deadline {deadline:.0} ps:",
+        mc.samples
+    );
+    println!(
+        "{:>8} {:>9} {:>9} {:>8}",
+        "V_DD", "samples", "failures", "p_fail"
+    );
+    for p in &summary.points {
+        println!(
+            "{:>7.2}V {:>9} {:>9} {:>8.3}",
+            p.voltage, p.samples, p.failures, p.p_fail
+        );
     }
     Ok(())
 }

@@ -14,7 +14,7 @@ use avfs::atpg::{k_longest_paths, PatternSet};
 use avfs::circuits::ripple_carry_adder;
 use avfs::delay::characterize::{characterize_library, CharacterizationConfig};
 use avfs::netlist::{CellLibrary, Levelization, NodeKind};
-use avfs::sim::{SimOptions, TimeSimulator};
+use avfs::sim::{cross_schedules, Schedule, SimOptions, TimeSimulator};
 use avfs::spice::Technology;
 use std::collections::BTreeSet;
 use std::error::Error;
@@ -84,6 +84,38 @@ fn main() -> Result<(), Box<dyn Error>> {
         run.slots.len(),
         run.elapsed,
         run.meps()
+    );
+
+    // The same grid as time-domain *scenarios*: a constant schedule is
+    // bit-identical to the static slot above (DESIGN.md §15), while a
+    // supply droop across the critical window stretches arrivals.
+    let droop = Schedule::droop(0.8, 0.1, 0.25 * nominal, 0.8 * nominal);
+    let scenarios = cross_schedules(patterns.len(), &[Schedule::constant(0.8), droop]);
+    let scheduled = sim.run_scenarios(&patterns, &scenarios, None, None, &SimOptions::default())?;
+    let constant_slice = &scheduled.slots[..patterns.len()];
+    assert!(
+        constant_slice
+            .iter()
+            .zip(
+                &run.slots[run
+                    .slots
+                    .iter()
+                    .position(|s| (s.spec.voltage - 0.8).abs() < 1e-12)
+                    .expect("0.8 V slots")..]
+            )
+            .all(|(a, b)| a.latest_output_transition_ps == b.latest_output_transition_ps),
+        "constant schedule must reproduce the static 0.8 V run bit-for-bit"
+    );
+    let drooped = scheduled.slots[patterns.len()..]
+        .iter()
+        .filter_map(|s| s.latest_output_transition_ps)
+        .fold(0.0f64, f64::max);
+    println!(
+        "0.8 V with a 100 mV droop over [{:.0}, {:.0}] ps: latest arrival {drooped:.1} ps \
+         ({:+.1}% vs the static 0.8 V run)",
+        0.25 * nominal,
+        0.8 * nominal,
+        100.0 * (drooped / nominal - 1.0)
     );
     Ok(())
 }
