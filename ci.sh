@@ -43,4 +43,7 @@ cargo run --release --offline -p avfs-bench --bin checker -- --smoke
 echo "==> chaos --smoke (fault-injection gate: avfs-chaos/1 schema, 100% site coverage)"
 cargo run --release --offline -p avfs-bench --bin chaos -- --smoke
 
+echo "==> sta_crosscheck --smoke (STA oracle gate: sim within STA bound, critical-path agreement)"
+cargo run --release --offline -p avfs-bench --bin sta_crosscheck -- --smoke
+
 echo "CI OK"

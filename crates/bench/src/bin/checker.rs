@@ -37,6 +37,21 @@ fn main() -> ExitCode {
         println!("  --order <N>   characterization polynomial order (default 3)");
         println!("  --out <path>  output path (default CHECK_report.json)");
         println!("  --smoke       small circuits only, validate, require zero deny, no file");
+        println!("  --list-rules  print the full rule registry with severities and exit");
+        return ExitCode::SUCCESS;
+    }
+    if args.flag("--list-rules") {
+        println!("{} rules registered:", avfs_check::RULES.len());
+        for rule in avfs_check::RULES {
+            println!(
+                "  {}  {:<5} tier {}  {:<32} {}",
+                rule.id,
+                rule.severity.name(),
+                rule.tier,
+                rule.name,
+                rule.summary
+            );
+        }
         return ExitCode::SUCCESS;
     }
     let smoke = args.flag("--smoke");
@@ -162,6 +177,26 @@ fn main() -> ExitCode {
             text.len()
         );
     } else {
+        // Carry over the STA cross-check section and subjects a previous
+        // `sta_crosscheck` run merged into the document, so re-running
+        // the checker does not drop them.
+        let text = match std::fs::read_to_string(&out)
+            .ok()
+            .and_then(|prev| Report::validate(&prev).ok())
+        {
+            Some(prev) => {
+                report.sta = prev.sta;
+                report.subjects.extend(
+                    prev.subjects
+                        .into_iter()
+                        .filter(|s| s.kind == "sta-crosscheck"),
+                );
+                let text = report.to_json().to_string_pretty();
+                Report::validate(&text).expect("merged report validates against avfs-check/1");
+                text
+            }
+            None => text,
+        };
         std::fs::write(&out, &text).expect("report written");
         println!("checker: wrote {out}");
     }

@@ -14,6 +14,114 @@ use avfs_obs::{Json, JsonError};
 /// Schema identifier embedded in every report.
 pub const CHECK_SCHEMA: &str = "avfs-check/1";
 
+/// Schema identifier of the optional STA cross-check section — versioned
+/// independently of the enclosing report so the section can evolve
+/// without a report-wide schema bump.
+pub const STA_SCHEMA: &str = "avfs-check-sta/1";
+
+/// One STA ↔ simulator comparison row: a circuit at one operating
+/// voltage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaRow {
+    /// Circuit name.
+    pub circuit: String,
+    /// Supply voltage, V.
+    pub voltage: f64,
+    /// STA latest-arrival upper bound, ps.
+    pub sta_latest_ps: f64,
+    /// Worst simulated latest-transition arrival across the compared
+    /// slots, ps (`None` when no slot transitioned).
+    pub sim_latest_ps: Option<f64>,
+    /// `sta_latest_ps − sim_latest_ps` (`None` when no slot
+    /// transitioned). Non-negative in a healthy flow — a negative margin
+    /// is exactly an `AVC-T001` finding.
+    pub margin_ps: Option<f64>,
+}
+
+/// The STA cross-check summary merged into `CHECK_report.json` under the
+/// `sta` key (schema [`STA_SCHEMA`]). Findings the cross-check raises
+/// flow through ordinary [`Subject`]s; this section carries the
+/// quantitative agreement table CI and EXPERIMENTS.md read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaSection {
+    /// The comparison tolerance the cross-check ran with, ps.
+    pub epsilon_ps: f64,
+    /// One row per `(circuit, voltage)` comparison, in run order.
+    pub rows: Vec<StaRow>,
+}
+
+impl StaSection {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(STA_SCHEMA.into())),
+            ("epsilon_ps".into(), Json::Num(self.epsilon_ps)),
+            (
+                "rows".into(),
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            let opt = |v: Option<f64>| v.map_or(Json::Null, Json::Num);
+                            Json::Obj(vec![
+                                ("circuit".into(), Json::Str(r.circuit.clone())),
+                                ("voltage".into(), Json::Num(r.voltage)),
+                                ("sta_latest_ps".into(), Json::Num(r.sta_latest_ps)),
+                                ("sim_latest_ps".into(), opt(r.sim_latest_ps)),
+                                ("margin_ps".into(), opt(r.margin_ps)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<StaSection, JsonError> {
+        let fail = |message: String| JsonError { offset: 0, message };
+        let schema = value
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail("sta section missing schema tag".into()))?;
+        if schema != STA_SCHEMA {
+            return Err(fail(format!("unsupported sta section schema '{schema}'")));
+        }
+        let num = |obj: &Json, key: &str| {
+            obj.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| fail(format!("sta section: missing/invalid field '{key}'")))
+        };
+        let mut rows = Vec::new();
+        for r in value
+            .get("rows")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| fail("sta section missing rows array".into()))?
+        {
+            let opt = |key: &str| match r.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(v) => v
+                    .as_f64()
+                    .map(Some)
+                    .ok_or_else(|| fail(format!("sta section: invalid field '{key}'"))),
+            };
+            rows.push(StaRow {
+                circuit: r
+                    .get("circuit")
+                    .and_then(Json::as_str)
+                    .map(str::to_owned)
+                    .ok_or_else(|| fail("sta section: missing/invalid field 'circuit'".into()))?,
+                voltage: num(r, "voltage")?,
+                sta_latest_ps: num(r, "sta_latest_ps")?,
+                sim_latest_ps: opt("sim_latest_ps")?,
+                margin_ps: opt("margin_ps")?,
+            });
+        }
+        Ok(StaSection {
+            epsilon_ps: num(value, "epsilon_ps")?,
+            rows,
+        })
+    }
+}
+
 /// One analyzed artifact and its findings.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Subject {
@@ -52,6 +160,9 @@ pub struct Report {
     /// Complete interleavings the tier-3 audit explored (0 when the
     /// audit did not run).
     pub schedules_explored: u64,
+    /// The STA cross-check summary (`None` when the cross-check did not
+    /// run; reports without the section parse unchanged).
+    pub sta: Option<StaSection>,
 }
 
 impl Report {
@@ -61,6 +172,7 @@ impl Report {
             tool_version: env!("CARGO_PKG_VERSION").to_owned(),
             subjects: Vec::new(),
             schedules_explored: 0,
+            sta: None,
         }
     }
 
@@ -92,9 +204,11 @@ impl Report {
         self.max_severity() < Some(Severity::Deny)
     }
 
-    /// Serializes to the schema-versioned JSON document.
+    /// Serializes to the schema-versioned JSON document. The optional
+    /// `sta` section is emitted only when present, so cross-check-free
+    /// reports are byte-identical to pre-section ones.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("schema".into(), Json::Str(CHECK_SCHEMA.into())),
             ("tool_version".into(), Json::Str(self.tool_version.clone())),
             (
@@ -148,7 +262,11 @@ impl Report {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(sta) = &self.sta {
+            fields.push(("sta".into(), sta.to_json()));
+        }
+        Json::Obj(fields)
     }
 
     /// Deserializes (and thereby validates) a report document: schema
@@ -213,6 +331,7 @@ impl Report {
                 .get("schedules_explored")
                 .and_then(Json::as_u64)
                 .ok_or_else(|| fail("missing/invalid field 'schedules_explored'".into()))?,
+            sta: value.get("sta").map(StaSection::from_json).transpose()?,
         };
         for severity in [Severity::Deny, Severity::Warn, Severity::Info] {
             let claimed = summary
@@ -274,8 +393,42 @@ mod tests {
     fn round_trip_is_identity() {
         let report = sample();
         let text = report.to_json().to_string_pretty();
+        assert!(!text.contains("\"sta\""), "no sta section when None");
         let back = Report::validate(&text).expect("valid document");
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn sta_section_round_trips() {
+        let mut report = sample();
+        report.sta = Some(StaSection {
+            epsilon_ps: 1e-6,
+            rows: vec![
+                StaRow {
+                    circuit: "c17".into(),
+                    voltage: 0.55,
+                    sta_latest_ps: 42.5,
+                    sim_latest_ps: Some(40.0),
+                    margin_ps: Some(2.5),
+                },
+                StaRow {
+                    circuit: "rca8".into(),
+                    voltage: 1.1,
+                    sta_latest_ps: 10.0,
+                    sim_latest_ps: None,
+                    margin_ps: None,
+                },
+            ],
+        });
+        let text = report.to_json().to_string_pretty();
+        assert!(text.contains(STA_SCHEMA));
+        let back = Report::validate(&text).expect("valid document");
+        assert_eq!(back, report);
+        // A corrupted section schema tag is rejected.
+        let bad = text.replace(STA_SCHEMA, "avfs-check-sta/99");
+        assert!(Report::validate(&bad)
+            .unwrap_err()
+            .contains("unsupported sta section schema"));
     }
 
     #[test]

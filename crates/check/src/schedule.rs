@@ -6,9 +6,15 @@
 //! segment starts — has no sound simulation semantics: segment lookup is
 //! a `partition_point` over the boundary list, which requires a strictly
 //! sorted, finite timeline covering the launch instant. This lint is the
-//! shared gate: `avfs-core` rejects any Deny finding before a single
-//! kernel evaluation, and the standalone checker reports the same rule
-//! for offline schedule corpora.
+//! shared gate: `avfs-core` refuses un-lowerable schedules before a
+//! single kernel evaluation (and routes repairable findings through
+//! `SimOptions::strict_validation`), and the standalone checker reports
+//! the same rule for offline schedule corpora.
+//!
+//! A second, compile-time lint ([`lint_schedule_voltages`], `AVC-D006`)
+//! checks segment supplies against the *characterized* voltage range:
+//! the delay model's polynomials extrapolate badly outside it, so the
+//! runtime clamps — this lint makes the clamp visible instead of silent.
 
 use crate::Finding;
 
@@ -70,6 +76,37 @@ pub fn lint_schedule(location: &str, segments: &[(f64, f64)]) -> Vec<Finding> {
     findings
 }
 
+/// Lints one schedule's segment voltages against the characterized
+/// voltage range `[v_min, v_max]` (from
+/// `ParameterSpace::voltage_range`). Every finding is `AVC-D006` (Warn):
+/// the segment would simulate, but only after the runtime silently
+/// clamps its supply onto the characterized boundary — the delay it
+/// yields is the boundary voltage's, not the requested one's.
+pub fn lint_schedule_voltages(
+    location: &str,
+    segments: &[(f64, f64)],
+    v_min: f64,
+    v_max: f64,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, &(_, voltage)) in segments.iter().enumerate() {
+        // Non-finite/non-positive voltages are AVC-N010's (Deny)
+        // territory; this lint covers finite supplies that merely fall
+        // off the characterized grid.
+        if voltage.is_finite() && voltage > 0.0 && !(v_min..=v_max).contains(&voltage) {
+            findings.push(Finding::new(
+                "AVC-D006",
+                format!("{location} segment {i}"),
+                format!(
+                    "segment supply {voltage} V lies outside the characterized \
+                     [{v_min}, {v_max}] V range; the runtime would clamp it"
+                ),
+            ));
+        }
+    }
+    findings
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +145,26 @@ mod tests {
             lint_schedule("s", &[(0.0, 0.8), (50.0, 0.7), (50.0, 0.9)]).len(),
             1
         );
+    }
+
+    #[test]
+    fn out_of_range_voltages_warned_in_range_passes() {
+        assert!(lint_schedule_voltages("s", &[(0.0, 0.8), (50.0, 0.55)], 0.55, 1.1).is_empty());
+        let f = lint_schedule_voltages(
+            "scenario 2",
+            &[(0.0, 0.4), (50.0, 0.8), (90.0, 1.2)],
+            0.55,
+            1.1,
+        );
+        assert_eq!(f.len(), 2);
+        for finding in &f {
+            assert_eq!(finding.rule, "AVC-D006");
+            assert_eq!(finding.severity, Severity::Warn);
+        }
+        assert_eq!(f[0].location, "scenario 2 segment 0");
+        assert_eq!(f[1].location, "scenario 2 segment 2");
+        // Invalid voltages are AVC-N010's problem, not AVC-D006's.
+        assert!(lint_schedule_voltages("s", &[(0.0, f64::NAN), (1.0, -2.0)], 0.55, 1.1).is_empty());
     }
 
     #[test]

@@ -385,8 +385,9 @@ impl BatchRunner {
             threads: self.threads,
             ..options.clone()
         };
-        let (work, slot_points) = compiled.prepare_scenarios(patterns, scenarios, mc)?;
-        let validation = compiled.validate_launch(options.strict_validation, &slot_points)?;
+        let (work, findings) = compiled.prepare_scenarios(patterns, scenarios, mc)?;
+        let validation =
+            compiled.validate_launch_extra(options.strict_validation, &[], &findings)?;
         let mut run = self.run_prepared(compiled, patterns, work, options, validation)?;
         run.scenario = Some(crate::scenario::summarize(
             &run.slots,

@@ -471,17 +471,32 @@ impl CompiledNetlist {
         mode: ValidationMode,
         slot_points: &[(String, OperatingPoint)],
     ) -> Result<Vec<String>, SimError> {
+        self.validate_launch_extra(mode, slot_points, &[])
+    }
+
+    /// [`CompiledNetlist::validate_launch`] with additional
+    /// launch-specific findings already produced by the caller (the
+    /// scenario layer's `AVC-N010`/`AVC-D006` schedule lints): they join
+    /// the rendered findings and participate in the Deny decision
+    /// exactly like slot-operating-point findings.
+    pub(crate) fn validate_launch_extra(
+        &self,
+        mode: ValidationMode,
+        slot_points: &[(String, OperatingPoint)],
+        extra: &[avfs_check::Finding],
+    ) -> Result<Vec<String>, SimError> {
         if mode == ValidationMode::Off {
             return Ok(Vec::new());
         }
         let op_findings = avfs_check::model::lint_operating_points(self.model.space(), slot_points);
         let mut rendered = self.setup_rendered.clone();
         rendered.extend(op_findings.iter().map(ToString::to_string));
+        rendered.extend(extra.iter().map(ToString::to_string));
+        let warn_or_worse = |f: &avfs_check::Finding| f.severity >= avfs_check::Severity::Warn;
         if mode == ValidationMode::Deny
             && (self.setup_deny
-                || op_findings
-                    .iter()
-                    .any(|f| f.severity >= avfs_check::Severity::Warn))
+                || op_findings.iter().any(warn_or_worse)
+                || extra.iter().any(warn_or_worse))
         {
             return Err(SimError::Validation { findings: rendered });
         }
@@ -1995,8 +2010,10 @@ pub(crate) struct DelayTable {
 
 /// Guards the online delay calculation: a non-finite scaled delay falls
 /// back to the nominal delay and is counted in
-/// [`RunDiagnostics::kernel_fallbacks`].
-fn scale_or_fallback(nominal: f64, factor: f64, fallbacks: &mut u64) -> f64 {
+/// [`RunDiagnostics::kernel_fallbacks`]. Crate-visible because the STA
+/// glue (`crate::sta`) re-derives per-node scaled delays with the exact
+/// same guard so oracle and kernel share one delay matrix bitwise.
+pub(crate) fn scale_or_fallback(nominal: f64, factor: f64, fallbacks: &mut u64) -> f64 {
     let scaled = nominal * factor;
     if scaled.is_finite() {
         scaled.max(0.0)
@@ -3960,10 +3977,10 @@ mod tests {
                 &opts,
             )
         };
-        // Shape problems: the AVC-N010 lint refuses the launch.
+        // Structurally un-lowerable shapes: refused in every validation
+        // mode (the segment lookup has no semantics for them).
         for (name, schedule) in [
             ("empty", Schedule { segments: vec![] }),
-            ("unanchored", Schedule::steps([(5.0, 0.8)])),
             (
                 "unsorted",
                 Schedule::steps([(0.0, 0.8), (50.0, 0.7), (40.0, 0.9)]),
@@ -4028,6 +4045,76 @@ mod tests {
             }) => {}
             other => panic!("expected BadPatternIndex, got {other:?}"),
         }
+    }
+
+    /// Repairable schedule findings — an unanchored first segment
+    /// (`AVC-N010`, lowering extends it back to `t = 0`) and supplies
+    /// outside the characterized range (`AVC-D006`, the kernel clamps) —
+    /// follow `SimOptions::strict_validation` instead of hard-failing:
+    /// recorded under `Warn`, refused under `Deny`, silent under `Off`.
+    #[test]
+    fn repairable_schedules_follow_validation_mode() {
+        let n = chain_netlist();
+        let engine = voltage_scaled_engine(&n, 10.0, 10.0);
+        let patterns = one_pattern();
+        let launch = |schedule: Schedule, mode: ValidationMode| {
+            engine.run_scenarios(
+                &patterns,
+                &[ScenarioSpec {
+                    pattern: 0,
+                    schedule,
+                }],
+                None,
+                None,
+                &SimOptions {
+                    strict_validation: mode,
+                    ..SimOptions::default()
+                },
+            )
+        };
+        // The paper space characterizes [0.55, 1.1] V; 1.3 V clamps.
+        let cases = [
+            ("AVC-N010", Schedule::steps([(5.0, 0.8), (20.0, 0.7)])),
+            ("AVC-D006", Schedule::steps([(0.0, 0.8), (20.0, 1.3)])),
+        ];
+        for (rule, schedule) in &cases {
+            // Warn (the default): the run proceeds, the finding lands in
+            // the diagnostics.
+            let run = launch(schedule.clone(), ValidationMode::Warn).unwrap();
+            assert!(
+                run.diagnostics
+                    .validation_findings
+                    .iter()
+                    .any(|f| f.contains(rule)),
+                "{rule} missing from {:?}",
+                run.diagnostics.validation_findings
+            );
+            assert!(run.slots[0].status.is_completed());
+            // Deny: the same launch is refused, carrying the finding.
+            match launch(schedule.clone(), ValidationMode::Deny) {
+                Err(SimError::Validation { findings }) => {
+                    assert!(findings.iter().any(|f| f.contains(rule)), "{findings:?}");
+                }
+                other => panic!("{rule}: expected Validation refusal, got {other:?}"),
+            }
+            // Off: runs, records nothing.
+            let off = launch(schedule.clone(), ValidationMode::Off).unwrap();
+            assert!(off.diagnostics.validation_findings.is_empty());
+        }
+        // An unanchored schedule still lowers soundly: segment 0 extends
+        // back to the launch instant, so this two-segment trace equals
+        // the anchored trace with the same boundary.
+        let unanchored = launch(
+            Schedule::steps([(5.0, 0.8), (20.0, 0.7)]),
+            ValidationMode::Warn,
+        )
+        .unwrap();
+        let anchored = launch(
+            Schedule::steps([(0.0, 0.8), (20.0, 0.7)]),
+            ValidationMode::Warn,
+        )
+        .unwrap();
+        assert_eq!(unanchored.slots, anchored.slots);
     }
 
     /// The failure-probability reduction against a capture deadline:

@@ -25,7 +25,11 @@
 //!   "conventional commercial" algorithm of Table I columns 4–5) with
 //!   identical delay semantics, used both for benchmarking and as a
 //!   cross-validation oracle,
-//! * [`sta`] — static timing analysis (Table II column 2),
+//! * [`sta`] — static timing analysis: the nominal longest-path
+//!   reference (Table II column 2) plus the voltage-scaled
+//!   per-pin-transition oracle from `avfs-sta` and its
+//!   [`sta::crosscheck`] driver, which proves `sim ≤ sta` per run
+//!   (DESIGN.md §16),
 //! * [`api::TimeSimulator`] — a high-level facade wiring netlist,
 //!   annotation, model and engine together for the examples and benches.
 //!
@@ -118,9 +122,12 @@ pub enum SimError {
         /// The rejected voltage (volts).
         voltage: f64,
     },
-    /// A scenario's piecewise operating-point schedule is malformed
-    /// (empty, not anchored at `t = 0`, unsorted, or non-finite) — the
-    /// `AVC-N010` lint refused it before any kernel work.
+    /// A scenario's piecewise operating-point schedule is structurally
+    /// un-lowerable (empty, unsorted, or with non-finite start times) —
+    /// the `AVC-N010` lint refused it before any kernel work, in every
+    /// validation mode. Repairable schedule findings (an unanchored
+    /// first segment, out-of-range supplies) follow
+    /// [`SimOptions::strict_validation`](engine::SimOptions) instead.
     InvalidSchedule {
         /// Index of the offending scenario.
         slot: usize,

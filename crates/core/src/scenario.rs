@@ -89,8 +89,13 @@ pub struct Segment {
 
 /// A piecewise-constant supply schedule: non-empty, anchored at
 /// `t = 0 ps`, with strictly increasing finite start times and finite
-/// positive voltages (lint rule `AVC-N010` — malformed schedules are
-/// refused with [`SimError::InvalidSchedule`] before any kernel work).
+/// positive voltages (lint rule `AVC-N010`). Structurally un-lowerable
+/// schedules — empty, unsorted, or non-finite start times — are refused
+/// with [`SimError::InvalidSchedule`] before any kernel work; an
+/// unanchored first segment is repairable (lowering extends it back to
+/// `t = 0`) and is routed through
+/// [`SimOptions::strict_validation`](crate::SimOptions) like any other
+/// launch finding.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Schedule {
     /// The segments in timeline order.
@@ -267,21 +272,30 @@ pub(crate) fn summarize(
 impl CompiledNetlist {
     /// Validates a scenario launch and resolves it into the internal work
     /// list (per-slot voltage assignments plus Monte Carlo dice) and the
-    /// labelled operating points the launch validation checks — one
-    /// labelled point per scenario *segment*, not per die, so validation
-    /// findings don't multiply with the sample count. Shared by
-    /// [`CompiledNetlist::launch_scenarios`] and the sharding
-    /// [`BatchRunner`](crate::batch::BatchRunner).
+    /// schedule lint findings the launch validation routes through
+    /// [`SimOptions::strict_validation`] — one finding set per scenario
+    /// *segment*, not per die, so findings don't multiply with the sample
+    /// count. Shared by [`CompiledNetlist::launch_scenarios`] and the
+    /// sharding [`BatchRunner`](crate::batch::BatchRunner).
+    ///
+    /// Schedules with no lowering semantics — empty, non-finite, or
+    /// non-increasing segment starts (`partition_point` needs a strictly
+    /// sorted finite boundary list) — are refused with
+    /// [`SimError::InvalidSchedule`] in *every* validation mode. The
+    /// repairable findings — a first segment not anchored at `t = 0`
+    /// (`AVC-N010`: lowering extends it back to the launch instant) and
+    /// supplies outside the characterized voltage range (`AVC-D006`: the
+    /// kernel clamps them onto the boundary) — are returned for the
+    /// mode-dependent launch validation instead.
     ///
     /// Scenario `i`'s dice occupy slots `i * samples .. (i + 1) * samples`
     /// in launch order.
-    #[allow(clippy::type_complexity)]
     pub(crate) fn prepare_scenarios(
         &self,
         patterns: &PatternSet,
         scenarios: &[ScenarioSpec],
         mc: Option<&MonteCarlo>,
-    ) -> Result<(Vec<SlotWork>, Vec<(String, OperatingPoint)>), SimError> {
+    ) -> Result<(Vec<SlotWork>, Vec<avfs_check::Finding>), SimError> {
         if scenarios.is_empty() {
             return Err(SimError::EmptySlots);
         }
@@ -299,7 +313,8 @@ impl CompiledNetlist {
         }
         let space = self.model.space();
         let c_min = space.load_range().0;
-        let mut slot_points = Vec::new();
+        let (v_min, v_max) = space.voltage_range();
+        let mut findings = Vec::new();
         let mut scenario_work: Vec<SlotWork> = Vec::with_capacity(scenarios.len());
         for (i, spec) in scenarios.iter().enumerate() {
             if spec.pattern >= patterns.len() {
@@ -318,25 +333,29 @@ impl CompiledNetlist {
                     });
                 }
             }
-            let pairs: Vec<(f64, f64)> = spec
-                .schedule
-                .segments
-                .iter()
-                .map(|s| (s.t_start_ps, s.voltage))
-                .collect();
-            let findings = avfs_check::schedule::lint_schedule(&format!("scenario {i}"), &pairs);
-            if let Some(first) = findings.first() {
+            let segs = &spec.schedule.segments;
+            // Structurally un-lowerable shapes have no simulation
+            // semantics (the segment lookup's `partition_point` needs a
+            // strictly sorted finite boundary list), so they hard-fail
+            // regardless of `strict_validation`. Anything else the lint
+            // flags is repairable and goes through the validation mode.
+            let fatal = segs.is_empty()
+                || segs.iter().any(|s| !s.t_start_ps.is_finite())
+                || segs.windows(2).any(|w| w[1].t_start_ps <= w[0].t_start_ps);
+            let pairs: Vec<(f64, f64)> = segs.iter().map(|s| (s.t_start_ps, s.voltage)).collect();
+            let location = format!("scenario {i}");
+            let shape = avfs_check::schedule::lint_schedule(&location, &pairs);
+            if fatal {
+                let first = shape.first().expect("fatal schedule has a lint finding");
                 return Err(SimError::InvalidSchedule {
                     slot: i,
                     message: first.message.clone(),
                 });
             }
-            for (s, seg) in spec.schedule.segments.iter().enumerate() {
-                slot_points.push((
-                    format!("scenario {i} segment {s}"),
-                    OperatingPoint::new(seg.voltage, c_min),
-                ));
-            }
+            findings.extend(shape);
+            findings.extend(avfs_check::schedule::lint_schedule_voltages(
+                &location, &pairs, v_min, v_max,
+            ));
             let v_norms: Vec<f64> = spec
                 .schedule
                 .segments
@@ -382,7 +401,7 @@ impl CompiledNetlist {
                 });
             }
         }
-        Ok((work, slot_points))
+        Ok((work, avfs_check::cap_findings(findings)))
     }
 
     /// Simulates `scenarios` over `patterns`, each slot driven by its
@@ -396,8 +415,14 @@ impl CompiledNetlist {
     /// # Errors
     ///
     /// Everything [`CompiledNetlist::launch`] reports, plus
-    /// [`SimError::InvalidSchedule`] for a malformed schedule (empty,
-    /// unanchored, unsorted, or non-finite — lint rule `AVC-N010`).
+    /// [`SimError::InvalidSchedule`] for a structurally un-lowerable
+    /// schedule (empty, unsorted, or with non-finite start times — lint
+    /// rule `AVC-N010`), in every validation mode. Repairable findings —
+    /// an unanchored first segment (`AVC-N010`) or supplies outside the
+    /// characterized range (`AVC-D006`) — follow
+    /// [`SimOptions::strict_validation`]: recorded in
+    /// [`RunDiagnostics::validation_findings`](crate::RunDiagnostics)
+    /// under `Warn`, refused as [`SimError::Validation`] under `Deny`.
     /// An empty scenario list or a zero-sample Monte Carlo plan is
     /// [`SimError::EmptySlots`].
     pub fn launch_scenarios(
@@ -427,10 +452,10 @@ impl CompiledNetlist {
         options: &SimOptions,
         mut exec: Exec<'_>,
     ) -> Result<SimRun, SimError> {
-        let (work, slot_points) = self.prepare_scenarios(patterns, scenarios, mc)?;
+        let (work, findings) = self.prepare_scenarios(patterns, scenarios, mc)?;
         let validation = match exec.prevalidated.take() {
             Some(v) => v,
-            None => self.validate_launch(options.strict_validation, &slot_points)?,
+            None => self.validate_launch_extra(options.strict_validation, &[], &findings)?,
         };
         let mut run = self.run_work(patterns, &work, options, validation, &exec)?;
         run.scenario = Some(summarize(&run.slots, mc, capture_deadline_ps));

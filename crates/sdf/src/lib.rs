@@ -11,6 +11,13 @@
 //! * [`spef`] — a simplified `*D_NET <net> <cap>` parasitics list carrying
 //!   per-net load capacitances.
 //!
+//! Parsed annotations feed both the simulator (via
+//! `CompiledNetlist::compile`) and the independent static-timing oracle:
+//! `avfs_sta::TimingGraph::from_sdf` builds a per-pin-transition timing
+//! graph straight from `(DELAYFILE …)` text, so SDF-annotated designs get
+//! the same STA treatment as in-memory annotations (see
+//! `tests/sta_hook.rs`).
+//!
 //! # Example
 //!
 //! ```

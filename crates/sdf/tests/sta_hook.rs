@@ -1,0 +1,94 @@
+//! The SDF → STA hook: `(DELAYFILE …)` text drives the independent
+//! static-timing oracle exactly like an in-memory annotation.
+
+use avfs_delay::TimingAnnotation;
+use avfs_netlist::{CellLibrary, Levelization, Netlist, NetlistBuilder};
+use avfs_sdf::sdf::{parse_sdf, write_sdf};
+use avfs_sta::{StaError, TimingGraph};
+use avfs_waveform::PinDelays;
+
+/// a → INV g1 → NAND2 g2 (side input b) → y, with distinct rise/fall
+/// delays per pin so edge selection is observable.
+fn annotated_chain() -> (Netlist, TimingAnnotation) {
+    let lib = CellLibrary::nangate15_like();
+    let mut b = NetlistBuilder::new("hook", &lib);
+    let a = b.add_input("a").unwrap();
+    let side = b.add_input("b").unwrap();
+    let g1 = b.add_gate("g1", "INV_X1", &[a]).unwrap();
+    let g2 = b.add_gate("g2", "NAND2_X1", &[g1, side]).unwrap();
+    b.add_output("y", g2).unwrap();
+    let netlist = b.finish().unwrap();
+
+    let mut ann = TimingAnnotation::zero(&netlist);
+    ann.node_delays_mut(netlist.find("g1").unwrap())[0] = PinDelays {
+        rise: 10.0,
+        fall: 14.0,
+    };
+    let g2_id = netlist.find("g2").unwrap();
+    ann.node_delays_mut(g2_id)[0] = PinDelays {
+        rise: 7.0,
+        fall: 5.0,
+    };
+    ann.node_delays_mut(g2_id)[1] = PinDelays {
+        rise: 30.0,
+        fall: 28.0,
+    };
+    (netlist, ann)
+}
+
+#[test]
+fn sdf_text_and_in_memory_annotation_build_identical_graphs() {
+    let (netlist, ann) = annotated_chain();
+    let levels = Levelization::of(&netlist).expect("acyclic");
+    let text = write_sdf(&netlist, &ann);
+
+    let from_text = TimingGraph::from_sdf(&netlist, &levels, &text).expect("hook parses");
+    let from_memory = TimingGraph::from_annotation(&netlist, &levels, &ann).expect("shapes match");
+
+    // Same arcs, same report — the hook is a pure front-end.
+    for (id, _) in netlist.iter() {
+        assert_eq!(from_text.node_delays(id), from_memory.node_delays(id));
+    }
+    let a = from_text.report(0.0);
+    let b = from_memory.report(0.0);
+    assert_eq!(a, b);
+
+    // Latest chain: b → g2 pin 1, rising output (fall 0 + rise 30),
+    // beating the a → g1 → g2 chain (14 + 7 = 21).
+    assert_eq!(a.latest_arrival_ps, 30.0);
+    // Earliest chain: a fall → g1 rise (10) → g2 fall via pin 0 (5)
+    // = 15, undercutting both pin-1 chains (28, 30).
+    assert_eq!(a.earliest_arrival_ps, 15.0);
+}
+
+#[test]
+fn round_trip_through_sdf_preserves_the_analysis() {
+    let (netlist, ann) = annotated_chain();
+    let levels = Levelization::of(&netlist).expect("acyclic");
+    // write → parse → write again must be a fixed point, and the parsed
+    // annotation must reproduce the original delays the graph prices.
+    let text = write_sdf(&netlist, &ann);
+    let parsed = parse_sdf(&netlist, &text).expect("own output parses");
+    assert_eq!(write_sdf(&netlist, &parsed), text);
+    let graph = TimingGraph::from_annotation(&netlist, &levels, &parsed).unwrap();
+    assert_eq!(
+        graph.node_delays(netlist.find("g1").unwrap())[0],
+        PinDelays {
+            rise: 10.0,
+            fall: 14.0
+        }
+    );
+}
+
+#[test]
+fn malformed_sdf_is_a_typed_sta_error() {
+    let (netlist, _) = annotated_chain();
+    let levels = Levelization::of(&netlist).expect("acyclic");
+    let err = TimingGraph::from_sdf(&netlist, &levels, "(DELAYFILE (CELL").unwrap_err();
+    match err {
+        StaError::Sdf(message) => {
+            assert!(!message.is_empty());
+        }
+        other => panic!("expected StaError::Sdf, got {other:?}"),
+    }
+}

@@ -1,0 +1,87 @@
+//! Static timing analysis for the AVFS simulation workspace — the
+//! independent oracle that cross-validates the time simulator.
+//!
+//! The paper's headline artifact (Table II) is latest-transition arrival
+//! times under scaled supplies, and the repo computes them with two
+//! engine *siblings* (the waveform kernel and its event-driven twin)
+//! that share delay models and lowering — a shared bug is invisible to
+//! their mutual comparison. This crate is the second, genuinely
+//! independent leg: a classic per-pin-transition STA over the same
+//! netlist and the same delay matrix, implemented with none of the
+//! engine's machinery (no arenas, no slots, no waveforms — a plain
+//! topological dynamic program).
+//!
+//! * [`graph`] — the [`TimingGraph`]: per-node/per-pin rise–fall arc
+//!   delays with cell-unateness edge mapping, topological
+//!   earliest/latest arrival propagation, a backward required-time pass,
+//!   critical-path extraction with per-step slack, and concrete
+//!   path-arrival folds. Delay matrices come from an explicit
+//!   voltage-scaled matrix ([`TimingGraph::new`]), a nominal
+//!   [`TimingAnnotation`](avfs_delay::TimingAnnotation)
+//!   ([`TimingGraph::from_annotation`]), or SDF text
+//!   ([`TimingGraph::from_sdf`], via `crates/sdf`).
+//! * [`crosscheck`] — pure generators for the `AVC-T` finding family:
+//!   simulated arrival beyond the STA bound (`AVC-T001`, Deny),
+//!   divergence on a sensitized critical path (`AVC-T002`, Deny),
+//!   unreachable endpoints / unconstrained launch points
+//!   (`AVC-T003`/`AVC-T004`, Warn).
+//!
+//! The voltage-scaled entry point `sta::analyze(&CompiledNetlist,
+//! &OperatingPoint)` and the per-run cross-check driver live in
+//! `avfs-core::sta`, which owns the delay scaling; this crate stays a
+//! pure graph algorithm so the oracle shares no evaluation code with the
+//! engine it checks.
+//!
+//! # Why the bound is sound (the ε argument)
+//!
+//! Every simulated transition time is a left-fold
+//! `((t_launch + d₁) + d₂) + …` along its causal chain, with each `dᵢ`
+//! selected by the *output*
+//! edge of the driven cell. The STA latest arrival at a node is the
+//! maximum of exactly those folds over all structural chains and edge
+//! assignments admitted by unateness — computed with the same f64
+//! additions in the same order, and `max` is exact in IEEE-754. Given
+//! one shared delay matrix, `sim ≤ sta` therefore holds *bitwise*; the
+//! default ε ([`crosscheck::DEFAULT_EPSILON_PS`]) only matters when the
+//! two sides re-derive delays independently.
+//!
+//! # Example
+//!
+//! ```
+//! use avfs_netlist::{CellLibrary, Levelization, NetlistBuilder};
+//! use avfs_delay::TimingAnnotation;
+//! use avfs_waveform::PinDelays;
+//! use avfs_sta::TimingGraph;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lib = CellLibrary::nangate15_like();
+//! let mut b = NetlistBuilder::new("demo", &lib);
+//! let a = b.add_input("a")?;
+//! let g = b.add_gate("g", "INV_X1", &[a])?;
+//! b.add_output("y", g)?;
+//! let netlist = b.finish()?;
+//! let levels = Levelization::of(&netlist)?;
+//!
+//! let mut ann = TimingAnnotation::zero(&netlist);
+//! ann.node_delays_mut(netlist.find("g").unwrap())[0] =
+//!     PinDelays { rise: 11.0, fall: 9.0 };
+//!
+//! let graph = TimingGraph::from_annotation(&netlist, &levels, &ann)?;
+//! let report = graph.report(0.0);
+//! // The inverter's worst edge is the rising output (11 ps).
+//! assert_eq!(report.latest_arrival_ps, 11.0);
+//! assert_eq!(report.critical_path.len(), 3); // a → g → y
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crosscheck;
+pub mod graph;
+
+pub use graph::{
+    unateness, Arrival, EndpointTiming, PathStep, StaAnalysis, StaError, StaReport, TimingGraph,
+    Unateness,
+};

@@ -24,9 +24,15 @@
 //! * [`circuits`] — benchmark circuits and Table-I/II profiles,
 //! * [`obs`] — phase timers, counters and histograms behind
 //!   [`SimOptions::profiling`](sim::SimOptions) (dependency-free),
-//! * [`check`] — three-tier static analysis: netlist lints, delay-model
-//!   lints, and the concurrency/unsafe audit behind the `checker` CI gate
-//!   and [`SimOptions::strict_validation`](sim::SimOptions),
+//! * [`check`] — four-tier static analysis: netlist lints, delay-model
+//!   lints, the concurrency/unsafe audit, and the STA cross-validation
+//!   rules behind the `checker` CI gate and
+//!   [`SimOptions::strict_validation`](sim::SimOptions),
+//! * [`sta`] — the independent static-timing oracle: a
+//!   per-pin-transition timing graph with earliest/latest arrival
+//!   propagation and critical-path extraction, cross-validating the
+//!   simulator per operating point via
+//!   [`sim::sta::crosscheck`],
 //! * [`inject`] — deterministic fault injection: seeded
 //!   [`FaultPlan`](inject::FaultPlan)s behind
 //!   [`SimOptions::fault_plan`](sim::SimOptions) and the `chaos` soak
@@ -144,4 +150,5 @@ pub use avfs_obs as obs;
 pub use avfs_regression as regression;
 pub use avfs_sdf as sdf;
 pub use avfs_spice as spice;
+pub use avfs_sta as sta;
 pub use avfs_waveform as waveform;
